@@ -1,0 +1,27 @@
+//! Criterion bench for Fig. 2: naySL solving time vs |N| for |E| = 1..3.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nay::check::check_unrealizable;
+use nay::Mode;
+use sygus::ExampleSet;
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_semilinear_scaling");
+    group.sample_size(10);
+    for num_examples in 1..=3usize {
+        for n in [2usize, 4, 6, 8] {
+            let problem = benchmarks::scaling_problem(n);
+            let examples =
+                ExampleSet::for_single_var("x", (1..=num_examples as i64).collect::<Vec<_>>());
+            group.bench_with_input(
+                BenchmarkId::new(format!("E{num_examples}"), n),
+                &n,
+                |b, _| b.iter(|| check_unrealizable(&problem, &examples, &Mode::default())),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

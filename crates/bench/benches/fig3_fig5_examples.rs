@@ -1,0 +1,30 @@
+//! Criterion bench for Fig. 3 and Fig. 5: nayHorn / nope time vs |E|.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nay::check::check_unrealizable;
+use nay::Mode;
+use nope::NopeSolver;
+use sygus::ExampleSet;
+
+fn bench_fig3_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_fig5_examples");
+    group.sample_size(10);
+    for n in 1..=3usize {
+        for e in [1usize, 3, 5] {
+            let problem = benchmarks::scaling_problem(n);
+            let examples = ExampleSet::for_single_var("x", (1..=e as i64).collect::<Vec<_>>());
+            group.bench_with_input(
+                BenchmarkId::new(format!("nayHorn/N{n}"), e),
+                &e,
+                |b, _| b.iter(|| check_unrealizable(&problem, &examples, &Mode::horn())),
+            );
+            group.bench_with_input(BenchmarkId::new(format!("nope/N{n}"), e), &e, |b, _| {
+                b.iter(|| NopeSolver::new().check(&problem, &examples))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3_fig5);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion bench for Fig. 4: stratified vs monolithic Newton solving.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nay::check::check_unrealizable;
+use nay::Mode;
+use sygus::ExampleSet;
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_stratification");
+    group.sample_size(10);
+    for n in [4usize, 8, 12] {
+        let problem = benchmarks::scaling_problem(n);
+        let examples = ExampleSet::for_single_var("x", [1, 2]);
+        group.bench_with_input(BenchmarkId::new("stratified", n), &n, |b, _| {
+            b.iter(|| check_unrealizable(&problem, &examples, &Mode::default()))
+        });
+        group.bench_with_input(BenchmarkId::new("no_opt", n), &n, |b, _| {
+            b.iter(|| {
+                check_unrealizable(&problem, &examples, &Mode::semi_linear_unstratified())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Criterion bench regenerating the LimitedIf rows of Table 1.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nay::check::check_unrealizable;
+use nay::Mode;
+
+fn bench_table1_if(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_limited_if");
+    group.sample_size(10);
+    for bench in bench::select(benchmarks::Family::LimitedIf, true).into_iter().take(6) {
+        group.bench_function(format!("naySL/{}", bench.name), |b| {
+            b.iter(|| check_unrealizable(&bench.problem, &bench.witness_examples, &Mode::default()))
+        });
+        group.bench_function(format!("nayHorn/{}", bench.name), |b| {
+            b.iter(|| check_unrealizable(&bench.problem, &bench.witness_examples, &Mode::horn()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1_if);
+criterion_main!(benches);

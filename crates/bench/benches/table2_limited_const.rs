@@ -1,0 +1,23 @@
+//! Criterion bench regenerating Table 2 (LimitedConst benchmarks).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nay::check::check_unrealizable;
+use nay::Mode;
+use nope::NopeSolver;
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_limited_const");
+    group.sample_size(10);
+    for bench in bench::select(benchmarks::Family::LimitedConst, true).into_iter().take(6) {
+        group.bench_function(format!("naySL/{}", bench.name), |b| {
+            b.iter(|| check_unrealizable(&bench.problem, &bench.witness_examples, &Mode::default()))
+        });
+        group.bench_function(format!("nope/{}", bench.name), |b| {
+            b.iter(|| NopeSolver::new().check(&bench.problem, &bench.witness_examples))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

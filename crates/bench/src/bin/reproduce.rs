@@ -1,0 +1,41 @@
+//! Command-line driver regenerating the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p bench --bin reproduce -- [EXPERIMENT] [--full]
+//!
+//! EXPERIMENT: all | table1-plus | table1-if | table2 | fig2 | fig3 | fig4 |
+//!             fig5 | summary          (default: all)
+//! --full:     run every benchmark instead of the quick subset
+//! ```
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = !args.iter().any(|a| a == "--full");
+    let experiment = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .unwrap_or("all");
+
+    let report = match experiment {
+        "all" => bench::reproduce_all(quick),
+        "table1-plus" => bench::reproduce_table1_plus(quick),
+        "table1-if" => bench::reproduce_table1_if(quick),
+        "table1" => format!(
+            "{}\n{}",
+            bench::reproduce_table1_plus(quick),
+            bench::reproduce_table1_if(quick)
+        ),
+        "table2" => bench::reproduce_table2(quick),
+        "fig2" => bench::reproduce_fig2(quick),
+        "fig3" | "fig5" | "fig3-fig5" => bench::reproduce_fig3_fig5(quick),
+        "fig4" => bench::reproduce_fig4(quick),
+        "summary" => bench::reproduce_summary(quick),
+        other => {
+            eprintln!("unknown experiment `{other}`");
+            eprintln!("expected one of: all, table1-plus, table1-if, table1, table2, fig2, fig3, fig4, fig5, summary");
+            std::process::exit(2);
+        }
+    };
+    println!("{report}");
+}

@@ -1,0 +1,349 @@
+//! The experiment harness: functions that regenerate every table and figure
+//! of the paper's evaluation (§8) on the reproduced benchmark suite.
+//!
+//! Each `reproduce_*` function returns a plain-text report (the same rows or
+//! series the paper presents); the `reproduce` binary prints them and
+//! EXPERIMENTS.md records a snapshot together with the paper's numbers.
+//!
+//! Absolute times differ from the paper (different machine, different SMT
+//! substrate); what is expected to match is the *shape*: which tool solves
+//! which benchmark, how running time grows with `|N|` and `|E|`, and the
+//! effect of the stratification optimisation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use benchmarks::{Benchmark, Family};
+use nay::check::{check_unrealizable, Verdict};
+use nay::Mode;
+use nope::{NopeSolver, NopeVerdict};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// The result of running one tool on one benchmark.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Tool name (`naySL`, `nayHorn`, `nope`).
+    pub tool: &'static str,
+    /// Whether the tool proved unrealizability.
+    pub proved: bool,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+}
+
+/// Runs one of the nay modes on a benchmark's witness example set.
+pub fn run_nay(bench: &Benchmark, mode: &Mode) -> Measurement {
+    let started = Instant::now();
+    let outcome = check_unrealizable(&bench.problem, &bench.witness_examples, mode);
+    Measurement {
+        benchmark: bench.name.clone(),
+        tool: if *mode == Mode::Horn { "nayHorn" } else { "naySL" },
+        proved: outcome.verdict == Verdict::Unrealizable,
+        seconds: started.elapsed().as_secs_f64(),
+    }
+}
+
+/// Runs the nope baseline on a benchmark's witness example set.
+pub fn run_nope(bench: &Benchmark) -> Measurement {
+    let started = Instant::now();
+    let (verdict, _) = NopeSolver::new().check(&bench.problem, &bench.witness_examples);
+    Measurement {
+        benchmark: bench.name.clone(),
+        tool: "nope",
+        proved: verdict == NopeVerdict::Unrealizable,
+        seconds: started.elapsed().as_secs_f64(),
+    }
+}
+
+fn fmt_time(m: &Measurement) -> String {
+    if m.proved {
+        format!("{:8.3}", m.seconds)
+    } else {
+        "       ✗".to_string()
+    }
+}
+
+fn fmt_paper(seconds: Option<f64>) -> String {
+    match seconds {
+        Some(s) => format!("{s:8.2}"),
+        None => "       ✗".to_string(),
+    }
+}
+
+/// Selects the benchmarks of a family that are cheap enough for the `quick`
+/// harness mode (small grammars and few examples); the full mode runs all of
+/// them.
+pub fn select(family: Family, quick: bool) -> Vec<Benchmark> {
+    benchmarks::all()
+        .into_iter()
+        .filter(|b| b.family == family)
+        .filter(|b| {
+            if !quick {
+                return true;
+            }
+            let masks = 1usize << b.num_examples().min(4);
+            let cost = b.num_nonterminals() * if b.problem.grammar().has_ite() { masks } else { 1 };
+            cost <= 32 && b.num_examples() <= 4
+        })
+        .collect()
+}
+
+fn table_report(title: &str, family: Family, quick: bool) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {title}");
+    let _ = writeln!(
+        out,
+        "{:<18} {:>4} {:>4} {:>4} {:>4} | {:>8} {:>8} {:>8} | paper: {:>8} {:>8} {:>8}",
+        "benchmark", "|N|", "|δ|", "|V|", "|E|", "naySL", "nayHorn", "nope", "naySL", "nayHorn", "nope"
+    );
+    for bench in select(family, quick) {
+        let sl = run_nay(&bench, &Mode::default());
+        let horn = run_nay(&bench, &Mode::horn());
+        let nope = run_nope(&bench);
+        let paper = bench.paper.as_ref();
+        let _ = writeln!(
+            out,
+            "{:<18} {:>4} {:>4} {:>4} {:>4} | {} {} {} | paper: {} {} {}",
+            bench.name,
+            bench.num_nonterminals(),
+            bench.num_productions(),
+            bench.num_variables(),
+            bench.num_examples(),
+            fmt_time(&sl),
+            fmt_time(&horn),
+            fmt_time(&nope),
+            fmt_paper(paper.and_then(|r| r.naysl_seconds)),
+            fmt_paper(paper.and_then(|r| r.nayhorn_seconds)),
+            fmt_paper(paper.and_then(|r| r.nope_seconds)),
+        );
+    }
+    out
+}
+
+/// Table 1 (LimitedPlus rows): naySL vs nayHorn vs nope.
+pub fn reproduce_table1_plus(quick: bool) -> String {
+    table_report("Table 1 — LimitedPlus", Family::LimitedPlus, quick)
+}
+
+/// Table 1 (LimitedIf rows).
+pub fn reproduce_table1_if(quick: bool) -> String {
+    table_report("Table 1 — LimitedIf", Family::LimitedIf, quick)
+}
+
+/// Table 2 (LimitedConst rows).
+pub fn reproduce_table2(quick: bool) -> String {
+    table_report("Table 2 — LimitedConst", Family::LimitedConst, quick)
+}
+
+/// Fig. 2: time to compute the semi-linear set of the start symbol as a
+/// function of `|N|`, one series per number of examples.
+pub fn reproduce_fig2(quick: bool) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# Fig. 2 — naySL semi-linear solving time vs |N|");
+    let _ = writeln!(out, "{:<6} {:<6} {:>12} {:>10}", "|N|", "|E|", "seconds", "verdict");
+    let max_n = if quick { 8 } else { 16 };
+    let max_e = if quick { 3 } else { 4 };
+    for num_examples in 1..=max_e {
+        for n in (2..=max_n).step_by(2) {
+            let problem = benchmarks::scaling_problem(n);
+            let examples =
+                sygus::ExampleSet::for_single_var("x", (1..=num_examples as i64).collect::<Vec<_>>());
+            let started = Instant::now();
+            let outcome = check_unrealizable(&problem, &examples, &Mode::default());
+            let _ = writeln!(
+                out,
+                "{:<6} {:<6} {:>12.4} {:>10}",
+                n + 1,
+                num_examples,
+                started.elapsed().as_secs_f64(),
+                format!("{:?}", outcome.verdict)
+            );
+        }
+    }
+    out
+}
+
+/// Fig. 3 and Fig. 5: nayHorn / nope running time as a function of `|E|`,
+/// one series per `|N|`.
+pub fn reproduce_fig3_fig5(quick: bool) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# Fig. 3 / Fig. 5 — nayHorn and nope time vs |E|");
+    let _ = writeln!(
+        out,
+        "{:<6} {:<6} {:>14} {:>14}",
+        "|N|", "|E|", "nayHorn (s)", "nope (s)"
+    );
+    let max_e = if quick { 5 } else { 9 };
+    for n in 1..=3usize {
+        for e in 1..=max_e {
+            let problem = benchmarks::scaling_problem(n);
+            let examples =
+                sygus::ExampleSet::for_single_var("x", (1..=e as i64).collect::<Vec<_>>());
+            let started = Instant::now();
+            let _ = check_unrealizable(&problem, &examples, &Mode::horn());
+            let horn_time = started.elapsed().as_secs_f64();
+            let started = Instant::now();
+            let bench_problem = problem.clone();
+            let _ = NopeSolver::new().check(&bench_problem, &examples);
+            let nope_time = started.elapsed().as_secs_f64();
+            let _ = writeln!(
+                out,
+                "{:<6} {:<6} {:>14.4} {:>14.4}",
+                n + 1,
+                e,
+                horn_time,
+                nope_time
+            );
+        }
+    }
+    out
+}
+
+/// Fig. 4: the effect of the stratification optimisation on naySL's
+/// semi-linear solving time (per benchmark, with vs without).
+pub fn reproduce_fig4(quick: bool) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# Fig. 4 — stratification speed-up");
+    let _ = writeln!(
+        out,
+        "{:<22} {:>14} {:>14} {:>8}",
+        "benchmark", "stratified (s)", "no opt. (s)", "speedup"
+    );
+    let max_n = if quick { 10 } else { 20 };
+    for n in (2..=max_n).step_by(2) {
+        let problem = benchmarks::scaling_problem(n);
+        let examples = sygus::ExampleSet::for_single_var("x", [1, 2]);
+        let started = Instant::now();
+        let _ = check_unrealizable(&problem, &examples, &Mode::default());
+        let stratified = started.elapsed().as_secs_f64();
+        let started = Instant::now();
+        let _ = check_unrealizable(&problem, &examples, &Mode::semi_linear_unstratified());
+        let unstratified = started.elapsed().as_secs_f64();
+        let _ = writeln!(
+            out,
+            "{:<22} {:>14.4} {:>14.4} {:>8.2}",
+            format!("scaling_n{n}"),
+            stratified,
+            unstratified,
+            unstratified / stratified.max(1e-9)
+        );
+    }
+    // also a couple of the table benchmarks
+    for bench in select(Family::LimitedConst, true).into_iter().take(4) {
+        let started = Instant::now();
+        let _ = check_unrealizable(&bench.problem, &bench.witness_examples, &Mode::default());
+        let stratified = started.elapsed().as_secs_f64();
+        let started = Instant::now();
+        let _ = check_unrealizable(
+            &bench.problem,
+            &bench.witness_examples,
+            &Mode::semi_linear_unstratified(),
+        );
+        let unstratified = started.elapsed().as_secs_f64();
+        let _ = writeln!(
+            out,
+            "{:<22} {:>14.4} {:>14.4} {:>8.2}",
+            bench.name,
+            stratified,
+            unstratified,
+            unstratified / stratified.max(1e-9)
+        );
+    }
+    out
+}
+
+/// The §8.1 headline numbers: how many benchmarks each tool proves
+/// unrealizable, and how many naySL solves that nope does not.
+pub fn reproduce_summary(quick: bool) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# §8.1 — solved-benchmark counts");
+    let families = [Family::LimitedPlus, Family::LimitedIf, Family::LimitedConst];
+    let mut totals = (0usize, 0usize, 0usize, 0usize); // (run, naySL, nayHorn, nope)
+    let mut naysl_only = 0usize;
+    for family in families {
+        let benches = select(family, quick);
+        let mut counts = (0usize, 0usize, 0usize);
+        for bench in &benches {
+            let sl = run_nay(bench, &Mode::default());
+            let horn = run_nay(bench, &Mode::horn());
+            let nope = run_nope(bench);
+            counts.0 += usize::from(sl.proved);
+            counts.1 += usize::from(horn.proved);
+            counts.2 += usize::from(nope.proved);
+            naysl_only += usize::from(sl.proved && !nope.proved);
+            totals.0 += 1;
+            totals.1 += usize::from(sl.proved);
+            totals.2 += usize::from(horn.proved);
+            totals.3 += usize::from(nope.proved);
+        }
+        let _ = writeln!(
+            out,
+            "{:<14} ({:>3} run): naySL {:>3}  nayHorn {:>3}  nope {:>3}",
+            family.name(),
+            benches.len(),
+            counts.0,
+            counts.1,
+            counts.2
+        );
+    }
+    let _ = writeln!(
+        out,
+        "total          ({:>3} run): naySL {:>3}  nayHorn {:>3}  nope {:>3}  (naySL-only vs nope: {})",
+        totals.0, totals.1, totals.2, totals.3, naysl_only
+    );
+    let _ = writeln!(
+        out,
+        "paper (132 benchmarks): naySL 70, nayHorn 59, nope 59, naySL-only 11"
+    );
+    out
+}
+
+/// Runs every experiment and concatenates the reports.
+pub fn reproduce_all(quick: bool) -> String {
+    let mut out = String::new();
+    for part in [
+        reproduce_table1_plus(quick),
+        reproduce_table1_if(quick),
+        reproduce_table2(quick),
+        reproduce_fig2(quick),
+        reproduce_fig3_fig5(quick),
+        reproduce_fig4(quick),
+        reproduce_summary(quick),
+    ] {
+        out.push_str(&part);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_selection_is_nonempty_for_every_family() {
+        assert!(!select(Family::LimitedPlus, true).is_empty());
+        assert!(!select(Family::LimitedIf, true).is_empty());
+        assert!(!select(Family::LimitedConst, true).is_empty());
+    }
+
+    #[test]
+    fn measurements_have_sane_fields() {
+        let bench = select(Family::LimitedConst, true)
+            .into_iter()
+            .next()
+            .expect("at least one quick benchmark");
+        let m = run_nay(&bench, &Mode::default());
+        assert_eq!(m.tool, "naySL");
+        assert!(m.seconds >= 0.0);
+    }
+
+    #[test]
+    fn fig2_report_has_the_expected_shape() {
+        let report = reproduce_fig2(true);
+        assert!(report.contains("Fig. 2"));
+        assert!(report.lines().count() > 5);
+    }
+}

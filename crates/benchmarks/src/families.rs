@@ -1,0 +1,647 @@
+//! Programmatic generators for the three limited benchmark families.
+
+use crate::table_data::{table1_rows, table2_rows, PaperRow};
+use crate::{Benchmark, Family};
+use logic::{Formula, LinearExpr, Var};
+use sygus::{Example, ExampleSet, Grammar, GrammarBuilder, Problem, Sort, Spec, Symbol};
+
+fn var(name: &str) -> LinearExpr {
+    LinearExpr::var(Var::new(name))
+}
+fn out() -> LinearExpr {
+    LinearExpr::var(Spec::output_var())
+}
+
+fn paper_row(name: &str) -> Option<PaperRow> {
+    table1_rows()
+        .into_iter()
+        .chain(table2_rows())
+        .find(|r| r.name == name)
+}
+
+fn benchmark(
+    name: &str,
+    family: Family,
+    problem: Problem,
+    witness_examples: ExampleSet,
+) -> Benchmark {
+    Benchmark {
+        name: name.to_string(),
+        family,
+        problem: problem.with_name(name),
+        witness_examples,
+        paper: paper_row(name),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Limited grammars
+// ---------------------------------------------------------------------------
+
+/// A grammar whose terms contain at most `budget` `Plus` operators (the
+/// LimitedPlus restriction): nonterminal `S_b` derives terms using at most
+/// `b` additions, and `S_b ::= Plus(S_i, S_j)` for every split `i + j = b-1`.
+/// Optionally a conditional layer (one `IfThenElse` over budgeted operands)
+/// is added, as in the guard/ite benchmarks.
+fn plus_limited_grammar(vars: &[&str], budget: usize, with_ite: bool) -> Grammar {
+    let level = |b: usize| format!("S{b}");
+    let start = if with_ite {
+        "Start".to_string()
+    } else {
+        level(budget)
+    };
+    let mut builder = GrammarBuilder::new(&start);
+    if with_ite {
+        builder = builder.nonterminal("Start", Sort::Int);
+        builder = builder.nonterminal("Cond", Sort::Bool);
+    }
+    for b in 0..=budget {
+        builder = builder.nonterminal(level(b), Sort::Int);
+    }
+    for b in 0..=budget {
+        let lhs = level(b);
+        if b == 0 {
+            for v in vars {
+                builder = builder.production(&lhs, Symbol::Var((*v).to_string()), &[]);
+            }
+            builder = builder.production(&lhs, Symbol::Num(0), &[]);
+            builder = builder.production(&lhs, Symbol::Num(1), &[]);
+        } else {
+            for i in 0..b {
+                let j = b - 1 - i;
+                builder = builder.production(&lhs, Symbol::Plus, &[&level(i), &level(j)]);
+            }
+            builder = builder.chain(&lhs, &level(b - 1));
+        }
+    }
+    if with_ite {
+        let top = level(budget);
+        builder = builder
+            .production("Start", Symbol::IfThenElse, &["Cond", &top, &top])
+            .chain("Start", &top)
+            .production("Cond", Symbol::LessThan, &[&level(0), &level(0)])
+            .production("Cond", Symbol::And, &["Cond", "Cond"]);
+    }
+    builder.build().expect("plus-limited grammar is well-formed")
+}
+
+/// A grammar whose terms contain at most `budget` `IfThenElse` operators
+/// (the LimitedIf restriction); the arithmetic layer allows arbitrary sums
+/// of variables and the constants 0 and 1.
+fn ite_limited_grammar(vars: &[&str], budget: usize) -> Grammar {
+    let level = |b: usize| format!("S{b}");
+    let mut builder = GrammarBuilder::new(level(budget));
+    for b in 0..=budget {
+        builder = builder.nonterminal(level(b), Sort::Int);
+        if b >= 1 {
+            builder = builder.nonterminal(format!("B{b}"), Sort::Bool);
+        }
+    }
+    for b in 0..=budget {
+        let lhs = level(b);
+        for v in vars {
+            builder = builder.production(&lhs, Symbol::Var((*v).to_string()), &[]);
+        }
+        builder = builder.production(&lhs, Symbol::Num(0), &[]);
+        builder = builder.production(&lhs, Symbol::Num(1), &[]);
+        builder = builder.production(&lhs, Symbol::Plus, &[&lhs, &lhs]);
+        if b >= 1 {
+            let guard = format!("B{b}");
+            let lower = level(b - 1);
+            builder = builder.production(&lhs, Symbol::IfThenElse, &[&guard, &lower, &lower]);
+            builder = builder.production(&guard, Symbol::LessThan, &[&lower, &lower]);
+        }
+    }
+    builder.build().expect("ite-limited grammar is well-formed")
+}
+
+/// A grammar whose constants are restricted to `consts` (the LimitedConst
+/// restriction). `with_plus` controls whether sums may be built.
+fn const_limited_grammar(vars: &[&str], consts: &[i64], with_plus: bool) -> Grammar {
+    let mut builder = GrammarBuilder::new("Start")
+        .nonterminal("Start", Sort::Int)
+        .nonterminal("Cond", Sort::Bool);
+    for v in vars {
+        builder = builder.production("Start", Symbol::Var((*v).to_string()), &[]);
+    }
+    for c in consts {
+        builder = builder.production("Start", Symbol::Num(*c), &[]);
+    }
+    if with_plus {
+        builder = builder.production("Start", Symbol::Plus, &["Start", "Start"]);
+    }
+    builder = builder
+        .production("Start", Symbol::IfThenElse, &["Cond", "Start", "Start"])
+        .production("Cond", Symbol::LessThan, &["Start", "Start"])
+        .production("Cond", Symbol::And, &["Cond", "Cond"]);
+    builder.build().expect("const-limited grammar is well-formed")
+}
+
+// ---------------------------------------------------------------------------
+// Specifications of the underlying synthesis intents
+// ---------------------------------------------------------------------------
+
+/// `max_n`: f ≥ xᵢ for all i and f equals one of the xᵢ.
+fn max_spec(n: usize) -> Spec {
+    let names: Vec<String> = (1..=n).map(|i| format!("x{i}")).collect();
+    let mut conj: Vec<Formula> = names.iter().map(|x| Formula::ge(out(), var(x))).collect();
+    conj.push(Formula::or(
+        names.iter().map(|x| Formula::eq(out(), var(x))),
+    ));
+    Spec::new(Formula::and(conj), names, Sort::Int)
+}
+
+/// `sum_n_t`: f = x₁+…+xₙ when that sum is below `t`, and 0 otherwise.
+fn sum_spec(n: usize, threshold: i64) -> Spec {
+    let names: Vec<String> = (1..=n).map(|i| format!("x{i}")).collect();
+    let sum = names
+        .iter()
+        .fold(LinearExpr::zero(), |acc, x| acc + var(x));
+    let below = Formula::lt(sum.clone(), LinearExpr::constant(threshold));
+    let formula = Formula::and(vec![
+        Formula::implies(below.clone(), Formula::eq(out(), sum)),
+        Formula::implies(Formula::not(below), Formula::eq(out(), LinearExpr::constant(0))),
+    ]);
+    Spec::new(formula, names, Sort::Int)
+}
+
+/// `search_n`: the index (0-based, as an integer) of the first slot of a
+/// sorted tuple `x₁ < … < xₙ` that a key `k` fits before.
+fn search_spec(n: usize) -> Spec {
+    let mut names: Vec<String> = (1..=n).map(|i| format!("x{i}")).collect();
+    names.push("k".to_string());
+    let mut conj = Vec::new();
+    // k < x1 → f = 0 ; xn < k → f = n ; xi < k < x(i+1) → f = i
+    conj.push(Formula::implies(
+        Formula::lt(var("k"), var("x1")),
+        Formula::eq(out(), LinearExpr::constant(0)),
+    ));
+    conj.push(Formula::implies(
+        Formula::lt(var(&format!("x{n}")), var("k")),
+        Formula::eq(out(), LinearExpr::constant(n as i64)),
+    ));
+    for i in 1..n {
+        conj.push(Formula::implies(
+            Formula::and(vec![
+                Formula::lt(var(&format!("x{i}")), var("k")),
+                Formula::lt(var("k"), var(&format!("x{}", i + 1))),
+            ]),
+            Formula::eq(out(), LinearExpr::constant(i as i64)),
+        ));
+    }
+    Spec::new(Formula::and(conj), names, Sort::Int)
+}
+
+/// `guard_i`: a guarded linear function, `f = x + c` below a threshold and
+/// `f = y` above it.
+fn guard_spec(offset: i64, threshold: i64) -> Spec {
+    let below = Formula::lt(var("x"), LinearExpr::constant(threshold));
+    let formula = Formula::and(vec![
+        Formula::implies(
+            below.clone(),
+            Formula::eq(out(), var("x") + LinearExpr::constant(offset)),
+        ),
+        Formula::implies(Formula::not(below), Formula::eq(out(), var("y"))),
+    ]);
+    Spec::new(formula, vec!["x".to_string(), "y".to_string()], Sort::Int)
+}
+
+/// `plane_i`: a plain linear target with large coefficients, `f = a·x + b·y`.
+fn plane_spec(a: i64, b: i64) -> Spec {
+    Spec::output_equals(var("x").scale(a) + var("y").scale(b), vec![
+        "x".to_string(),
+        "y".to_string(),
+    ])
+}
+
+/// `ite_i`: a two-branch conditional target on a single variable.
+fn ite_spec(threshold: i64, then_coeff: i64, else_offset: i64) -> Spec {
+    let below = Formula::lt(var("x"), LinearExpr::constant(threshold));
+    let formula = Formula::and(vec![
+        Formula::implies(below.clone(), Formula::eq(out(), var("x").scale(then_coeff))),
+        Formula::implies(
+            Formula::not(below),
+            Formula::eq(out(), var("x") + LinearExpr::constant(else_offset)),
+        ),
+    ]);
+    Spec::new(formula, vec!["x".to_string()], Sort::Int)
+}
+
+/// `example_i` / `mpg_example_i`: small linear targets over several inputs.
+fn example_spec(num_vars: usize, coeff: i64, constant: i64) -> Spec {
+    let names: Vec<String> = (1..=num_vars).map(|i| format!("x{i}")).collect();
+    let rhs = names
+        .iter()
+        .fold(LinearExpr::constant(constant), |acc, x| acc + var(x).scale(coeff));
+    Spec::new(Formula::eq(out(), rhs), names, Sort::Int)
+}
+
+// ---------------------------------------------------------------------------
+// Example-set helpers
+// ---------------------------------------------------------------------------
+
+fn examples_1d(values: &[i64]) -> ExampleSet {
+    ExampleSet::for_single_var("x", values.iter().copied())
+}
+
+fn examples_nd(names: &[&str], rows: &[&[i64]]) -> ExampleSet {
+    ExampleSet::from_examples(rows.iter().map(|row| {
+        Example::from_pairs(names.iter().zip(row.iter()).map(|(n, v)| (*n, *v)))
+    }))
+}
+
+// ---------------------------------------------------------------------------
+// The three families
+// ---------------------------------------------------------------------------
+
+/// The 30 LimitedPlus benchmarks (grammar allows one `Plus` too few).
+pub fn limited_plus() -> Vec<Benchmark> {
+    let mut out_benchmarks = Vec::new();
+    let xy = ["x", "y"];
+    let xyz = ["x", "y", "z"];
+
+    // guard1-4: guarded targets whose branches need budget+1 additions.
+    for (i, (budget, offset, threshold)) in
+        [(2usize, 4i64, 2i64), (3, 5, 3), (4, 6, 2), (4, 7, 5)].iter().enumerate()
+    {
+        let grammar = plus_limited_grammar(&xyz, *budget, true);
+        let problem = Problem::new("", grammar, guard_spec(*offset, *threshold));
+        let examples = examples_nd(&["x", "y", "z"], &[&[0, 9, 0], &[1, 9, 1]]);
+        out_benchmarks.push(benchmark(
+            &format!("plus_guard{}", i + 1),
+            Family::LimitedPlus,
+            problem,
+            examples,
+        ));
+    }
+    // plane1-3 (and extra plane4-6): linear targets a·x + b·y with growing a+b.
+    for (i, (budget, a, b)) in [
+        (1usize, 2i64, 1i64),
+        (6, 5, 3),
+        (10, 8, 4),
+        (3, 3, 2),
+        (4, 4, 2),
+        (5, 4, 3),
+    ]
+    .iter()
+    .enumerate()
+    {
+        let grammar = plus_limited_grammar(&xy, *budget, false);
+        let problem = Problem::new("", grammar, plane_spec(*a, *b));
+        let examples = examples_nd(&["x", "y"], &[&[1, 1], &[1, 2]]);
+        out_benchmarks.push(benchmark(
+            &format!("plus_plane{}", i + 1),
+            Family::LimitedPlus,
+            problem,
+            examples,
+        ));
+    }
+    // ite1-4: conditional targets.
+    for (i, (budget, threshold, coeff, offset)) in
+        [(2usize, 0i64, 3i64, 4i64), (3, 2, 4, 5), (2, 1, 3, 5), (3, 0, 4, 6)]
+            .iter()
+            .enumerate()
+    {
+        let grammar = plus_limited_grammar(&xyz, *budget, true);
+        let problem = Problem::new("", grammar, ite_spec(*threshold, *coeff, *offset));
+        let examples = examples_nd(&["x", "y", "z"], &[&[9, 0, 0], &[10, 0, 0]]);
+        out_benchmarks.push(benchmark(
+            &format!("plus_ite{}", i + 1),
+            Family::LimitedPlus,
+            problem,
+            examples,
+        ));
+    }
+    // sum_k_t: sums of k variables with threshold t.
+    for (k, t) in [(2usize, 5i64), (2, 15), (3, 5), (3, 15)] {
+        let names: Vec<String> = (1..=k).map(|i| format!("x{i}")).collect();
+        let name_refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+        let grammar = plus_limited_grammar(&name_refs, k - 1, true);
+        let problem = Problem::new("", grammar, sum_spec(k, t));
+        let rows: Vec<Vec<i64>> = vec![vec![1; k], vec![2; k]];
+        let row_refs: Vec<&[i64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let examples = examples_nd(&name_refs, &row_refs);
+        out_benchmarks.push(benchmark(
+            &format!("plus_sum_{k}_{t}"),
+            Family::LimitedPlus,
+            problem,
+            examples,
+        ));
+    }
+    // search_k: sorted-search targets (need k additions of 1 to build index k).
+    for k in 2..=7usize {
+        let mut names: Vec<String> = (1..=k).map(|i| format!("x{i}")).collect();
+        names.push("k".to_string());
+        let name_refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+        let grammar = plus_limited_grammar(&name_refs, k - 1, true);
+        let problem = Problem::new("", grammar, search_spec(k));
+        // one example where the key is larger than every element, forcing
+        // the output k, which needs k ones to be summed
+        let mut row: Vec<i64> = (1..=k as i64).map(|v| 10 * v).collect();
+        row.push(10 * k as i64 + 5);
+        let examples = examples_nd(&name_refs, &[&row]);
+        out_benchmarks.push(benchmark(
+            &format!("plus_search_{k}"),
+            Family::LimitedPlus,
+            problem,
+            examples,
+        ));
+    }
+    // example1-6: plain linear targets over one variable with excessive
+    // coefficient sums.
+    for i in 1..=6usize {
+        let coeff = i as i64 + 1;
+        let budget = i.min(4);
+        let grammar = plus_limited_grammar(&["x"], budget, false);
+        let problem = Problem::new("", grammar, example_spec(1, coeff, 1));
+        let examples = examples_1d(&[1]);
+        out_benchmarks.push(benchmark(
+            &format!("plus_example{i}"),
+            Family::LimitedPlus,
+            problem,
+            examples,
+        ));
+    }
+    assert_eq!(out_benchmarks.len(), 30);
+    out_benchmarks
+}
+
+/// The 57 LimitedIf benchmarks (grammar allows one `IfThenElse` too few).
+pub fn limited_if() -> Vec<Benchmark> {
+    let mut out_benchmarks = Vec::new();
+
+    // max_n for n = 2..=15: max of n values needs n-1 conditionals; the
+    // limited grammar allows n-2.
+    for n in 2..=15usize {
+        let names: Vec<String> = (1..=n).map(|i| format!("x{i}")).collect();
+        let name_refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+        let grammar = ite_limited_grammar(&name_refs, n - 2);
+        let problem = Problem::new("", grammar, max_spec(n));
+        // examples that no linear combination can match: permutations of a
+        // one-hot maximum plus a row breaking constant solutions
+        let mut rows: Vec<Vec<i64>> = Vec::new();
+        let mut first = vec![0i64; n];
+        first[0] = 1;
+        let mut second = vec![0i64; n];
+        second[n - 1] = 1;
+        rows.push(first);
+        rows.push(second);
+        rows.push(vec![1i64; n]);
+        rows.push({
+            let mut r = vec![0i64; n];
+            r[0] = 3;
+            r
+        });
+        let row_refs: Vec<&[i64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let examples = examples_nd(&name_refs, &row_refs);
+        out_benchmarks.push(benchmark(
+            &format!("if_max{n}"),
+            Family::LimitedIf,
+            problem,
+            examples,
+        ));
+    }
+    // sum_k_t for k = 2..=5, t ∈ {5, 15}
+    for k in 2..=5usize {
+        for t in [5i64, 15] {
+            let names: Vec<String> = (1..=k).map(|i| format!("x{i}")).collect();
+            let name_refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+            let grammar = ite_limited_grammar(&name_refs, k - 2);
+            let problem = Problem::new("", grammar, sum_spec(k, t));
+            // one row below the threshold, one above, one breaking linearity
+            let below = vec![0i64; k];
+            let above = vec![t; k];
+            let mixed = vec![1i64; k];
+            let rows = [below.as_slice(), above.as_slice(), mixed.as_slice()];
+            let examples = examples_nd(&name_refs, &rows);
+            out_benchmarks.push(benchmark(
+                &format!("if_sum_{k}_{t}"),
+                Family::LimitedIf,
+                problem,
+                examples,
+            ));
+        }
+    }
+    // search_k for k = 2..=10
+    for k in 2..=10usize {
+        let mut names: Vec<String> = (1..=k).map(|i| format!("x{i}")).collect();
+        names.push("k".to_string());
+        let name_refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+        let grammar = ite_limited_grammar(&name_refs, k - 1);
+        let problem = Problem::new("", grammar, search_spec(k));
+        let mut low: Vec<i64> = (1..=k as i64).map(|v| 10 * v).collect();
+        low.push(0);
+        let mut high: Vec<i64> = (1..=k as i64).map(|v| 10 * v).collect();
+        high.push(10 * k as i64 + 5);
+        let examples = examples_nd(&name_refs, &[&low, &high]);
+        out_benchmarks.push(benchmark(
+            &format!("if_search_{k}"),
+            Family::LimitedIf,
+            problem,
+            examples,
+        ));
+    }
+    // guard1-10
+    for i in 1..=10usize {
+        let grammar = ite_limited_grammar(&["x", "y"], 0);
+        let problem = Problem::new("", grammar, guard_spec(i as i64 + 1, 2));
+        let examples = examples_nd(&["x", "y"], &[&[0, 7], &[1, 7], &[5, 7], &[9, 7]]);
+        out_benchmarks.push(benchmark(
+            &format!("if_guard{i}"),
+            Family::LimitedIf,
+            problem,
+            examples,
+        ));
+    }
+    // example1-8
+    for i in 1..=8usize {
+        let grammar = ite_limited_grammar(&["x", "y"], 1);
+        let problem = Problem::new("", grammar, guard_spec(2 * i as i64, 3 + i as i64));
+        let examples = examples_nd(&["x", "y"], &[&[0, 9], &[1, 9], &[8, 9]]);
+        out_benchmarks.push(benchmark(
+            &format!("if_example{i}"),
+            Family::LimitedIf,
+            problem,
+            examples,
+        ));
+    }
+    // ite1-8
+    for i in 1..=8usize {
+        let grammar = ite_limited_grammar(&["x", "y", "z"], 1);
+        let problem = Problem::new("", grammar, ite_spec(i as i64, 2, 3));
+        let examples = examples_nd(
+            &["x", "y", "z"],
+            &[&[-3, 0, 0], &[0, 0, 0], &[7, 0, 0]],
+        );
+        out_benchmarks.push(benchmark(
+            &format!("if_ite{i}"),
+            Family::LimitedIf,
+            problem,
+            examples,
+        ));
+    }
+    assert_eq!(out_benchmarks.len(), 57);
+    out_benchmarks
+}
+
+/// The 45 LimitedConst benchmarks (restricted constants).
+pub fn limited_const() -> Vec<Benchmark> {
+    let mut out_benchmarks = Vec::new();
+
+    // array_search_n for n = 2..=15: the grammar has no Plus and only the
+    // constants 0 and 1, so indices ≥ 2 cannot be produced.
+    for n in 2..=15usize {
+        let mut names: Vec<String> = (1..=n).map(|i| format!("x{i}")).collect();
+        names.push("k".to_string());
+        let name_refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+        let grammar = const_limited_grammar(&name_refs, &[0, 1], false);
+        let problem = Problem::new("", grammar, search_spec(n));
+        // a key larger than every element forces the output n ≥ 2
+        let mut high: Vec<i64> = (1..=n as i64).map(|v| 10 * v).collect();
+        high.push(10 * n as i64 + 5);
+        let mut low: Vec<i64> = (1..=n as i64).map(|v| 10 * v).collect();
+        low.push(0);
+        let examples = examples_nd(&name_refs, &[&low, &high]);
+        out_benchmarks.push(benchmark(
+            &format!("array_search_{n}"),
+            Family::LimitedConst,
+            problem,
+            examples,
+        ));
+    }
+    // array_sum_n_t for n = 2..=10, t ∈ {5, 15}: the grammar has no Plus, so
+    // the sum of two adjacent cells cannot be produced.
+    for n in 2..=10usize {
+        for t in [5i64, 15] {
+            let names: Vec<String> = (1..=n).map(|i| format!("x{i}")).collect();
+            let name_refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+            let grammar = const_limited_grammar(&name_refs, &[0, 1], false);
+            let problem = Problem::new("", grammar, sum_spec(n, t));
+            let below: Vec<i64> = (0..n as i64).collect(); // sums to < t for small n... choose 2s
+            let small = vec![1i64; n];
+            let large = vec![t; n];
+            let rows = [small.as_slice(), large.as_slice(), below.as_slice()];
+            let examples = examples_nd(&name_refs, &rows);
+            out_benchmarks.push(benchmark(
+                &format!("array_sum_{n}_{t}"),
+                Family::LimitedConst,
+                problem,
+                examples,
+            ));
+        }
+    }
+    // mpg_* benchmarks: conditional linear programs whose required constants
+    // are missing from the grammar ({0, 1} only, no sums).
+    let mpg = |name: &str, spec: Spec, examples: ExampleSet, vars: &[&str]| {
+        let grammar = const_limited_grammar(vars, &[0, 1], false);
+        benchmark(
+            name,
+            Family::LimitedConst,
+            Problem::new("", grammar, spec),
+            examples,
+        )
+    };
+    for i in 1..=5usize {
+        out_benchmarks.push(mpg(
+            &format!("mpg_example{i}"),
+            // f = x + y - i  (the constant -i is not constructible)
+            Spec::new(
+                Formula::eq(out(), var("x") + var("y") - LinearExpr::constant(i as i64)),
+                vec!["x".to_string(), "y".to_string()],
+                Sort::Int,
+            ),
+            examples_nd(&["x", "y"], &[&[0, 0]]),
+            &["x", "y"],
+        ));
+    }
+    for i in 1..=4usize {
+        out_benchmarks.push(mpg(
+            &format!("mpg_guard{i}"),
+            guard_spec(-(i as i64) - 1, 0),
+            examples_nd(&["x", "y"], &[&[-5, 3], &[-1, 3], &[4, 3]]),
+            &["x", "y"],
+        ));
+    }
+    for i in 1..=2usize {
+        out_benchmarks.push(mpg(
+            &format!("mpg_ite{i}"),
+            ite_spec(0, 1, -(2 + i as i64)),
+            examples_nd(&["x", "y"], &[&[4, 0]]),
+            &["x", "y"],
+        ));
+    }
+    for i in 2..=3usize {
+        out_benchmarks.push(mpg(
+            &format!("mpg_plane{i}"),
+            Spec::new(
+                Formula::eq(out(), var("x") - LinearExpr::constant(i as i64)),
+                vec!["x".to_string(), "y".to_string()],
+                Sort::Int,
+            ),
+            examples_nd(&["x", "y"], &[&[0, 0]]),
+            &["x", "y"],
+        ));
+    }
+    assert_eq!(out_benchmarks.len(), 45);
+    out_benchmarks
+}
+
+/// All 132 benchmarks of the evaluation.
+pub fn all() -> Vec<Benchmark> {
+    let mut out_benchmarks = limited_plus();
+    out_benchmarks.extend(limited_if());
+    out_benchmarks.extend(limited_const());
+    out_benchmarks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plus_limited_grammar_counts_additions() {
+        // budget 1 over {x}: terms have at most 2 leaves, so the value on
+        // x = 1 is at most 2
+        let g = plus_limited_grammar(&["x"], 1, false);
+        let examples = ExampleSet::for_single_var("x", [1]);
+        for t in g.terms_up_to_size(g.start(), 7, 200) {
+            let v = t.eval_on(&examples).unwrap().as_i64(0);
+            assert!(v <= 2, "term {t} evaluates to {v} > 2");
+        }
+    }
+
+    #[test]
+    fn ite_limited_grammar_shapes() {
+        // the max2 limited grammar has a single nonterminal and 5 productions
+        let g = ite_limited_grammar(&["x", "y"], 0);
+        assert_eq!(g.num_nonterminals(), 1);
+        assert_eq!(g.num_productions(), 5);
+        assert_eq!(g.variables().len(), 2);
+        // the max3 limited grammar has 3 nonterminals
+        let g3 = ite_limited_grammar(&["x", "y", "z"], 1);
+        assert_eq!(g3.num_nonterminals(), 3);
+        assert!(g3.has_ite());
+    }
+
+    #[test]
+    fn const_limited_grammar_shapes() {
+        let g = const_limited_grammar(&["x1", "x2", "k"], &[0, 1], false);
+        assert_eq!(g.num_nonterminals(), 2);
+        assert_eq!(g.variables().len(), 3);
+        assert!(!g.is_lia());
+    }
+
+    #[test]
+    fn specs_evaluate_sensibly() {
+        let max2 = max_spec(2);
+        assert!(max2.holds(&Example::from_pairs([("x1", 3), ("x2", 7)]), 7));
+        assert!(!max2.holds(&Example::from_pairs([("x1", 3), ("x2", 7)]), 3));
+        let sum = sum_spec(2, 5);
+        assert!(sum.holds(&Example::from_pairs([("x1", 1), ("x2", 2)]), 3));
+        assert!(sum.holds(&Example::from_pairs([("x1", 4), ("x2", 4)]), 0));
+        let search = search_spec(2);
+        assert!(search.holds(&Example::from_pairs([("x1", 10), ("x2", 20), ("k", 15)]), 1));
+        assert!(search.holds(&Example::from_pairs([("x1", 10), ("x2", 20), ("k", 25)]), 2));
+        assert!(search.holds(&Example::from_pairs([("x1", 10), ("x2", 20), ("k", 5)]), 0));
+    }
+}

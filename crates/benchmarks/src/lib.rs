@@ -1,0 +1,135 @@
+//! The benchmark suite of the paper's evaluation (§8).
+//!
+//! The original evaluation uses 132 variants of the 60 CLIA benchmarks of
+//! the SyGuS-competition CLIA track, produced by the quantitative-syntax
+//! tool of Hu & D'Antoni (CAV'18): each variant *limits* a syntactic
+//! resource so that the problem becomes unrealizable —
+//!
+//! * **LimitedPlus** (30): the grammar allows one `Plus` less than any
+//!   solution needs,
+//! * **LimitedIf** (57): the grammar allows one `IfThenElse` less than any
+//!   solution needs,
+//! * **LimitedConst** (45): the grammar's constants are restricted.
+//!
+//! The original benchmark files are not redistributable here, so this crate
+//! regenerates the three families programmatically from the underlying
+//! synthesis intents (max, array_search, array_sum, the `mpg` conditional
+//! programs, plane/guard/ite/sum/search templates). The per-benchmark
+//! metadata (`paper` field) records the numbers reported in Tables 1 and 2,
+//! so the harness in `crates/bench` can print paper-vs-measured tables.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod families;
+mod scaling;
+mod table_data;
+
+pub use families::{all, limited_const, limited_if, limited_plus};
+pub use scaling::{scaling_grammar, scaling_problem};
+pub use table_data::{table1_rows, table2_rows, PaperRow};
+
+use sygus::{ExampleSet, Problem};
+
+/// The three benchmark families of §8.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Family {
+    /// Plus-budget-limited benchmarks (Table 1, top).
+    LimitedPlus,
+    /// IfThenElse-budget-limited benchmarks (Table 1, bottom).
+    LimitedIf,
+    /// Constant-restricted benchmarks (Table 2).
+    LimitedConst,
+}
+
+impl Family {
+    /// Display name used by the harness.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Family::LimitedPlus => "LimitedPlus",
+            Family::LimitedIf => "LimitedIf",
+            Family::LimitedConst => "LimitedConst",
+        }
+    }
+}
+
+/// One benchmark instance: a SyGuS problem plus the example set that the
+/// paper's CEGIS loop converged to (used for the per-check experiments), and
+/// the numbers the paper reports for it, when it appears in Table 1 or 2.
+#[derive(Clone, Debug)]
+pub struct Benchmark {
+    /// Benchmark name (matching the paper's tables where applicable).
+    pub name: String,
+    /// Which limited family the benchmark belongs to.
+    pub family: Family,
+    /// The SyGuS problem (grammar + specification).
+    pub problem: Problem,
+    /// A set of input examples on which the problem is unrealizable
+    /// (the `|E|` column of the tables).
+    pub witness_examples: ExampleSet,
+    /// Paper-reported data, if the benchmark appears in Table 1 or Table 2.
+    pub paper: Option<table_data::PaperRow>,
+}
+
+impl Benchmark {
+    /// `|N|`: number of grammar nonterminals.
+    pub fn num_nonterminals(&self) -> usize {
+        self.problem.grammar().num_nonterminals()
+    }
+    /// `|δ|`: number of grammar productions.
+    pub fn num_productions(&self) -> usize {
+        self.problem.grammar().num_productions()
+    }
+    /// `|V|`: number of distinct input variables in the grammar.
+    pub fn num_variables(&self) -> usize {
+        self.problem.grammar().variables().len()
+    }
+    /// `|E|`: number of witness examples.
+    pub fn num_examples(&self) -> usize {
+        self.witness_examples.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_sizes_match_the_paper() {
+        assert_eq!(limited_plus().len(), 30);
+        assert_eq!(limited_if().len(), 57);
+        assert_eq!(limited_const().len(), 45);
+        assert_eq!(all().len(), 132);
+    }
+
+    #[test]
+    fn benchmark_names_are_unique() {
+        let mut names: Vec<String> = all().into_iter().map(|b| b.name).collect();
+        let before = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), before, "duplicate benchmark names");
+    }
+
+    #[test]
+    fn every_benchmark_has_a_nonempty_grammar_and_examples() {
+        for b in all() {
+            assert!(b.num_nonterminals() >= 1, "{}", b.name);
+            assert!(b.num_productions() >= 2, "{}", b.name);
+            assert!(b.num_examples() >= 1, "{}", b.name);
+            assert!(b.num_variables() >= 1, "{}", b.name);
+        }
+    }
+
+    #[test]
+    fn table_rows_reference_existing_benchmarks() {
+        let names: Vec<String> = all().into_iter().map(|b| b.name).collect();
+        for row in table1_rows().iter().chain(table2_rows().iter()) {
+            assert!(
+                names.iter().any(|n| n == &row.name),
+                "table row {} has no generated benchmark",
+                row.name
+            );
+        }
+    }
+}

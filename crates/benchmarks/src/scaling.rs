@@ -1,0 +1,88 @@
+//! The scalable grammar family behind Fig. 2 (naySL solving time as a
+//! function of the number of nonterminals, for |E| = 1..4) and Figs. 3/5
+//! (nayHorn / nope running time as a function of the number of examples).
+
+use logic::LinearExpr;
+use sygus::{Grammar, GrammarBuilder, Problem, Sort, Spec, Symbol};
+
+/// A generalisation of the G₁ grammar of §2 with `n` chained nonterminals:
+///
+/// ```text
+/// Start ::= Plus(S₁, Start) | Num(0)
+/// Sᵢ    ::= Plus(Sᵢ₊₁, Sₙ)            (1 ≤ i < n)
+/// Sₙ    ::= Var(x)
+/// ```
+///
+/// Terms derivable from `Start` evaluate to `k·n·x`; increasing `n` increases
+/// the number of nonterminals (and the size of the Newton iteration) without
+/// changing the overall structure — exactly the scaling knob of Fig. 2.
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn scaling_grammar(n: usize) -> Grammar {
+    assert!(n >= 1, "the scaling grammar needs at least one chain nonterminal");
+    let mut builder = GrammarBuilder::new("Start").nonterminal("Start", Sort::Int);
+    for i in 1..=n {
+        builder = builder.nonterminal(format!("S{i}"), Sort::Int);
+    }
+    builder = builder
+        .production("Start", Symbol::Plus, &["S1", "Start"])
+        .production("Start", Symbol::Num(0), &[]);
+    for i in 1..n {
+        builder = builder.production(
+            &format!("S{i}"),
+            Symbol::Plus,
+            &[&format!("S{}", i + 1), &format!("S{n}")],
+        );
+    }
+    builder = builder.production(&format!("S{n}"), Symbol::Var("x".to_string()), &[]);
+    builder.build().expect("scaling grammar is well-formed")
+}
+
+/// The unrealizable SyGuS problem used for the scaling experiments: the
+/// grammar of [`scaling_grammar`] with the specification `f(x) = 2x + 1`
+/// (odd, while the grammar only produces multiples of `n·x`).
+pub fn scaling_problem(n: usize) -> Problem {
+    let spec = Spec::output_equals(
+        LinearExpr::var(logic::Var::new("x")).scale(2) + LinearExpr::constant(1),
+        vec!["x".to_string()],
+    );
+    Problem::new(format!("scaling_n{n}"), scaling_grammar(n), spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sygus::ExampleSet;
+
+    #[test]
+    fn grammar_size_scales_linearly() {
+        for n in 1..=8 {
+            let g = scaling_grammar(n);
+            assert_eq!(g.num_nonterminals(), n + 1);
+            assert_eq!(g.num_productions(), n + 2);
+        }
+    }
+
+    #[test]
+    fn language_is_multiples_of_n_times_x() {
+        let g = scaling_grammar(3);
+        let examples = ExampleSet::for_single_var("x", [2]);
+        for t in g.terms_up_to_size(g.start(), 13, 100) {
+            let v = t.eval_on(&examples).unwrap().as_i64(0);
+            assert_eq!(v % 6, 0, "term {t} evaluates to {v}, not a multiple of 3·2");
+        }
+    }
+
+    #[test]
+    fn scaling_problem_is_unrealizable_on_any_nonzero_example() {
+        use nay::check::{check_unrealizable, Verdict};
+        use nay::Mode;
+        let problem = scaling_problem(4);
+        let examples = ExampleSet::for_single_var("x", [1]);
+        assert_eq!(
+            check_unrealizable(&problem, &examples, &Mode::default()).verdict,
+            Verdict::Unrealizable
+        );
+    }
+}

@@ -1,0 +1,185 @@
+//! The numbers reported in Table 1 and Table 2 of the paper, used by the
+//! harness to print paper-vs-measured comparisons in EXPERIMENTS.md.
+
+use crate::Family;
+
+/// One row of Table 1 or Table 2 as printed in the paper.
+#[derive(Clone, Debug)]
+pub struct PaperRow {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// The family the row belongs to.
+    pub family: Family,
+    /// `|N|`: nonterminals of the problem grammar.
+    pub nonterminals: usize,
+    /// `|δ|`: productions of the problem grammar.
+    pub productions: usize,
+    /// `|V|`: variables of the problem grammar.
+    pub variables: usize,
+    /// `|E|`: examples needed to prove unrealizability (`None` = timeout, "-").
+    pub examples: Option<usize>,
+    /// naySL running time in seconds (`None` = timeout ✗).
+    pub naysl_seconds: Option<f64>,
+    /// nayHorn running time in seconds (`None` = timeout ✗).
+    pub nayhorn_seconds: Option<f64>,
+    /// nope running time in seconds (`None` = timeout ✗).
+    pub nope_seconds: Option<f64>,
+}
+
+/// The rows of Table 1 (LimitedPlus and LimitedIf benchmarks solved by at
+/// least one tool).
+pub fn table1_rows() -> Vec<PaperRow> {
+    use Family::{LimitedIf as LIf, LimitedPlus as LP};
+    let row = |name,
+               family,
+               n,
+               d,
+               v,
+               e: Option<usize>,
+               sl: Option<f64>,
+               horn: Option<f64>,
+               nope: Option<f64>| PaperRow {
+        name,
+        family,
+        nonterminals: n,
+        productions: d,
+        variables: v,
+        examples: e,
+        naysl_seconds: sl,
+        nayhorn_seconds: horn,
+        nope_seconds: nope,
+    };
+    vec![
+        // LimitedPlus
+        row("plus_guard1", LP, 7, 24, 3, Some(2), Some(0.24), None, None),
+        row("plus_guard2", LP, 9, 34, 3, Some(3), Some(12.86), None, None),
+        row("plus_guard3", LP, 11, 41, 3, Some(1), Some(0.07), None, None),
+        row("plus_guard4", LP, 11, 72, 3, Some(4), Some(147.50), None, None),
+        row("plus_plane1", LP, 2, 5, 2, Some(1), Some(0.07), Some(0.55), Some(0.69)),
+        row("plus_plane2", LP, 17, 60, 2, Some(2), Some(0.90), None, None),
+        row("plus_plane3", LP, 29, 122, 2, Some(2), Some(15.73), None, None),
+        row("plus_ite1", LP, 7, 2, 3, Some(2), Some(1.05), None, None),
+        row("plus_ite2", LP, 9, 34, 3, Some(4), Some(294.88), None, None),
+        row("plus_sum_2_5", LP, 11, 40, 2, Some(4), Some(15.48), None, None),
+        row("plus_search_2", LP, 5, 16, 3, Some(3), Some(1.21), None, None),
+        row("plus_search_3", LP, 7, 25, 4, Some(4), Some(2.65), None, None),
+        // LimitedIf
+        row("if_max2", LIf, 1, 5, 2, Some(4), Some(0.13), Some(1.13), Some(1.48)),
+        row("if_max3", LIf, 3, 15, 3, None, None, Some(9.67), Some(58.57)),
+        row("if_sum_2_5", LIf, 1, 5, 2, Some(3), Some(0.17), Some(0.61), Some(0.69)),
+        row("if_sum_2_15", LIf, 1, 5, 2, Some(3), Some(0.17), Some(0.56), Some(0.87)),
+        row("if_sum_3_5", LIf, 3, 15, 3, None, None, Some(17.85), Some(101.44)),
+        row("if_sum_3_15", LIf, 3, 15, 3, None, None, Some(16.65), Some(134.87)),
+        row("if_search_2", LIf, 3, 15, 3, None, None, Some(25.85), Some(112.78)),
+        row("if_example1", LIf, 3, 10, 2, Some(3), Some(0.14), Some(0.73), Some(1.12)),
+        row("if_guard1", LIf, 1, 6, 2, Some(4), Some(0.13), Some(0.44), Some(0.43)),
+        row("if_guard2", LIf, 1, 6, 2, Some(4), Some(0.22), Some(0.33), Some(0.49)),
+        row("if_guard3", LIf, 1, 6, 2, Some(4), Some(0.16), Some(0.27), Some(0.46)),
+        row("if_guard4", LIf, 1, 6, 2, Some(4), Some(0.11), Some(0.72), Some(0.58)),
+        row("if_ite1", LIf, 3, 15, 3, None, None, Some(2.68), Some(369.57)),
+    ]
+}
+
+/// The rows of Table 2 (LimitedConst benchmarks).
+pub fn table2_rows() -> Vec<PaperRow> {
+    let row = |name, d, v, sl: f64, horn: f64, nope: f64| PaperRow {
+        name,
+        family: Family::LimitedConst,
+        nonterminals: 2,
+        productions: d,
+        variables: v,
+        examples: Some(2),
+        naysl_seconds: Some(sl),
+        nayhorn_seconds: Some(horn),
+        nope_seconds: Some(nope),
+    };
+    let mut rows = vec![
+        row("array_search_2", 10, 3, 0.17, 0.04, 0.78),
+        row("array_search_3", 11, 4, 0.30, 0.04, 1.26),
+        row("array_search_4", 12, 5, 0.47, 0.01, 1.25),
+        row("array_search_5", 13, 6, 0.57, 0.04, 1.01),
+        row("array_search_6", 14, 7, 0.77, 0.03, 0.87),
+        row("array_search_7", 15, 8, 0.97, 0.03, 0.85),
+        row("array_search_8", 16, 9, 1.28, 0.04, 0.97),
+        row("array_search_9", 17, 10, 1.58, 0.04, 0.70),
+        row("array_search_10", 18, 11, 1.88, 0.04, 0.80),
+        row("array_search_11", 19, 12, 2.21, 0.01, 1.09),
+        row("array_search_12", 20, 13, 2.62, 0.02, 1.13),
+        row("array_search_13", 21, 14, 3.05, 0.05, 0.73),
+        row("array_search_14", 22, 15, 3.49, 0.05, 0.77),
+        row("array_search_15", 23, 16, 3.79, 0.03, 1.06),
+        row("array_sum_2_5", 9, 2, 0.13, 0.04, 1.30),
+        row("array_sum_2_15", 9, 2, 0.14, 0.01, 1.46),
+        row("array_sum_3_5", 10, 3, 0.07, 0.01, 1.31),
+        row("array_sum_3_15", 10, 3, 0.07, 0.04, 1.28),
+        row("array_sum_4_5", 11, 4, 0.13, 0.03, 2.52),
+        row("array_sum_4_15", 11, 4, 0.34, 0.05, 1.35),
+        row("array_sum_5_5", 12, 5, 0.07, 0.02, 1.41),
+        row("array_sum_5_15", 12, 5, 0.34, 0.07, 1.43),
+        row("array_sum_6_5", 13, 6, 0.14, 0.10, 2.37),
+        row("array_sum_6_15", 13, 6, 0.34, 0.02, 1.56),
+        row("array_sum_7_5", 14, 7, 0.14, 0.01, 0.76),
+        row("array_sum_7_15", 14, 7, 0.34, 0.08, 1.87),
+        row("array_sum_8_5", 15, 8, 0.07, 0.09, 1.33),
+        row("array_sum_8_15", 15, 8, 0.13, 0.10, 1.53),
+        row("array_sum_9_5", 16, 9, 0.07, 0.01, 1.50),
+        row("array_sum_9_15", 16, 9, 0.34, 0.03, 1.44),
+        row("array_sum_10_5", 17, 10, 0.07, 0.03, 2.29),
+        row("array_sum_10_15", 17, 10, 0.27, 0.07, 0.87),
+    ];
+    let mpg = |name, d, v, e, sl: f64, horn: f64, nope: f64| PaperRow {
+        name,
+        family: Family::LimitedConst,
+        nonterminals: 2,
+        productions: d,
+        variables: v,
+        examples: Some(e),
+        naysl_seconds: Some(sl),
+        nayhorn_seconds: Some(horn),
+        nope_seconds: Some(nope),
+    };
+    rows.extend(vec![
+        mpg("mpg_example1", 9, 2, 1, 0.07, 0.05, 0.36),
+        mpg("mpg_example2", 9, 3, 3, 5.17, 0.09, 0.50),
+        mpg("mpg_example3", 10, 3, 1, 0.07, 0.03, 0.57),
+        mpg("mpg_example4", 11, 4, 1, 0.07, 0.04, 0.44),
+        mpg("mpg_example5", 9, 2, 1, 0.01, 0.08, 0.99),
+        mpg("mpg_guard1", 10, 3, 3, 15.84, 0.01, 3.08),
+        mpg("mpg_guard2", 10, 3, 3, 16.44, 0.03, 2.49),
+        mpg("mpg_guard3", 10, 3, 3, 15.57, 0.08, 0.44),
+        mpg("mpg_guard4", 10, 3, 3, 15.70, 1.44, 24.18),
+        mpg("mpg_ite1", 10, 3, 1, 0.01, 0.02, 0.33),
+        mpg("mpg_ite2", 10, 3, 1, 0.07, 0.18, 0.41),
+        mpg("mpg_plane2", 10, 3, 1, 0.07, 0.12, 0.47),
+        mpg("mpg_plane3", 10, 3, 1, 0.07, 0.08, 0.74),
+    ]);
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_sizes() {
+        assert_eq!(table1_rows().len(), 25);
+        assert_eq!(table2_rows().len(), 45);
+    }
+
+    #[test]
+    fn headline_counts_from_section_8() {
+        // naySL solves 70/132, nayHorn and nope solve 59/132; within the
+        // tabulated rows naySL solves 11 LimitedPlus benchmarks nope cannot.
+        let t1 = table1_rows();
+        let nay_only: Vec<&PaperRow> = t1
+            .iter()
+            .filter(|r| r.naysl_seconds.is_some() && r.nope_seconds.is_none())
+            .collect();
+        assert_eq!(nay_only.len(), 11);
+        let nope_only: Vec<&PaperRow> = t1
+            .iter()
+            .filter(|r| r.naysl_seconds.is_none() && r.nope_seconds.is_some())
+            .collect();
+        assert_eq!(nope_only.len(), 5);
+    }
+}

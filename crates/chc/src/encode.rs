@@ -1,0 +1,352 @@
+//! The constrained-Horn-clause encoding of a GFA problem (§4.3, Ex. 4.7).
+//!
+//! Every nonterminal `X` becomes an uninterpreted predicate `P_X(o₁,…,oₙ)`
+//! over one integer variable per example (Boolean outputs use the 0/1
+//! encoding). Every production `X₀ → g(X₁,…,Xₖ)` becomes a clause
+//!
+//! ```text
+//! P_{X₀}(o⃗) ← P_{X₁}(o⃗¹) ∧ … ∧ P_{Xₖ}(o⃗ᵏ) ∧ o⃗ = ⟦g⟧_E(o⃗¹,…,o⃗ᵏ)
+//! ```
+//!
+//! and the unrealizability query is the goal clause
+//! `false ← P_S(o⃗) ∧ ⋀ⱼ ψ(oⱼ, iⱼ)`. The SyGuS-with-examples problem is
+//! unrealizable iff the clause set (with the goal) is satisfiable — i.e. iff
+//! the query is unreachable.
+
+use logic::{Formula, LinearExpr, Var};
+use std::fmt;
+use sygus::{ExampleSet, Grammar, NonTerminal, Spec, Symbol};
+
+/// An application of a Horn predicate to variables.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PredicateApp {
+    /// The predicate name (derived from a nonterminal).
+    pub predicate: String,
+    /// The argument variables, one per example.
+    pub args: Vec<Var>,
+}
+
+impl fmt::Display for PredicateApp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}", self.predicate)?;
+        for a in &self.args {
+            write!(f, " {a}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A constrained Horn clause `head ← body ∧ constraint`; a goal (query)
+/// clause has no head.
+#[derive(Clone, Debug)]
+pub struct HornClause {
+    /// The head predicate application, or `None` for the goal clause.
+    pub head: Option<PredicateApp>,
+    /// The body predicate applications.
+    pub body: Vec<PredicateApp>,
+    /// The arithmetic constraint of the clause.
+    pub constraint: Formula,
+}
+
+impl fmt::Display for HornClause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.head {
+            Some(h) => write!(f, "{h} <- ")?,
+            None => write!(f, "false <- ")?,
+        }
+        for (i, b) in self.body.iter().enumerate() {
+            if i > 0 {
+                write!(f, " /\\ ")?;
+            }
+            write!(f, "{b}")?;
+        }
+        if !self.body.is_empty() {
+            write!(f, " /\\ ")?;
+        }
+        write!(f, "{}", self.constraint)
+    }
+}
+
+/// A system of constrained Horn clauses together with the query.
+#[derive(Clone, Debug)]
+pub struct HornSystem {
+    /// Predicate names with their arity (one slot per example).
+    pub predicates: Vec<(String, usize)>,
+    /// The rule clauses (one per grammar production).
+    pub clauses: Vec<HornClause>,
+    /// The goal clause encoding the specification on the examples.
+    pub query: HornClause,
+}
+
+impl HornSystem {
+    /// Number of rule clauses.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+}
+
+impl fmt::Display for HornSystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (p, arity) in &self.predicates {
+            writeln!(f, "(declare-rel {p} ({}))", vec!["Int"; *arity].join(" "))?;
+        }
+        for c in &self.clauses {
+            writeln!(f, "(rule {c})")?;
+        }
+        writeln!(f, "(query {})", self.query)
+    }
+}
+
+fn predicate_name(nt: &NonTerminal) -> String {
+    format!("P_{}", nt.name().replace('⁻', "_neg"))
+}
+
+fn output_vars(nt: &NonTerminal, occurrence: usize, dim: usize) -> Vec<Var> {
+    (0..dim)
+        .map(|j| Var::new(format!("{}_{occurrence}_o{j}", predicate_name(nt))))
+        .collect()
+}
+
+/// Encodes a grammar, example set and specification as a Horn-clause system
+/// (Example 4.7 generalised to CLIA).
+pub fn encode(grammar: &Grammar, examples: &ExampleSet, spec: &Spec) -> HornSystem {
+    let dim = examples.len();
+    let predicates: Vec<(String, usize)> = grammar
+        .nonterminals()
+        .iter()
+        .map(|nt| (predicate_name(nt), dim))
+        .collect();
+
+    let mut clauses = Vec::new();
+    for p in grammar.productions() {
+        let head_vars = output_vars(&p.lhs, 0, dim);
+        let mut body = Vec::new();
+        let mut arg_vars: Vec<Vec<Var>> = Vec::new();
+        for (k, arg) in p.args.iter().enumerate() {
+            let vars = output_vars(arg, k + 1, dim);
+            body.push(PredicateApp {
+                predicate: predicate_name(arg),
+                args: vars.clone(),
+            });
+            arg_vars.push(vars);
+        }
+        let constraint = production_constraint(&p.symbol, &head_vars, &arg_vars, examples);
+        clauses.push(HornClause {
+            head: Some(PredicateApp {
+                predicate: predicate_name(&p.lhs),
+                args: head_vars,
+            }),
+            body,
+            constraint,
+        });
+    }
+
+    // goal: false ← P_S(o⃗) ∧ ⋀ⱼ ψ(oⱼ, iⱼ)
+    let start_vars = output_vars(grammar.start(), 0, dim);
+    let spec_formula = spec.conjunction_over(examples, &start_vars);
+    let query = HornClause {
+        head: None,
+        body: vec![PredicateApp {
+            predicate: predicate_name(grammar.start()),
+            args: start_vars,
+        }],
+        constraint: spec_formula,
+    };
+
+    HornSystem {
+        predicates,
+        clauses,
+        query,
+    }
+}
+
+/// The per-example arithmetic constraint tying the head variables of a clause
+/// to its body variables, according to the concrete semantics `⟦g⟧_E`.
+fn production_constraint(
+    symbol: &Symbol,
+    head: &[Var],
+    args: &[Vec<Var>],
+    examples: &ExampleSet,
+) -> Formula {
+    let dim = head.len();
+    let mut conjuncts = Vec::new();
+    for j in 0..dim {
+        let h = LinearExpr::var(head[j].clone());
+        let arg = |k: usize| LinearExpr::var(args[k][j].clone());
+        let constraint = match symbol {
+            Symbol::Num(c) => Formula::eq(h, LinearExpr::constant(*c)),
+            Symbol::Var(x) => Formula::eq(
+                h,
+                LinearExpr::constant(
+                    examples.projection(x).map(|v| v[j]).unwrap_or_default(),
+                ),
+            ),
+            Symbol::NegVar(x) => Formula::eq(
+                h,
+                LinearExpr::constant(
+                    -examples.projection(x).map(|v| v[j]).unwrap_or_default(),
+                ),
+            ),
+            Symbol::Plus => {
+                let mut sum = LinearExpr::zero();
+                for k in 0..args.len() {
+                    sum = sum + arg(k);
+                }
+                Formula::eq(h, sum)
+            }
+            Symbol::Minus => Formula::eq(h, arg(0) - arg(1)),
+            Symbol::IfThenElse => Formula::ite(
+                Formula::eq(arg(0), LinearExpr::constant(1)),
+                Formula::eq(h.clone(), arg(1)),
+                Formula::eq(h, arg(2)),
+            ),
+            Symbol::LessThan => Formula::ite(
+                Formula::lt(arg(0), arg(1)),
+                Formula::eq(h.clone(), LinearExpr::constant(1)),
+                Formula::eq(h, LinearExpr::constant(0)),
+            ),
+            Symbol::Equal => Formula::ite(
+                Formula::eq(arg(0), arg(1)),
+                Formula::eq(h.clone(), LinearExpr::constant(1)),
+                Formula::eq(h, LinearExpr::constant(0)),
+            ),
+            Symbol::And => Formula::ite(
+                Formula::and(vec![
+                    Formula::eq(arg(0), LinearExpr::constant(1)),
+                    Formula::eq(arg(1), LinearExpr::constant(1)),
+                ]),
+                Formula::eq(h.clone(), LinearExpr::constant(1)),
+                Formula::eq(h, LinearExpr::constant(0)),
+            ),
+            Symbol::Or => Formula::ite(
+                Formula::or(vec![
+                    Formula::eq(arg(0), LinearExpr::constant(1)),
+                    Formula::eq(arg(1), LinearExpr::constant(1)),
+                ]),
+                Formula::eq(h.clone(), LinearExpr::constant(1)),
+                Formula::eq(h, LinearExpr::constant(0)),
+            ),
+            Symbol::Not => Formula::eq(h, LinearExpr::constant(1) - arg(0)),
+        };
+        conjuncts.push(constraint);
+    }
+    // Boolean body variables range over {0, 1}
+    for (k, vars) in args.iter().enumerate() {
+        let bool_arg = matches!(
+            (symbol, k),
+            (Symbol::IfThenElse, 0) | (Symbol::And, _) | (Symbol::Or, _) | (Symbol::Not, _)
+        );
+        if bool_arg {
+            for v in vars {
+                conjuncts.push(Formula::ge(
+                    LinearExpr::var(v.clone()),
+                    LinearExpr::constant(0),
+                ));
+                conjuncts.push(Formula::le(
+                    LinearExpr::var(v.clone()),
+                    LinearExpr::constant(1),
+                ));
+            }
+        }
+    }
+    Formula::and(conjuncts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sygus::Sort;
+    use sygus::GrammarBuilder;
+
+    fn g1() -> Grammar {
+        GrammarBuilder::new("Start")
+            .nonterminal("Start", Sort::Int)
+            .nonterminal("S1", Sort::Int)
+            .nonterminal("S2", Sort::Int)
+            .nonterminal("S3", Sort::Int)
+            .production("Start", Symbol::Plus, &["S1", "Start"])
+            .production("Start", Symbol::Num(0), &[])
+            .production("S1", Symbol::Plus, &["S2", "S3"])
+            .production("S2", Symbol::Plus, &["S3", "S3"])
+            .production("S3", Symbol::Var("x".to_string()), &[])
+            .build()
+            .unwrap()
+    }
+
+    fn spec_2x_plus_2() -> Spec {
+        Spec::output_equals(
+            LinearExpr::var(Var::new("x")).scale(2) + LinearExpr::constant(2),
+            vec!["x".to_string()],
+        )
+    }
+
+    #[test]
+    fn encoding_shape_matches_grammar() {
+        let examples = ExampleSet::for_single_var("x", [1]);
+        let sys = encode(&g1(), &examples, &spec_2x_plus_2());
+        assert_eq!(sys.predicates.len(), 4);
+        assert_eq!(sys.num_clauses(), 5);
+        assert!(sys.query.head.is_none());
+        assert_eq!(sys.query.body.len(), 1);
+        assert_eq!(sys.query.body[0].predicate, "P_Start");
+    }
+
+    #[test]
+    fn example_4_7_constraint_structure() {
+        // The clause for Start → Plus(S1, Start) relates the head output to
+        // the sum of the body outputs, as in Eqn. (13).
+        let examples = ExampleSet::for_single_var("x", [1]);
+        let sys = encode(&g1(), &examples, &spec_2x_plus_2());
+        let plus_clause = sys
+            .clauses
+            .iter()
+            .find(|c| {
+                c.head.as_ref().map(|h| h.predicate.as_str()) == Some("P_Start")
+                    && c.body.len() == 2
+            })
+            .expect("the recursive Start clause exists");
+        let text = plus_clause.to_string();
+        assert!(text.contains("P_Start"), "{text}");
+        assert!(text.contains("P_S1"), "{text}");
+        // leaf clause: the variable production fixes the output to μ_E(x) = 1
+        let leaf = sys
+            .clauses
+            .iter()
+            .find(|c| c.head.as_ref().map(|h| h.predicate.as_str()) == Some("P_S3"))
+            .expect("the S3 clause exists");
+        assert!(leaf.to_string().contains("= 1"), "{leaf}");
+    }
+
+    #[test]
+    fn smtlib_like_printing() {
+        let examples = ExampleSet::for_single_var("x", [1, 2]);
+        let sys = encode(&g1(), &examples, &spec_2x_plus_2());
+        let text = sys.to_string();
+        assert!(text.contains("(declare-rel P_Start (Int Int))"));
+        assert!(text.contains("(rule "));
+        assert!(text.contains("(query "));
+    }
+
+    #[test]
+    fn boolean_symbols_use_zero_one_encoding() {
+        let grammar = GrammarBuilder::new("Start")
+            .nonterminal("Start", Sort::Int)
+            .nonterminal("B", Sort::Bool)
+            .production("Start", Symbol::IfThenElse, &["B", "Start", "Start"])
+            .production("Start", Symbol::Num(0), &[])
+            .production("B", Symbol::LessThan, &["Start", "Start"])
+            .build()
+            .unwrap();
+        let examples = ExampleSet::for_single_var("x", [1]);
+        let sys = encode(&grammar, &examples, &spec_2x_plus_2());
+        let ite_clause = sys
+            .clauses
+            .iter()
+            .find(|c| c.body.len() == 3)
+            .expect("the IfThenElse clause exists");
+        // guard variable is constrained to {0, 1}
+        let text = ite_clause.to_string();
+        assert!(text.contains(">= 0"), "{text}");
+        assert!(text.contains("<= 1"), "{text}");
+    }
+}

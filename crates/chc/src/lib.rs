@@ -1,0 +1,28 @@
+//! Constrained Horn clauses (CHCs) and an approximate Horn solver.
+//!
+//! §4.3 of the paper observes that the GFA equations of a SyGuS-with-examples
+//! problem can be encoded as constrained Horn clauses (one predicate per
+//! nonterminal, Example 4.7) and handed to an off-the-shelf Horn solver such
+//! as Spacer; this is the `nayHorn` mode of the tool. This crate provides:
+//!
+//! * [`encode`] — the CHC encoding itself (printable in an SMT-LIB-like
+//!   syntax),
+//! * [`domain`] — a numeric abstract domain (intervals × congruences per
+//!   example, three-valued Booleans for Boolean nonterminals),
+//! * [`HornSolver`] — a sound, incomplete solver that discharges the Horn
+//!   query by abstract interpretation with widening over that domain.
+//!
+//! The abstract-interpretation solver replaces Z3/Spacer (unavailable in this
+//! reproduction); like Spacer it either *proves* the query unsatisfiable —
+//! establishing unrealizability — or gives up with `Unknown`. See DESIGN.md
+//! for the substitution rationale.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod domain;
+pub mod encode;
+mod solver;
+
+pub use encode::{HornClause, HornSystem, PredicateApp};
+pub use solver::{HornSolver, HornVerdict};

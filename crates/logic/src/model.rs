@@ -1,0 +1,131 @@
+//! Integer models (satisfying assignments).
+
+use crate::expr::Var;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An assignment of integer values to variables.
+///
+/// Models are returned by the [`Solver`](crate::Solver) as witnesses of
+/// satisfiability, and are used by the CEGIS loop to extract counterexample
+/// inputs.
+///
+/// # Example
+/// ```
+/// use logic::{Model, Var};
+/// let mut m = Model::new();
+/// m.set(Var::new("x"), 7);
+/// assert_eq!(m.get(&Var::new("x")), Some(7));
+/// assert_eq!(m.get(&Var::new("y")), None);
+/// ```
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct Model {
+    values: BTreeMap<Var, i64>,
+}
+
+impl Model {
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        Model::default()
+    }
+
+    /// Creates a model from an iterator of bindings.
+    pub fn from_bindings(bindings: impl IntoIterator<Item = (Var, i64)>) -> Self {
+        Model {
+            values: bindings.into_iter().collect(),
+        }
+    }
+
+    /// Sets the value of a variable, returning any previous value.
+    pub fn set(&mut self, var: Var, value: i64) -> Option<i64> {
+        self.values.insert(var, value)
+    }
+
+    /// Looks up the value of a variable.
+    pub fn get(&self, var: &Var) -> Option<i64> {
+        self.values.get(var).copied()
+    }
+
+    /// Looks up the value of a variable, defaulting to 0 if unassigned.
+    pub fn get_or_zero(&self, var: &Var) -> i64 {
+        self.get(var).unwrap_or(0)
+    }
+
+    /// Iterates over the bindings in variable order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Var, i64)> {
+        self.values.iter().map(|(v, x)| (v, *x))
+    }
+
+    /// Number of bound variables.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when no variable is bound.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Merges another model into this one (right-hand bindings win).
+    pub fn extend(&mut self, other: &Model) {
+        for (v, x) in other.iter() {
+            self.values.insert(v.clone(), x);
+        }
+    }
+}
+
+impl fmt::Debug for Model {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self)
+    }
+}
+
+impl fmt::Display for Model {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (v, x)) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v} = {x}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<(Var, i64)> for Model {
+    fn from_iter<T: IntoIterator<Item = (Var, i64)>>(iter: T) -> Self {
+        Model::from_bindings(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut m = Model::new();
+        assert!(m.is_empty());
+        m.set(Var::new("a"), 1);
+        m.set(Var::new("b"), -2);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get(&Var::new("a")), Some(1));
+        assert_eq!(m.get_or_zero(&Var::new("zzz")), 0);
+    }
+
+    #[test]
+    fn merge() {
+        let mut a = Model::from_bindings([(Var::new("x"), 1)]);
+        let b = Model::from_bindings([(Var::new("x"), 2), (Var::new("y"), 3)]);
+        a.extend(&b);
+        assert_eq!(a.get(&Var::new("x")), Some(2));
+        assert_eq!(a.get(&Var::new("y")), Some(3));
+    }
+
+    #[test]
+    fn display_nonempty() {
+        let m = Model::from_bindings([(Var::new("x"), 1)]);
+        assert_eq!(format!("{m}"), "{x = 1}");
+    }
+}

@@ -1,0 +1,325 @@
+//! Algorithm 2: the CEGIS loop with random examples (§7).
+//!
+//! The paper runs two processes in parallel: ① the enumerative synthesizer
+//! ESolver looking for a solution of `sy_E`, and ② the grammar-flow-analysis
+//! unrealizability check on `E ∪ E_r`, where `E_r` is a growing set of
+//! *temporary* random examples used when GFA says "realizable" but no
+//! candidate is available yet. This reproduction interleaves the two
+//! processes deterministically in a single thread:
+//!
+//! 1. run the unrealizability check on `E ∪ E_r`; if it returns
+//!    *unrealizable*, stop — the SyGuS problem is unrealizable (Lemma 3.5);
+//! 2. otherwise ask the enumerator for a candidate consistent with `E`;
+//!    * if the enumerator proves `sy_E` has no solution at all (search-space
+//!      exhaustion), stop with *unrealizable*;
+//!    * if a candidate is found, verify it against the full specification:
+//!      a counterexample extends `E` and a new CEGIS iteration starts; a
+//!      verified candidate is returned as a solution;
+//!    * if the enumerator runs out of budget, add a temporary random example
+//!      to `E_r` and go back to step 1.
+
+use crate::check::{check_unrealizable, Verdict};
+use crate::modes::Mode;
+use crate::verifier::{verify, Verification};
+use enumerative::{EnumerationResult, Enumerator};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+use sygus::{Example, ExampleSet, Problem, Term};
+
+/// The final outcome of the CEGIS loop.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CegisOutcome {
+    /// The SyGuS problem has no solution.
+    Unrealizable,
+    /// A term of `L(G)` satisfying the specification on all inputs.
+    Solution(Term),
+    /// The loop exhausted its iteration budget without a verdict.
+    Unknown,
+}
+
+impl CegisOutcome {
+    /// `true` if the outcome is `Unrealizable`.
+    pub fn is_unrealizable(&self) -> bool {
+        matches!(self, CegisOutcome::Unrealizable)
+    }
+}
+
+/// Statistics collected across a CEGIS run (the quantities reported in
+/// Tables 1 and 2).
+#[derive(Clone, Debug, Default)]
+pub struct CegisStats {
+    /// Number of outer CEGIS iterations (counterexamples generated + 1).
+    pub cegis_iterations: usize,
+    /// Number of (permanent) examples in `E` when the loop stopped — the
+    /// `|E|` column of the tables.
+    pub num_examples: usize,
+    /// Number of temporary random examples drawn.
+    pub random_examples: usize,
+    /// Number of GFA / Horn unrealizability checks issued.
+    pub gfa_checks: usize,
+    /// Total time spent inside the unrealizability checks.
+    pub check_time: Duration,
+    /// Total wall-clock time of the run.
+    pub total_time: Duration,
+    /// Size of the final abstraction of the start symbol.
+    pub final_abstraction_size: usize,
+}
+
+/// The CEGIS driver (the `nay` tool of §7).
+#[derive(Clone, Debug)]
+pub struct Nay {
+    mode: Mode,
+    enumerator: Enumerator,
+    max_cegis_iterations: usize,
+    max_random_examples: usize,
+    random_range: (i64, i64),
+    seed: u64,
+}
+
+impl Default for Nay {
+    fn default() -> Self {
+        Nay {
+            mode: Mode::default(),
+            enumerator: Enumerator::new().with_max_size(12),
+            max_cegis_iterations: 12,
+            max_random_examples: 4,
+            random_range: (-50, 50),
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl Nay {
+    /// Creates a driver with the default configuration (naySL mode).
+    pub fn new() -> Self {
+        Nay::default()
+    }
+
+    /// Selects the equation-solving mode (naySL or nayHorn).
+    pub fn with_mode(mut self, mode: Mode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Replaces the enumerative synthesizer configuration.
+    pub fn with_enumerator(mut self, enumerator: Enumerator) -> Self {
+        self.enumerator = enumerator;
+        self
+    }
+
+    /// Sets the maximal number of CEGIS iterations.
+    pub fn with_max_iterations(mut self, n: usize) -> Self {
+        self.max_cegis_iterations = n;
+        self
+    }
+
+    /// Sets the random seed used to draw example inputs.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the range from which random example inputs are drawn
+    /// (the paper uses `[-50, 50]`).
+    pub fn with_random_range(mut self, lo: i64, hi: i64) -> Self {
+        self.random_range = (lo, hi);
+        self
+    }
+
+    fn random_example(&self, problem: &Problem, rng: &mut StdRng) -> Example {
+        Example::from_pairs(problem.spec().input_vars().iter().map(|x| {
+            (
+                x.clone(),
+                rng.gen_range(self.random_range.0..=self.random_range.1),
+            )
+        }))
+    }
+
+    /// Runs the CEGIS loop of Alg. 2 on the problem.
+    pub fn run(&self, problem: &Problem) -> (CegisOutcome, CegisStats) {
+        let started = Instant::now();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut stats = CegisStats::default();
+
+        // line 1: initialise E with a random input example
+        let mut examples = ExampleSet::new();
+        examples.push(self.random_example(problem, &mut rng));
+
+        for _ in 0..self.max_cegis_iterations {
+            stats.cegis_iterations += 1;
+            stats.num_examples = examples.len();
+
+            // ② unrealizability side, with temporary random examples E_r
+            let mut extended = examples.clone();
+            let mut drew_random = 0usize;
+            loop {
+                stats.gfa_checks += 1;
+                let outcome = check_unrealizable(problem, &extended, &self.mode);
+                stats.check_time += outcome.elapsed;
+                stats.final_abstraction_size = outcome.abstraction_size;
+                match outcome.verdict {
+                    Verdict::Unrealizable => {
+                        stats.num_examples = extended.len();
+                        stats.total_time = started.elapsed();
+                        return (CegisOutcome::Unrealizable, stats);
+                    }
+                    Verdict::Realizable | Verdict::Unknown => {
+                        // ① the synthesizer side works on the permanent E only
+                        match self.enumerator.solve(problem, &examples) {
+                            EnumerationResult::Found(candidate) => {
+                                match verify(&candidate, problem.spec()) {
+                                    Verification::Valid => {
+                                        stats.total_time = started.elapsed();
+                                        return (CegisOutcome::Solution(candidate), stats);
+                                    }
+                                    Verification::CounterExample(cex) => {
+                                        if !examples.contains(&cex) {
+                                            examples.push(cex);
+                                        } else {
+                                            // degenerate case: restart with a
+                                            // fresh random example
+                                            examples
+                                                .push(self.random_example(problem, &mut rng));
+                                        }
+                                        break; // next CEGIS iteration
+                                    }
+                                    Verification::Unknown => {
+                                        stats.total_time = started.elapsed();
+                                        return (CegisOutcome::Unknown, stats);
+                                    }
+                                }
+                            }
+                            EnumerationResult::NotFound { exhausted: true, .. } => {
+                                // the quotiented search space was exhausted:
+                                // sy_E itself is unrealizable
+                                stats.total_time = started.elapsed();
+                                return (CegisOutcome::Unrealizable, stats);
+                            }
+                            EnumerationResult::NotFound { exhausted: false, .. } => {
+                                if drew_random >= self.max_random_examples {
+                                    stats.total_time = started.elapsed();
+                                    return (CegisOutcome::Unknown, stats);
+                                }
+                                drew_random += 1;
+                                stats.random_examples += 1;
+                                extended.push(self.random_example(problem, &mut rng));
+                                continue;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        stats.total_time = started.elapsed();
+        (CegisOutcome::Unknown, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logic::{Formula, LinearExpr, Var};
+    use sygus::{GrammarBuilder, Sort, Spec, Symbol};
+
+    fn spec_2x_plus_2() -> Spec {
+        Spec::output_equals(
+            LinearExpr::var(Var::new("x")).scale(2) + LinearExpr::constant(2),
+            vec!["x".to_string()],
+        )
+    }
+
+    fn section2_lia() -> Problem {
+        let grammar = GrammarBuilder::new("Start")
+            .nonterminal("Start", Sort::Int)
+            .nonterminal("S1", Sort::Int)
+            .nonterminal("S2", Sort::Int)
+            .nonterminal("S3", Sort::Int)
+            .production("Start", Symbol::Plus, &["S1", "Start"])
+            .production("Start", Symbol::Num(0), &[])
+            .production("S1", Symbol::Plus, &["S2", "S3"])
+            .production("S2", Symbol::Plus, &["S3", "S3"])
+            .production("S3", Symbol::Var("x".to_string()), &[])
+            .build()
+            .unwrap();
+        Problem::new("section2-lia", grammar, spec_2x_plus_2())
+    }
+
+    #[test]
+    fn proves_unrealizability_end_to_end() {
+        let (outcome, stats) = Nay::new().run(&section2_lia());
+        assert_eq!(outcome, CegisOutcome::Unrealizable);
+        assert!(stats.cegis_iterations >= 1);
+        assert!(stats.gfa_checks >= 1);
+        assert!(stats.num_examples >= 1);
+    }
+
+    #[test]
+    fn finds_a_solution_when_one_exists() {
+        // Start ::= x | x + Start | 1: f(x) = x + 2 is synthesizable.
+        let grammar = GrammarBuilder::new("Start")
+            .nonterminal("Start", Sort::Int)
+            .production("Start", Symbol::Var("x".to_string()), &[])
+            .production("Start", Symbol::Num(1), &[])
+            .production("Start", Symbol::Plus, &["Start", "Start"])
+            .build()
+            .unwrap();
+        let spec = Spec::output_equals(
+            LinearExpr::var(Var::new("x")) + LinearExpr::constant(2),
+            vec!["x".to_string()],
+        );
+        let problem = Problem::new("xplus2", grammar, spec);
+        let (outcome, _) = Nay::new().run(&problem);
+        match outcome {
+            CegisOutcome::Solution(term) => {
+                assert_eq!(verify(&term, problem.spec()), Verification::Valid);
+                assert!(problem.grammar().contains_term(&term));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn horn_mode_end_to_end() {
+        let (outcome, _) = Nay::new().with_mode(Mode::horn()).run(&section2_lia());
+        assert_eq!(outcome, CegisOutcome::Unrealizable);
+    }
+
+    #[test]
+    fn incomplete_on_gconst() {
+        // Example 3.8: Gconst with spec f(x) > x is unrealizable but no CEGIS
+        // algorithm can prove it — every sy_E is realizable. The loop must
+        // therefore terminate with Unknown or a (spurious-looking but
+        // example-correct) candidate... since candidates are verified against
+        // the full spec, the only possible outcomes are Unknown.
+        let grammar = GrammarBuilder::new("Start")
+            .nonterminal("Start", Sort::Int)
+            .production("Start", Symbol::Plus, &["Start", "Start"])
+            .production("Start", Symbol::Num(1), &[])
+            .build()
+            .unwrap();
+        let spec = Spec::new(
+            Formula::gt(
+                LinearExpr::var(Spec::output_var()),
+                LinearExpr::var(Var::new("x")),
+            ),
+            vec!["x".to_string()],
+            Sort::Int,
+        );
+        let problem = Problem::new("gconst", grammar, spec);
+        let nay = Nay::new()
+            .with_max_iterations(3)
+            .with_random_range(-5, 5)
+            .with_enumerator(Enumerator::new().with_max_size(9));
+        let (outcome, _) = nay.run(&problem);
+        assert_eq!(outcome, CegisOutcome::Unknown);
+    }
+
+    #[test]
+    fn deterministic_under_a_fixed_seed() {
+        let a = Nay::new().with_seed(42).run(&section2_lia());
+        let b = Nay::new().with_seed(42).run(&section2_lia());
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1.num_examples, b.1.num_examples);
+    }
+}

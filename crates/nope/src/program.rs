@@ -1,0 +1,234 @@
+//! The non-deterministic recursive program built from a SyGuS-with-examples
+//! problem (the reduction of Hu et al., CAV 2019).
+//!
+//! Each nonterminal of the grammar becomes a procedure that returns the
+//! vector of outputs of a non-deterministically chosen term derivable from
+//! that nonterminal, evaluated on every input example simultaneously. Each
+//! production becomes one non-deterministic branch of the procedure's body.
+//! The program ends with an assertion `¬ψ^E(o⃗)` over the value returned by
+//! the start procedure: the assertion can fail (i.e. the "bad" location is
+//! reachable) iff some term satisfies the specification on all examples —
+//! so the SyGuS-with-examples problem is unrealizable iff the bad location
+//! is unreachable.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use sygus::{ExampleSet, Grammar, NonTerminal, Symbol};
+
+/// An expression of a procedure body, mirroring the grammar production that
+/// generated it. Values are vectors with one component per example; Boolean
+/// results use 0/1.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProgExpr {
+    /// A constant vector (from `Num`, `Var` or `NegVar` leaves).
+    Const(Vec<i64>),
+    /// A call to another procedure (non-deterministically picks one of its
+    /// branches).
+    Call(usize),
+    /// Component-wise addition of the operands.
+    Add(Vec<ProgExpr>),
+    /// Component-wise subtraction.
+    Sub(Box<ProgExpr>, Box<ProgExpr>),
+    /// Component-wise `if-then-else` (the guard uses 0/1 components).
+    Ite(Box<ProgExpr>, Box<ProgExpr>, Box<ProgExpr>),
+    /// Component-wise `<` producing 0/1.
+    Less(Box<ProgExpr>, Box<ProgExpr>),
+    /// Component-wise `=` producing 0/1.
+    Equal(Box<ProgExpr>, Box<ProgExpr>),
+    /// Component-wise conjunction of 0/1 vectors.
+    And(Box<ProgExpr>, Box<ProgExpr>),
+    /// Component-wise disjunction of 0/1 vectors.
+    Or(Box<ProgExpr>, Box<ProgExpr>),
+    /// Component-wise negation of a 0/1 vector.
+    Not(Box<ProgExpr>),
+}
+
+impl ProgExpr {
+    /// Number of `Call` nodes in the expression (a size measure of the
+    /// encoding, reported by the benchmark harness).
+    pub fn num_calls(&self) -> usize {
+        match self {
+            ProgExpr::Const(_) => 0,
+            ProgExpr::Call(_) => 1,
+            ProgExpr::Add(xs) => xs.iter().map(|x| x.num_calls()).sum(),
+            ProgExpr::Sub(a, b) => a.num_calls() + b.num_calls(),
+            ProgExpr::Ite(a, b, c) => a.num_calls() + b.num_calls() + c.num_calls(),
+            ProgExpr::Less(a, b)
+            | ProgExpr::Equal(a, b)
+            | ProgExpr::And(a, b)
+            | ProgExpr::Or(a, b) => a.num_calls() + b.num_calls(),
+            ProgExpr::Not(a) => a.num_calls(),
+        }
+    }
+}
+
+/// A procedure: one non-deterministic branch per grammar production.
+#[derive(Clone, Debug)]
+pub struct Procedure {
+    /// The procedure name (the nonterminal it encodes).
+    pub name: String,
+    /// Whether the procedure returns a 0/1 (Boolean) vector.
+    pub boolean: bool,
+    /// The non-deterministic branches.
+    pub branches: Vec<ProgExpr>,
+}
+
+/// The whole non-deterministic recursive program.
+#[derive(Clone, Debug)]
+pub struct Program {
+    /// All procedures; `entry` indexes the start nonterminal's procedure.
+    pub procedures: Vec<Procedure>,
+    /// Index of the entry procedure.
+    pub entry: usize,
+    /// Number of examples (the dimension of every value vector).
+    pub dim: usize,
+}
+
+impl Program {
+    /// Builds the program for a grammar and example set.
+    ///
+    /// # Panics
+    /// Panics if an example does not bind a grammar variable (callers
+    /// validate examples first).
+    pub fn from_grammar(grammar: &Grammar, examples: &ExampleSet) -> Program {
+        let dim = examples.len();
+        let order: Vec<NonTerminal> = grammar.nonterminals().to_vec();
+        let index: BTreeMap<NonTerminal, usize> = order
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, nt)| (nt, i))
+            .collect();
+
+        let mut procedures: Vec<Procedure> = order
+            .iter()
+            .map(|nt| Procedure {
+                name: nt.name().to_string(),
+                boolean: grammar.sort_of(nt) == Some(sygus::Sort::Bool),
+                branches: Vec::new(),
+            })
+            .collect();
+
+        for p in grammar.productions() {
+            let call = |k: usize| ProgExpr::Call(index[&p.args[k]]);
+            let branch = match &p.symbol {
+                Symbol::Num(c) => ProgExpr::Const(vec![*c; dim]),
+                Symbol::Var(x) => {
+                    ProgExpr::Const(examples.projection(x).expect("example binds the variable"))
+                }
+                Symbol::NegVar(x) => ProgExpr::Const(
+                    examples
+                        .projection(x)
+                        .expect("example binds the variable")
+                        .into_iter()
+                        .map(|v| -v)
+                        .collect(),
+                ),
+                Symbol::Plus => ProgExpr::Add((0..p.args.len()).map(call).collect()),
+                Symbol::Minus => ProgExpr::Sub(Box::new(call(0)), Box::new(call(1))),
+                Symbol::IfThenElse => {
+                    ProgExpr::Ite(Box::new(call(0)), Box::new(call(1)), Box::new(call(2)))
+                }
+                Symbol::LessThan => ProgExpr::Less(Box::new(call(0)), Box::new(call(1))),
+                Symbol::Equal => ProgExpr::Equal(Box::new(call(0)), Box::new(call(1))),
+                Symbol::And => ProgExpr::And(Box::new(call(0)), Box::new(call(1))),
+                Symbol::Or => ProgExpr::Or(Box::new(call(0)), Box::new(call(1))),
+                Symbol::Not => ProgExpr::Not(Box::new(call(0))),
+            };
+            procedures[index[&p.lhs]].branches.push(branch);
+        }
+
+        Program {
+            entry: index[grammar.start()],
+            procedures,
+            dim,
+        }
+    }
+
+    /// Total number of branches across all procedures.
+    pub fn num_branches(&self) -> usize {
+        self.procedures.iter().map(|p| p.branches.len()).sum()
+    }
+
+    /// Total number of call sites (a rough measure of the encoding overhead
+    /// compared to working on the grammar directly).
+    pub fn num_call_sites(&self) -> usize {
+        self.procedures
+            .iter()
+            .flat_map(|p| p.branches.iter())
+            .map(|b| b.num_calls())
+            .sum()
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, p) in self.procedures.iter().enumerate() {
+            let marker = if i == self.entry { " (entry)" } else { "" };
+            writeln!(f, "proc {}{marker}:", p.name)?;
+            for (j, b) in p.branches.iter().enumerate() {
+                writeln!(f, "  branch {j}: {b:?}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sygus::{GrammarBuilder, Sort};
+
+    fn g1() -> Grammar {
+        GrammarBuilder::new("Start")
+            .nonterminal("Start", Sort::Int)
+            .nonterminal("S1", Sort::Int)
+            .nonterminal("S2", Sort::Int)
+            .nonterminal("S3", Sort::Int)
+            .production("Start", Symbol::Plus, &["S1", "Start"])
+            .production("Start", Symbol::Num(0), &[])
+            .production("S1", Symbol::Plus, &["S2", "S3"])
+            .production("S2", Symbol::Plus, &["S3", "S3"])
+            .production("S3", Symbol::Var("x".to_string()), &[])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn program_mirrors_the_grammar() {
+        let examples = ExampleSet::for_single_var("x", [1, 2]);
+        let program = Program::from_grammar(&g1(), &examples);
+        assert_eq!(program.procedures.len(), 4);
+        assert_eq!(program.num_branches(), 5);
+        assert_eq!(program.dim, 2);
+        assert_eq!(program.procedures[program.entry].name, "Start");
+        // the leaf branch carries μ_E(x) = (1, 2)
+        let leaf = &program.procedures[3].branches[0];
+        assert_eq!(leaf, &ProgExpr::Const(vec![1, 2]));
+    }
+
+    #[test]
+    fn call_site_count_reflects_encoding_overhead() {
+        let examples = ExampleSet::for_single_var("x", [1]);
+        let program = Program::from_grammar(&g1(), &examples);
+        // Plus(S1, Start), Plus(S2, S3), Plus(S3, S3): 6 call sites
+        assert_eq!(program.num_call_sites(), 6);
+        assert!(program.to_string().contains("proc Start (entry):"));
+    }
+
+    #[test]
+    fn boolean_procedures_are_marked() {
+        let grammar = GrammarBuilder::new("Start")
+            .nonterminal("Start", Sort::Int)
+            .nonterminal("B", Sort::Bool)
+            .production("Start", Symbol::IfThenElse, &["B", "Start", "Start"])
+            .production("Start", Symbol::Num(0), &[])
+            .production("B", Symbol::LessThan, &["Start", "Start"])
+            .build()
+            .unwrap();
+        let examples = ExampleSet::for_single_var("x", [1]);
+        let program = Program::from_grammar(&grammar, &examples);
+        assert!(!program.procedures[0].boolean);
+        assert!(program.procedures[1].boolean);
+    }
+}

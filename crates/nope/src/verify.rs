@@ -1,0 +1,527 @@
+//! Verification of the non-deterministic recursive program: is the "bad"
+//! location (a run of the entry procedure whose return value satisfies the
+//! specification on every example) reachable?
+//!
+//! The original nope hands the program to an off-the-shelf software verifier
+//! (SeaHorn, itself built on Spacer). In this reproduction the same
+//! obligations are discharged with
+//!
+//! * an **abstract interpretation** of the program over the
+//!   interval × congruence domain of the `chc` crate (sound proofs of
+//!   unreachability, i.e. of unrealizability), and
+//! * a **bounded concrete exploration** of the program's runs, which can
+//!   find a reachable good run and hence prove realizability of `sy_E`.
+//!
+//! Both analyses operate on the program IR — the indirection through the
+//! encoding is exactly the overhead the paper observes when comparing nope
+//! against nayHorn.
+
+use crate::program::{ProgExpr, Program};
+use chc::domain::{AbsBool, AbsInt, AbsValue};
+use logic::{Formula, LinearExpr, Solver, SolverResult, Var};
+use std::collections::BTreeSet;
+use sygus::{ExampleSet, Spec};
+
+/// The verdict of the nope-style reachability analysis.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NopeVerdict {
+    /// The bad location is unreachable: `sy_E` (and hence `sy`) is
+    /// unrealizable.
+    Unrealizable,
+    /// A concrete run reaching the bad location was found: `sy_E` is
+    /// realizable (the returned vector is the witness output).
+    RealizableOnExamples(Vec<i64>),
+    /// Neither analysis was conclusive.
+    Unknown,
+}
+
+/// Configuration of the bounded/abstract program verifier.
+#[derive(Clone, Debug)]
+pub struct ProgramVerifier {
+    /// Number of fixed-point iterations of the abstract interpreter.
+    pub max_abstract_iterations: usize,
+    /// Widening delay of the abstract interpreter.
+    pub widening_delay: usize,
+    /// Unrolling depth of the bounded concrete exploration.
+    pub unroll_depth: usize,
+    /// Cap on the number of distinct concrete vectors tracked per procedure.
+    pub max_vectors: usize,
+}
+
+impl Default for ProgramVerifier {
+    fn default() -> Self {
+        ProgramVerifier {
+            max_abstract_iterations: 100,
+            widening_delay: 3,
+            unroll_depth: 8,
+            max_vectors: 2000,
+        }
+    }
+}
+
+impl ProgramVerifier {
+    /// Creates a verifier with the default budgets.
+    pub fn new() -> Self {
+        ProgramVerifier::default()
+    }
+
+    /// Runs both analyses and combines their verdicts.
+    pub fn check(&self, program: &Program, examples: &ExampleSet, spec: &Spec) -> NopeVerdict {
+        if examples.is_empty() {
+            return NopeVerdict::Unknown;
+        }
+        // 1. bounded concrete exploration: can we reach the bad location?
+        if let Some(witness) = self.bounded_search(program, examples, spec) {
+            return NopeVerdict::RealizableOnExamples(witness);
+        }
+        // 2. abstract interpretation: is the bad location provably unreachable?
+        if self.abstract_unreachable(program, examples, spec) {
+            return NopeVerdict::Unrealizable;
+        }
+        NopeVerdict::Unknown
+    }
+
+    /// Bounded unrolling of the recursive program: computes, per procedure,
+    /// the set of return vectors realizable within the unrolling depth and
+    /// checks the assertion against those of the entry procedure.
+    pub fn bounded_search(
+        &self,
+        program: &Program,
+        examples: &ExampleSet,
+        spec: &Spec,
+    ) -> Option<Vec<i64>> {
+        let n = program.procedures.len();
+        let mut reachable: Vec<BTreeSet<Vec<i64>>> = vec![BTreeSet::new(); n];
+        for _ in 0..self.unroll_depth {
+            let mut changed = false;
+            for (i, proc_) in program.procedures.iter().enumerate() {
+                let mut new_vectors: BTreeSet<Vec<i64>> = BTreeSet::new();
+                for branch in &proc_.branches {
+                    self.eval_bounded(branch, &reachable, program.dim, &mut new_vectors);
+                    if new_vectors.len() > self.max_vectors {
+                        break;
+                    }
+                }
+                for v in new_vectors {
+                    if reachable[i].len() >= self.max_vectors {
+                        break;
+                    }
+                    if reachable[i].insert(v) {
+                        changed = true;
+                    }
+                }
+            }
+            // check the assertion on the entry procedure's vectors
+            for v in &reachable[program.entry] {
+                let good = examples
+                    .iter()
+                    .enumerate()
+                    .all(|(j, e)| spec.holds(e, v[j]));
+                if good {
+                    return Some(v.clone());
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        None
+    }
+
+    fn eval_bounded(
+        &self,
+        expr: &ProgExpr,
+        reachable: &[BTreeSet<Vec<i64>>],
+        dim: usize,
+        out: &mut BTreeSet<Vec<i64>>,
+    ) {
+        let vectors = self.eval_expr(expr, reachable, dim);
+        for v in vectors {
+            if out.len() >= self.max_vectors {
+                return;
+            }
+            out.insert(v);
+        }
+    }
+
+    fn eval_expr(
+        &self,
+        expr: &ProgExpr,
+        reachable: &[BTreeSet<Vec<i64>>],
+        dim: usize,
+    ) -> Vec<Vec<i64>> {
+        let cap = self.max_vectors;
+        let combine2 = |a: Vec<Vec<i64>>, b: Vec<Vec<i64>>, f: &dyn Fn(i64, i64) -> i64| {
+            let mut out = Vec::new();
+            'outer: for x in &a {
+                for y in &b {
+                    out.push((0..dim).map(|j| f(x[j], y[j])).collect());
+                    if out.len() >= cap {
+                        break 'outer;
+                    }
+                }
+            }
+            out
+        };
+        match expr {
+            ProgExpr::Const(v) => vec![v.clone()],
+            ProgExpr::Call(p) => reachable[*p].iter().cloned().collect(),
+            ProgExpr::Add(xs) => {
+                let mut acc = vec![vec![0i64; dim]];
+                for x in xs {
+                    let vals = self.eval_expr(x, reachable, dim);
+                    acc = combine2(acc, vals, &|a, b| a + b);
+                    if acc.is_empty() {
+                        return Vec::new();
+                    }
+                }
+                acc
+            }
+            ProgExpr::Sub(a, b) => combine2(
+                self.eval_expr(a, reachable, dim),
+                self.eval_expr(b, reachable, dim),
+                &|x, y| x - y,
+            ),
+            ProgExpr::Less(a, b) => combine2(
+                self.eval_expr(a, reachable, dim),
+                self.eval_expr(b, reachable, dim),
+                &|x, y| i64::from(x < y),
+            ),
+            ProgExpr::Equal(a, b) => combine2(
+                self.eval_expr(a, reachable, dim),
+                self.eval_expr(b, reachable, dim),
+                &|x, y| i64::from(x == y),
+            ),
+            ProgExpr::And(a, b) => combine2(
+                self.eval_expr(a, reachable, dim),
+                self.eval_expr(b, reachable, dim),
+                &|x, y| x & y,
+            ),
+            ProgExpr::Or(a, b) => combine2(
+                self.eval_expr(a, reachable, dim),
+                self.eval_expr(b, reachable, dim),
+                &|x, y| x | y,
+            ),
+            ProgExpr::Not(a) => self
+                .eval_expr(a, reachable, dim)
+                .into_iter()
+                .map(|v| v.into_iter().map(|x| 1 - x).collect())
+                .collect(),
+            ProgExpr::Ite(c, t, e) => {
+                let guards = self.eval_expr(c, reachable, dim);
+                let thens = self.eval_expr(t, reachable, dim);
+                let elses = self.eval_expr(e, reachable, dim);
+                let mut out = Vec::new();
+                'outer: for g in &guards {
+                    for tv in &thens {
+                        for ev in &elses {
+                            out.push(
+                                (0..dim)
+                                    .map(|j| if g[j] == 1 { tv[j] } else { ev[j] })
+                                    .collect(),
+                            );
+                            if out.len() >= cap {
+                                break 'outer;
+                            }
+                        }
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Abstract interpretation over intervals × congruences: returns `true`
+    /// when the bad location is provably unreachable.
+    pub fn abstract_unreachable(
+        &self,
+        program: &Program,
+        examples: &ExampleSet,
+        spec: &Spec,
+    ) -> bool {
+        let n = program.procedures.len();
+        let mut values: Vec<AbsValue> = vec![AbsValue::Bottom; n];
+        for iteration in 0..self.max_abstract_iterations {
+            let mut changed = false;
+            let mut next = values.clone();
+            for (i, proc_) in program.procedures.iter().enumerate() {
+                let mut acc = AbsValue::Bottom;
+                for branch in &proc_.branches {
+                    let v = self.abstract_expr(branch, &values, program.dim);
+                    if !v.is_bottom() {
+                        acc = acc.join(&v);
+                    }
+                }
+                let new = if iteration >= self.widening_delay {
+                    values[i].widen(&acc)
+                } else if values[i].is_bottom() {
+                    acc
+                } else {
+                    values[i].join(&acc)
+                };
+                if new != values[i] {
+                    changed = true;
+                }
+                next[i] = new;
+            }
+            values = next;
+            if !changed {
+                break;
+            }
+        }
+
+        let outputs: Vec<Var> = (0..examples.len())
+            .map(|j| Var::indexed("o", j + 1))
+            .collect();
+        let gamma = match &values[program.entry] {
+            AbsValue::Bottom => return true,
+            AbsValue::Int(components) => Formula::and(
+                components
+                    .iter()
+                    .enumerate()
+                    .map(|(j, a)| a.to_formula(&outputs[j], &format!("k_{j}"))),
+            ),
+            AbsValue::Bool(components) => Formula::and(components.iter().enumerate().map(
+                |(j, b)| {
+                    let o = LinearExpr::var(outputs[j].clone());
+                    match b {
+                        AbsBool::True => Formula::eq(o, LinearExpr::constant(1)),
+                        AbsBool::False => Formula::eq(o, LinearExpr::constant(0)),
+                        AbsBool::Top => Formula::and(vec![
+                            Formula::ge(o.clone(), LinearExpr::constant(0)),
+                            Formula::le(o, LinearExpr::constant(1)),
+                        ]),
+                    }
+                },
+            )),
+        };
+        let query = Formula::and(vec![gamma, spec.conjunction_over(examples, &outputs)]);
+        matches!(Solver::default().check(&query), SolverResult::Unsat)
+    }
+
+    fn abstract_expr(&self, expr: &ProgExpr, values: &[AbsValue], dim: usize) -> AbsValue {
+        let int = |v: &AbsValue| -> Option<Vec<AbsInt>> {
+            match v {
+                AbsValue::Int(x) => Some(x.clone()),
+                AbsValue::Bool(x) => Some(
+                    x.iter()
+                        .map(|b| match b {
+                            AbsBool::True => AbsInt::constant(1),
+                            AbsBool::False => AbsInt::constant(0),
+                            AbsBool::Top => AbsInt::constant(0).join(&AbsInt::constant(1)),
+                        })
+                        .collect(),
+                ),
+                AbsValue::Bottom => None,
+            }
+        };
+        let boolean = |v: &AbsValue| -> Option<Vec<AbsBool>> {
+            match v {
+                AbsValue::Bool(x) => Some(x.clone()),
+                AbsValue::Int(x) => Some(
+                    x.iter()
+                        .map(|a| {
+                            if a.contains(0) && !a.contains(1) {
+                                AbsBool::False
+                            } else if a.contains(1) && !a.contains(0) {
+                                AbsBool::True
+                            } else {
+                                AbsBool::Top
+                            }
+                        })
+                        .collect(),
+                ),
+                AbsValue::Bottom => None,
+            }
+        };
+        match expr {
+            ProgExpr::Const(v) => AbsValue::Int(v.iter().map(|&c| AbsInt::constant(c)).collect()),
+            ProgExpr::Call(p) => values[*p].clone(),
+            ProgExpr::Add(xs) => {
+                let mut acc = vec![AbsInt::constant(0); dim];
+                for x in xs {
+                    let Some(v) = int(&self.abstract_expr(x, values, dim)) else {
+                        return AbsValue::Bottom;
+                    };
+                    for (a, b) in acc.iter_mut().zip(v) {
+                        *a = a.add(&b);
+                    }
+                }
+                AbsValue::Int(acc)
+            }
+            ProgExpr::Sub(a, b) => {
+                let (Some(x), Some(y)) = (
+                    int(&self.abstract_expr(a, values, dim)),
+                    int(&self.abstract_expr(b, values, dim)),
+                ) else {
+                    return AbsValue::Bottom;
+                };
+                AbsValue::Int(x.iter().zip(&y).map(|(p, q)| p.add(&q.neg())).collect())
+            }
+            ProgExpr::Ite(c, t, e) => {
+                let (Some(g), Some(tv), Some(ev)) = (
+                    boolean(&self.abstract_expr(c, values, dim)),
+                    int(&self.abstract_expr(t, values, dim)),
+                    int(&self.abstract_expr(e, values, dim)),
+                ) else {
+                    return AbsValue::Bottom;
+                };
+                AbsValue::Int(
+                    (0..dim)
+                        .map(|j| match g[j] {
+                            AbsBool::True => tv[j],
+                            AbsBool::False => ev[j],
+                            AbsBool::Top => tv[j].join(&ev[j]),
+                        })
+                        .collect(),
+                )
+            }
+            ProgExpr::Less(a, b) => {
+                let (Some(x), Some(y)) = (
+                    int(&self.abstract_expr(a, values, dim)),
+                    int(&self.abstract_expr(b, values, dim)),
+                ) else {
+                    return AbsValue::Bottom;
+                };
+                AbsValue::Bool(
+                    (0..dim)
+                        .map(|j| AbsBool::less_than(&x[j], &y[j]))
+                        .collect(),
+                )
+            }
+            ProgExpr::Equal(a, b) => {
+                let (Some(x), Some(y)) = (
+                    int(&self.abstract_expr(a, values, dim)),
+                    int(&self.abstract_expr(b, values, dim)),
+                ) else {
+                    return AbsValue::Bottom;
+                };
+                AbsValue::Bool(
+                    (0..dim)
+                        .map(|j| {
+                            if AbsBool::less_than(&x[j], &y[j]) == AbsBool::True
+                                || AbsBool::less_than(&y[j], &x[j]) == AbsBool::True
+                            {
+                                AbsBool::False
+                            } else {
+                                AbsBool::Top
+                            }
+                        })
+                        .collect(),
+                )
+            }
+            ProgExpr::And(a, b) | ProgExpr::Or(a, b) => {
+                let (Some(x), Some(y)) = (
+                    boolean(&self.abstract_expr(a, values, dim)),
+                    boolean(&self.abstract_expr(b, values, dim)),
+                ) else {
+                    return AbsValue::Bottom;
+                };
+                AbsValue::Bool(
+                    (0..dim)
+                        .map(|j| {
+                            if matches!(expr, ProgExpr::And(_, _)) {
+                                x[j].and(&y[j])
+                            } else {
+                                x[j].or(&y[j])
+                            }
+                        })
+                        .collect(),
+                )
+            }
+            ProgExpr::Not(a) => {
+                let Some(x) = boolean(&self.abstract_expr(a, values, dim)) else {
+                    return AbsValue::Bottom;
+                };
+                AbsValue::Bool(x.iter().map(|b| b.not()).collect())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Program;
+    use logic::{LinearExpr, Var};
+    use sygus::{GrammarBuilder, Grammar, Sort, Symbol};
+
+    fn g1() -> Grammar {
+        GrammarBuilder::new("Start")
+            .nonterminal("Start", Sort::Int)
+            .nonterminal("S1", Sort::Int)
+            .nonterminal("S2", Sort::Int)
+            .nonterminal("S3", Sort::Int)
+            .production("Start", Symbol::Plus, &["S1", "Start"])
+            .production("Start", Symbol::Num(0), &[])
+            .production("S1", Symbol::Plus, &["S2", "S3"])
+            .production("S2", Symbol::Plus, &["S3", "S3"])
+            .production("S3", Symbol::Var("x".to_string()), &[])
+            .build()
+            .unwrap()
+    }
+
+    fn spec_2x_plus_2() -> Spec {
+        Spec::output_equals(
+            LinearExpr::var(Var::new("x")).scale(2) + LinearExpr::constant(2),
+            vec!["x".to_string()],
+        )
+    }
+
+    #[test]
+    fn unreachability_proves_unrealizability() {
+        let examples = ExampleSet::for_single_var("x", [1]);
+        let program = Program::from_grammar(&g1(), &examples);
+        let verdict = ProgramVerifier::new().check(&program, &examples, &spec_2x_plus_2());
+        assert_eq!(verdict, NopeVerdict::Unrealizable);
+    }
+
+    #[test]
+    fn bounded_search_finds_good_runs() {
+        // With x = 2 the output 6 is producible (3·2), so the bad location is
+        // reachable and the verifier reports the witness.
+        let examples = ExampleSet::for_single_var("x", [2]);
+        let program = Program::from_grammar(&g1(), &examples);
+        match ProgramVerifier::new().check(&program, &examples, &spec_2x_plus_2()) {
+            NopeVerdict::RealizableOnExamples(witness) => assert_eq!(witness, vec![6]),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn coarse_abstraction_yields_unknown() {
+        // Gconst with spec f(x) > x on x = 1: realizable... the bounded search
+        // will find 2 > 1 quickly, so this is actually Realizable; to force
+        // Unknown we use a spec that is unrealizable but not refutable by the
+        // interval/congruence domain: f(x) = 7 over sums of 1 and 2 with at
+        // least... sums of {1,2} eventually hit 7, so pick f(x) = 0 instead:
+        // all sums are ≥ 1, interval refutes it — still Unrealizable. A truly
+        // Unknown case needs values that the domain cannot separate, e.g.
+        // f(x) = x over a grammar producing 1 and 3 only (x = 2):
+        // join(1, 3) = [1,3] with modulus 2 … 2 is even, 1 and 3 are odd, so
+        // the congruence does refute it. Use modulus-breaking constants 1, 2
+        // and target 3 ∉ {1,2} but 3 ∈ [1,2]∪… join(1,2) = [1,2] top modulus;
+        // target 3 is outside the interval → still refuted. Final choice:
+        // constants 1 and 4, target 3: join = [1,4], gcd(3) → 1 mod 3;
+        // 3 ≢ 1 (mod 3) → refuted again. The point stands that the domain is
+        // strong on constant sets, so instead take a recursive grammar whose
+        // language is {1, 4, 7, …} ∪ {2}: join breaks both components.
+        let grammar = GrammarBuilder::new("Start")
+            .nonterminal("Start", Sort::Int)
+            .nonterminal("Three", Sort::Int)
+            .production("Start", Symbol::Num(1), &[])
+            .production("Start", Symbol::Num(2), &[])
+            .production("Start", Symbol::Plus, &["Start", "Three"])
+            .production("Three", Symbol::Num(3), &[])
+            .build()
+            .unwrap();
+        // language: 1, 2, 4, 5, 7, 8, … (all n with n mod 3 ∈ {1, 2});
+        // target 6 is unreachable but interval [1,∞) + congruence top cannot
+        // prove it, and the bounded search cannot reach it either → Unknown.
+        let spec = Spec::output_equals(LinearExpr::constant(6), vec!["x".to_string()]);
+        let examples = ExampleSet::for_single_var("x", [0]);
+        let program = Program::from_grammar(&grammar, &examples);
+        let verdict = ProgramVerifier::new().check(&program, &examples, &spec);
+        assert_eq!(verdict, NopeVerdict::Unknown);
+    }
+}

@@ -1,0 +1,37 @@
+//! Semi-linear sets and Boolean-vector sets — the abstract domains of the
+//! unrealizability framework.
+//!
+//! A *linear set* `⟨u, {v₁,…,vₖ}⟩` denotes `{u + λ₁v₁ + … + λₖvₖ | λᵢ ∈ ℕ}`;
+//! a *semi-linear set* is a finite union of linear sets (§5.3 of the paper).
+//! Together with
+//!
+//! * `⊕` (union, [`SemiLinearSet::combine`]),
+//! * `⊗` (Minkowski sum, [`SemiLinearSet::extend`]),
+//! * `⊛` (iterated addition, [`SemiLinearSet::star`]),
+//!
+//! semi-linear sets form a commutative idempotent ω-continuous semiring,
+//! which is exactly what Newton's method (crate `gfa`) needs to solve the
+//! grammar-flow equations of LIA⁺ grammars *exactly*.
+//!
+//! For CLIA grammars, Boolean nonterminals are abstracted by finite sets of
+//! Boolean vectors ([`BoolVecSet`], §6.2), and [`SemiLinearSet::project`]
+//! implements the `projSL` operation used to express the abstract semantics
+//! of `IfThenElse`.
+//!
+//! Symbolic concretization (γ̂, §5.4) renders a semi-linear set as a QF-LIA
+//! formula over output variables, enabling the final SMT check of Alg. 1.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod boolvec;
+mod concretize;
+mod linear;
+mod set;
+mod vector;
+
+pub use boolvec::{BoolVec, BoolVecSet};
+pub use concretize::{concretize_linear, concretize_semilinear, concretize_semilinear_prefixed};
+pub use linear::LinearSet;
+pub use set::SemiLinearSet;
+pub use vector::IntVec;

@@ -1,0 +1,200 @@
+//! Integer vectors of a fixed dimension.
+
+use std::fmt;
+use std::ops::{Add, Index, Neg, Sub};
+
+/// An integer vector, one component per input example.
+///
+/// # Example
+/// ```
+/// use semilinear::IntVec;
+/// let a = IntVec::from(vec![1, 2]);
+/// let b = IntVec::from(vec![3, 6]);
+/// assert_eq!(a.clone() + b, IntVec::from(vec![4, 8]));
+/// assert_eq!(a.dim(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct IntVec(Vec<i64>);
+
+impl IntVec {
+    /// Creates a vector from components.
+    pub fn new(components: Vec<i64>) -> Self {
+        IntVec(components)
+    }
+
+    /// The zero vector of dimension `dim`.
+    pub fn zeros(dim: usize) -> Self {
+        IntVec(vec![0; dim])
+    }
+
+    /// A vector with every component equal to `c` (used for `Num(c)`).
+    pub fn splat(c: i64, dim: usize) -> Self {
+        IntVec(vec![c; dim])
+    }
+
+    /// The dimension (number of components).
+    pub fn dim(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The components as a slice.
+    pub fn as_slice(&self) -> &[i64] {
+        &self.0
+    }
+
+    /// `true` when all components are zero.
+    pub fn is_zero(&self) -> bool {
+        self.0.iter().all(|&c| c == 0)
+    }
+
+    /// Component-wise scaling by `k`.
+    pub fn scale(&self, k: i64) -> IntVec {
+        IntVec(self.0.iter().map(|c| c * k).collect())
+    }
+
+    /// Zeroes out every component `j` for which `mask[j]` is `false`
+    /// (the `proj_ℤ` operation of §6.1).
+    ///
+    /// # Panics
+    /// Panics if the mask length differs from the dimension.
+    pub fn project(&self, mask: &[bool]) -> IntVec {
+        assert_eq!(mask.len(), self.dim(), "projection mask dimension mismatch");
+        IntVec(
+            self.0
+                .iter()
+                .zip(mask)
+                .map(|(&c, &keep)| if keep { c } else { 0 })
+                .collect(),
+        )
+    }
+
+    /// Component-wise less-than comparison, producing one Boolean per
+    /// component (the concrete semantics of `LessThan`).
+    pub fn less_than(&self, other: &IntVec) -> Vec<bool> {
+        assert_eq!(self.dim(), other.dim(), "dimension mismatch");
+        self.0.iter().zip(&other.0).map(|(a, b)| a < b).collect()
+    }
+
+    /// Iterates over components.
+    pub fn iter(&self) -> impl Iterator<Item = i64> + '_ {
+        self.0.iter().copied()
+    }
+}
+
+impl From<Vec<i64>> for IntVec {
+    fn from(v: Vec<i64>) -> Self {
+        IntVec(v)
+    }
+}
+
+impl From<IntVec> for Vec<i64> {
+    fn from(v: IntVec) -> Self {
+        v.0
+    }
+}
+
+impl Index<usize> for IntVec {
+    type Output = i64;
+    fn index(&self, i: usize) -> &i64 {
+        &self.0[i]
+    }
+}
+
+impl Add for IntVec {
+    type Output = IntVec;
+    fn add(self, rhs: IntVec) -> IntVec {
+        assert_eq!(self.dim(), rhs.dim(), "dimension mismatch");
+        IntVec(self.0.iter().zip(&rhs.0).map(|(a, b)| a + b).collect())
+    }
+}
+
+impl Add<&IntVec> for &IntVec {
+    type Output = IntVec;
+    fn add(self, rhs: &IntVec) -> IntVec {
+        assert_eq!(self.dim(), rhs.dim(), "dimension mismatch");
+        IntVec(self.0.iter().zip(&rhs.0).map(|(a, b)| a + b).collect())
+    }
+}
+
+impl Sub for IntVec {
+    type Output = IntVec;
+    fn sub(self, rhs: IntVec) -> IntVec {
+        assert_eq!(self.dim(), rhs.dim(), "dimension mismatch");
+        IntVec(self.0.iter().zip(&rhs.0).map(|(a, b)| a - b).collect())
+    }
+}
+
+impl Neg for IntVec {
+    type Output = IntVec;
+    fn neg(self) -> IntVec {
+        IntVec(self.0.iter().map(|c| -c).collect())
+    }
+}
+
+impl fmt::Debug for IntVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for IntVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl FromIterator<i64> for IntVec {
+    fn from_iter<T: IntoIterator<Item = i64>>(iter: T) -> Self {
+        IntVec(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(IntVec::zeros(3), IntVec::from(vec![0, 0, 0]));
+        assert_eq!(IntVec::splat(7, 2), IntVec::from(vec![7, 7]));
+        assert!(IntVec::zeros(2).is_zero());
+        assert!(!IntVec::splat(1, 2).is_zero());
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = IntVec::from(vec![1, -2, 3]);
+        let b = IntVec::from(vec![4, 5, -6]);
+        assert_eq!(a.clone() + b.clone(), IntVec::from(vec![5, 3, -3]));
+        assert_eq!(b.clone() - a.clone(), IntVec::from(vec![3, 7, -9]));
+        assert_eq!(-a.clone(), IntVec::from(vec![-1, 2, -3]));
+        assert_eq!(a.scale(2), IntVec::from(vec![2, -4, 6]));
+    }
+
+    #[test]
+    fn projection() {
+        let a = IntVec::from(vec![1, 2, 3]);
+        assert_eq!(a.project(&[true, false, true]), IntVec::from(vec![1, 0, 3]));
+        assert_eq!(a.project(&[false, false, false]), IntVec::zeros(3));
+    }
+
+    #[test]
+    fn less_than_is_componentwise() {
+        let a = IntVec::from(vec![1, 5]);
+        let b = IntVec::from(vec![2, 5]);
+        assert_eq!(a.less_than(&b), vec![true, false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dimension_mismatch_panics() {
+        let _ = IntVec::from(vec![1]) + IntVec::from(vec![1, 2]);
+    }
+}

@@ -1,0 +1,318 @@
+//! Encoding of a candidate term's input/output semantics as a QF-LIA
+//! formula.
+//!
+//! This is what the verifier inside the CEGIS loop (Alg. 2, line 6) needs:
+//! given a candidate term `e` and a specification `ψ`, the satisfiability of
+//!
+//! ```text
+//! encode(e, r) ∧ ¬ψ(r, x̄)
+//! ```
+//!
+//! over the symbolic inputs `x̄` yields a counterexample input `i_cex` with
+//! `¬ψ(⟦e⟧(i_cex), i_cex)` — or proves the candidate correct when
+//! unsatisfiable. The paper delegates this query to CVC4; here it is
+//! discharged by the `logic` crate.
+
+use crate::spec::Spec;
+use crate::term::{Sort, Symbol, Term};
+use logic::{Formula, LinearExpr, Var};
+
+/// A fresh-variable counter used while encoding `IfThenElse` results.
+#[derive(Default)]
+struct FreshVars {
+    next: usize,
+}
+
+impl FreshVars {
+    fn fresh(&mut self) -> Var {
+        let v = Var::new(format!("__ite_{}", self.next));
+        self.next += 1;
+        v
+    }
+}
+
+/// The result of encoding an integer-sorted term: side constraints plus the
+/// linear expression denoting the term's value.
+#[derive(Clone, Debug)]
+pub struct EncodedTerm {
+    /// Constraints that must hold for `value` to denote the term's output.
+    pub constraints: Formula,
+    /// The term's output value as a linear expression over the inputs and
+    /// auxiliary variables.
+    pub value: LinearExpr,
+}
+
+/// Encodes an integer-sorted term over symbolic inputs (input variables are
+/// referred to by their names).
+///
+/// # Panics
+/// Panics if the term is Boolean-sorted; use [`encode_bool_term`] for those.
+pub fn encode_int_term(term: &Term) -> EncodedTerm {
+    assert_eq!(term.sort(), Sort::Int, "encode_int_term requires an Int term");
+    let mut fresh = FreshVars::default();
+    let (constraints, value) = encode_int(term, &mut fresh);
+    EncodedTerm { constraints, value }
+}
+
+/// Encodes a Boolean-sorted term as a formula over the symbolic inputs.
+///
+/// # Panics
+/// Panics if the term is integer-sorted.
+pub fn encode_bool_term(term: &Term) -> (Formula, Formula) {
+    assert_eq!(term.sort(), Sort::Bool, "encode_bool_term requires a Bool term");
+    let mut fresh = FreshVars::default();
+    encode_bool(term, &mut fresh)
+}
+
+fn encode_int(term: &Term, fresh: &mut FreshVars) -> (Formula, LinearExpr) {
+    match term.symbol() {
+        Symbol::Num(c) => (Formula::True, LinearExpr::constant(*c)),
+        Symbol::Var(x) => (Formula::True, LinearExpr::var(Var::new(x.clone()))),
+        Symbol::NegVar(x) => (
+            Formula::True,
+            LinearExpr::var(Var::new(x.clone())).scale(-1),
+        ),
+        Symbol::Plus => {
+            let mut constraints = Vec::new();
+            let mut sum = LinearExpr::zero();
+            for c in term.children() {
+                let (cc, cv) = encode_int(c, fresh);
+                constraints.push(cc);
+                sum = sum + cv;
+            }
+            (Formula::and(constraints), sum)
+        }
+        Symbol::Minus => {
+            let (c0, v0) = encode_int(&term.children()[0], fresh);
+            let (c1, v1) = encode_int(&term.children()[1], fresh);
+            (Formula::and(vec![c0, c1]), v0 - v1)
+        }
+        Symbol::IfThenElse => {
+            let (cb, guard) = encode_bool(&term.children()[0], fresh);
+            let (ct, vt) = encode_int(&term.children()[1], fresh);
+            let (ce, ve) = encode_int(&term.children()[2], fresh);
+            let result = fresh.fresh();
+            let rv = LinearExpr::var(result);
+            let choice = Formula::or(vec![
+                Formula::and(vec![guard.clone(), Formula::eq(rv.clone(), vt)]),
+                Formula::and(vec![Formula::not(guard), Formula::eq(rv.clone(), ve)]),
+            ]);
+            (Formula::and(vec![cb, ct, ce, choice]), rv)
+        }
+        other => unreachable!("symbol {other} is not integer-sorted"),
+    }
+}
+
+fn encode_bool(term: &Term, fresh: &mut FreshVars) -> (Formula, Formula) {
+    match term.symbol() {
+        Symbol::LessThan => {
+            let (c0, v0) = encode_int(&term.children()[0], fresh);
+            let (c1, v1) = encode_int(&term.children()[1], fresh);
+            (Formula::and(vec![c0, c1]), Formula::lt(v0, v1))
+        }
+        Symbol::Equal => {
+            let (c0, v0) = encode_int(&term.children()[0], fresh);
+            let (c1, v1) = encode_int(&term.children()[1], fresh);
+            (Formula::and(vec![c0, c1]), Formula::eq(v0, v1))
+        }
+        Symbol::And => {
+            let (c0, f0) = encode_bool(&term.children()[0], fresh);
+            let (c1, f1) = encode_bool(&term.children()[1], fresh);
+            (Formula::and(vec![c0, c1]), Formula::and(vec![f0, f1]))
+        }
+        Symbol::Or => {
+            let (c0, f0) = encode_bool(&term.children()[0], fresh);
+            let (c1, f1) = encode_bool(&term.children()[1], fresh);
+            (Formula::and(vec![c0, c1]), Formula::or(vec![f0, f1]))
+        }
+        Symbol::Not => {
+            let (c0, f0) = encode_bool(&term.children()[0], fresh);
+            (c0, Formula::not(f0))
+        }
+        other => unreachable!("symbol {other} is not Boolean-sorted"),
+    }
+}
+
+/// The counterexample query of the CEGIS verifier: satisfiable iff the
+/// candidate violates the specification on some input. A model of the
+/// returned formula assigns violating values to the input variables.
+pub fn counterexample_query(candidate: &Term, spec: &Spec) -> Formula {
+    let out = Spec::output_var();
+    let spec_formula = spec.formula().clone();
+    match candidate.sort() {
+        Sort::Int => {
+            let encoded = encode_int_term(candidate);
+            let bind = Formula::eq(LinearExpr::var(out), encoded.value);
+            Formula::and(vec![
+                encoded.constraints,
+                bind,
+                Formula::not(spec_formula),
+            ])
+        }
+        Sort::Bool => {
+            let (constraints, truth) = encode_bool_term(candidate);
+            // output encoded as 0/1
+            let bind = Formula::ite(
+                truth,
+                Formula::eq(LinearExpr::var(out.clone()), LinearExpr::constant(1)),
+                Formula::eq(LinearExpr::var(out), LinearExpr::constant(0)),
+            );
+            Formula::and(vec![constraints, bind, Formula::not(spec_formula)])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::example::Example;
+    use logic::{Solver, SolverResult};
+
+    #[test]
+    fn lia_term_encoding_is_linear() {
+        // 2x + 2 written as x + x + 2
+        let t = Term::apply(
+            Symbol::Plus,
+            vec![Term::var("x"), Term::var("x"), Term::num(2)],
+        )
+        .unwrap();
+        let e = encode_int_term(&t);
+        assert_eq!(e.constraints, Formula::True);
+        assert_eq!(e.value.coeff(&Var::new("x")), 2);
+        assert_eq!(e.value.constant_part(), 2);
+    }
+
+    #[test]
+    fn correct_candidate_has_unsat_counterexample_query() {
+        // spec: f(x) = 2x + 2; candidate: x + x + 2 — correct on all inputs
+        let spec = Spec::output_equals(
+            LinearExpr::var(Var::new("x")).scale(2) + LinearExpr::constant(2),
+            vec!["x".to_string()],
+        );
+        let candidate = Term::apply(
+            Symbol::Plus,
+            vec![Term::var("x"), Term::var("x"), Term::num(2)],
+        )
+        .unwrap();
+        let q = counterexample_query(&candidate, &spec);
+        assert_eq!(Solver::default().check(&q), SolverResult::Unsat);
+    }
+
+    #[test]
+    fn incorrect_candidate_yields_counterexample() {
+        // spec: f(x) = 2x + 2; candidate: 4x (correct only on x = 1)
+        let spec = Spec::output_equals(
+            LinearExpr::var(Var::new("x")).scale(2) + LinearExpr::constant(2),
+            vec!["x".to_string()],
+        );
+        let candidate = Term::apply(
+            Symbol::Plus,
+            vec![
+                Term::var("x"),
+                Term::var("x"),
+                Term::var("x"),
+                Term::var("x"),
+            ],
+        )
+        .unwrap();
+        let q = counterexample_query(&candidate, &spec);
+        match Solver::default().check(&q) {
+            SolverResult::Sat(m) => {
+                let cex = spec.example_from_model(&m);
+                // the candidate must indeed violate the spec on the returned input
+                let value = candidate.eval(&cex).unwrap();
+                assert!(!spec.holds_value(&cex, value));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ite_candidate_encoding() {
+        // candidate: ite(x < 0, 0, x); spec: f(x) ≥ 0 — correct everywhere
+        let spec = Spec::new(
+            Formula::ge(
+                LinearExpr::var(Spec::output_var()),
+                LinearExpr::constant(0),
+            ),
+            vec!["x".to_string()],
+            Sort::Int,
+        );
+        let candidate = Term::ite(
+            Term::less_than(Term::var("x"), Term::num(0)),
+            Term::num(0),
+            Term::var("x"),
+        )
+        .unwrap();
+        let q = counterexample_query(&candidate, &spec);
+        assert_eq!(Solver::default().check(&q), SolverResult::Unsat);
+
+        // but spec f(x) > 0 admits the counterexample x = 0 (or any x ≤ 0)
+        let strict = Spec::new(
+            Formula::gt(
+                LinearExpr::var(Spec::output_var()),
+                LinearExpr::constant(0),
+            ),
+            vec!["x".to_string()],
+            Sort::Int,
+        );
+        let q2 = counterexample_query(&candidate, &strict);
+        match Solver::default().check(&q2) {
+            SolverResult::Sat(m) => {
+                let cex = strict.example_from_model(&m);
+                let value = candidate.eval(&cex).unwrap();
+                assert!(!strict.holds_value(&cex, value));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bool_candidate_encoding() {
+        // candidate: x < 5, spec: f(x) = 1 (always true) — x = 5 is a cex
+        let spec = Spec::new(
+            Formula::eq(
+                LinearExpr::var(Spec::output_var()),
+                LinearExpr::constant(1),
+            ),
+            vec!["x".to_string()],
+            Sort::Bool,
+        );
+        let candidate = Term::less_than(Term::var("x"), Term::num(5));
+        let q = counterexample_query(&candidate, &spec);
+        match Solver::default().check(&q) {
+            SolverResult::Sat(m) => {
+                let cex = spec.example_from_model(&m);
+                assert!(cex.get("x").unwrap() >= 5);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn encoding_agrees_with_evaluation() {
+        // pin the input and check the encoded value matches eval()
+        let t = Term::ite(
+            Term::less_than(Term::var("x"), Term::num(3)),
+            Term::plus(Term::var("x"), Term::num(10)),
+            Term::minus(Term::var("x"), Term::num(1)),
+        )
+        .unwrap();
+        let solver = Solver::default();
+        for x in [-2i64, 0, 3, 7] {
+            let e = encode_int_term(&t);
+            let pinned = Formula::and(vec![
+                e.constraints.clone(),
+                Formula::eq(LinearExpr::var(Var::new("x")), LinearExpr::constant(x)),
+                Formula::eq(LinearExpr::var(Var::new("r")), e.value.clone()),
+            ]);
+            match solver.check(&pinned) {
+                SolverResult::Sat(m) => {
+                    let expected = t.eval(&Example::from_pairs([("x", x)])).unwrap().as_i64();
+                    assert_eq!(m.get(&Var::new("r")), Some(expected), "input {x}");
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,293 @@
+//! Input examples and output vectors (the `⟦·⟧_E` machinery of Ex. 3.6).
+
+use crate::term::Sort;
+use crate::SygusError;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A single input example: an assignment of integer values to the input
+/// variables of the function being synthesized.
+///
+/// # Example
+/// ```
+/// use sygus::Example;
+/// let e = Example::from_pairs([("x", 1)]);
+/// assert_eq!(e.get("x"), Some(1));
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Example {
+    values: BTreeMap<String, i64>,
+}
+
+impl Example {
+    /// Creates an empty example (for functions with no inputs).
+    pub fn new() -> Self {
+        Example::default()
+    }
+
+    /// Creates an example from `(variable, value)` pairs.
+    pub fn from_pairs<S: Into<String>>(pairs: impl IntoIterator<Item = (S, i64)>) -> Self {
+        Example {
+            values: pairs.into_iter().map(|(k, v)| (k.into(), v)).collect(),
+        }
+    }
+
+    /// Sets the value of an input variable.
+    pub fn set(&mut self, var: impl Into<String>, value: i64) {
+        self.values.insert(var.into(), value);
+    }
+
+    /// Looks up the value of an input variable.
+    pub fn get(&self, var: &str) -> Option<i64> {
+        self.values.get(var).copied()
+    }
+
+    /// The input variables bound by this example.
+    pub fn variables(&self) -> impl Iterator<Item = &str> {
+        self.values.keys().map(|s| s.as_str())
+    }
+
+    /// Iterates over `(variable, value)` bindings.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, i64)> {
+        self.values.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+}
+
+impl fmt::Debug for Example {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Example {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, (k, v)) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{k}={v}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+/// An ordered, finite set of input examples `E = ⟨i₁, …, iₙ⟩` (Def. 3.4).
+///
+/// The order matters: output vectors are indexed by example position.
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct ExampleSet {
+    examples: Vec<Example>,
+}
+
+impl ExampleSet {
+    /// Creates an empty example set.
+    pub fn new() -> Self {
+        ExampleSet::default()
+    }
+
+    /// Creates an example set from examples.
+    pub fn from_examples(examples: impl IntoIterator<Item = Example>) -> Self {
+        ExampleSet {
+            examples: examples.into_iter().collect(),
+        }
+    }
+
+    /// For a single-input function: builds the example set `⟨x=v₁, …⟩`.
+    pub fn for_single_var(var: &str, values: impl IntoIterator<Item = i64>) -> Self {
+        ExampleSet::from_examples(
+            values
+                .into_iter()
+                .map(|v| Example::from_pairs([(var, v)])),
+        )
+    }
+
+    /// Appends an example, returning its index.
+    pub fn push(&mut self, example: Example) -> usize {
+        self.examples.push(example);
+        self.examples.len() - 1
+    }
+
+    /// The number of examples `|E|`.
+    pub fn len(&self) -> usize {
+        self.examples.len()
+    }
+
+    /// `true` when there are no examples.
+    pub fn is_empty(&self) -> bool {
+        self.examples.is_empty()
+    }
+
+    /// The examples in order.
+    pub fn examples(&self) -> &[Example] {
+        &self.examples
+    }
+
+    /// Iterates over the examples in order.
+    pub fn iter(&self) -> impl Iterator<Item = &Example> {
+        self.examples.iter()
+    }
+
+    /// `μ_E(x)`: the vector of values of input variable `x` across all
+    /// examples (Ex. 3.6).
+    ///
+    /// # Errors
+    /// Returns an error if some example does not bind `x`.
+    pub fn projection(&self, var: &str) -> Result<Vec<i64>, SygusError> {
+        self.examples
+            .iter()
+            .map(|e| {
+                e.get(var).ok_or_else(|| {
+                    SygusError::EvalError(format!("example {e} does not bind variable {var}"))
+                })
+            })
+            .collect()
+    }
+
+    /// `true` when the example set already contains an identical example.
+    pub fn contains(&self, example: &Example) -> bool {
+        self.examples.contains(example)
+    }
+}
+
+impl fmt::Debug for ExampleSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for ExampleSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, e) in self.examples.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{e}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl FromIterator<Example> for ExampleSet {
+    fn from_iter<T: IntoIterator<Item = Example>>(iter: T) -> Self {
+        ExampleSet::from_examples(iter)
+    }
+}
+
+/// The vector of outputs `⟦e⟧_E` of a term across all examples: either an
+/// integer vector or a Boolean vector, depending on the term's sort.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Output {
+    /// Outputs of an integer-sorted term.
+    Int(Vec<i64>),
+    /// Outputs of a Boolean-sorted term.
+    Bool(Vec<bool>),
+}
+
+impl Output {
+    /// The sort of the output vector.
+    pub fn sort(&self) -> Sort {
+        match self {
+            Output::Int(_) => Sort::Int,
+            Output::Bool(_) => Sort::Bool,
+        }
+    }
+
+    /// The number of components (= number of examples).
+    pub fn len(&self) -> usize {
+        match self {
+            Output::Int(v) => v.len(),
+            Output::Bool(v) => v.len(),
+        }
+    }
+
+    /// `true` when there are no components.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The integer components, if integer-sorted.
+    pub fn as_int(&self) -> Option<&[i64]> {
+        match self {
+            Output::Int(v) => Some(v),
+            Output::Bool(_) => None,
+        }
+    }
+
+    /// The Boolean components, if Boolean-sorted.
+    pub fn as_bool(&self) -> Option<&[bool]> {
+        match self {
+            Output::Bool(v) => Some(v),
+            Output::Int(_) => None,
+        }
+    }
+
+    /// The `j`-th output as an integer, encoding Booleans as 0/1.
+    pub fn as_i64(&self, j: usize) -> i64 {
+        match self {
+            Output::Int(v) => v[j],
+            Output::Bool(v) => i64::from(v[j]),
+        }
+    }
+}
+
+impl fmt::Display for Output {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Output::Int(v) => write!(f, "{v:?}"),
+            Output::Bool(v) => write!(f, "{v:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn projection_matches_paper_example() {
+        // E = ⟨x=1, x=2⟩, μ_E(x) = (1, 2)
+        let e = ExampleSet::for_single_var("x", [1, 2]);
+        assert_eq!(e.projection("x").unwrap(), vec![1, 2]);
+        assert_eq!(e.len(), 2);
+    }
+
+    #[test]
+    fn missing_variable_is_an_error() {
+        let e = ExampleSet::from_examples([Example::from_pairs([("x", 1)])]);
+        assert!(e.projection("y").is_err());
+    }
+
+    #[test]
+    fn multi_variable_examples() {
+        let e = ExampleSet::from_examples([
+            Example::from_pairs([("x", 1), ("y", 10)]),
+            Example::from_pairs([("x", 2), ("y", 20)]),
+            Example::from_pairs([("x", 3), ("y", 30)]),
+        ]);
+        assert_eq!(e.projection("x").unwrap(), vec![1, 2, 3]);
+        assert_eq!(e.projection("y").unwrap(), vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn output_accessors() {
+        let int = Output::Int(vec![4, 6]);
+        assert_eq!(int.sort(), Sort::Int);
+        assert_eq!(int.as_int(), Some(&[4i64, 6][..]));
+        assert_eq!(int.as_i64(1), 6);
+        let b = Output::Bool(vec![true, false]);
+        assert_eq!(b.sort(), Sort::Bool);
+        assert_eq!(b.as_i64(0), 1);
+        assert_eq!(b.as_i64(1), 0);
+    }
+
+    #[test]
+    fn duplicate_detection() {
+        let mut e = ExampleSet::new();
+        let ex = Example::from_pairs([("x", 5)]);
+        e.push(ex.clone());
+        assert!(e.contains(&ex));
+        assert!(!e.contains(&Example::from_pairs([("x", 6)])));
+    }
+}

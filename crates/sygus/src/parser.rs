@@ -1,0 +1,662 @@
+//! A SyGuS-IF-style front end: s-expression parsing of `synth-fun` problems
+//! and a printer back to the same format.
+//!
+//! The supported fragment covers the LIA/CLIA benchmarks of the paper's
+//! evaluation:
+//!
+//! * `(set-logic LIA)` / `(set-logic CLIA)` (recorded, not enforced),
+//! * `(synth-fun f ((x Int) …) Int (<nonterminal decls>) (<grouped rules>))`,
+//! * `(declare-var x Int)`,
+//! * `(constraint <formula>)` where the formula uses `= < <= > >= + - *`
+//!   (multiplication by constants only), `and`, `or`, `not`, `ite`, integer
+//!   literals, declared variables, and single-invocation applications
+//!   `(f x …)` of the synthesis function,
+//! * `(check-synth)`.
+
+use crate::grammar::{Grammar, GrammarBuilder};
+use crate::problem::Problem;
+use crate::spec::Spec;
+use crate::term::{Sort, Symbol};
+use crate::SygusError;
+use logic::{Formula, LinearExpr, Var};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// An s-expression.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Sexp {
+    /// An atom (symbol or numeral).
+    Atom(String),
+    /// A parenthesised list.
+    List(Vec<Sexp>),
+}
+
+impl Sexp {
+    fn atom(&self) -> Option<&str> {
+        match self {
+            Sexp::Atom(s) => Some(s),
+            Sexp::List(_) => None,
+        }
+    }
+    fn list(&self) -> Option<&[Sexp]> {
+        match self {
+            Sexp::List(l) => Some(l),
+            Sexp::Atom(_) => None,
+        }
+    }
+}
+
+/// Tokenises and parses a string into a sequence of s-expressions.
+///
+/// Comments start with `;` and run to the end of the line.
+///
+/// # Errors
+/// Returns a [`SygusError::ParseError`] on unbalanced parentheses.
+pub fn parse_sexps(input: &str) -> Result<Vec<Sexp>, SygusError> {
+    let mut tokens: Vec<String> = Vec::new();
+    let mut current = String::new();
+    let mut chars = input.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            ';' => {
+                while let Some(&n) = chars.peek() {
+                    if n == '\n' {
+                        break;
+                    }
+                    chars.next();
+                }
+            }
+            '(' | ')' => {
+                if !current.is_empty() {
+                    tokens.push(std::mem::take(&mut current));
+                }
+                tokens.push(c.to_string());
+            }
+            c if c.is_whitespace() => {
+                if !current.is_empty() {
+                    tokens.push(std::mem::take(&mut current));
+                }
+            }
+            c => current.push(c),
+        }
+    }
+    if !current.is_empty() {
+        tokens.push(current);
+    }
+
+    let mut stack: Vec<Vec<Sexp>> = vec![Vec::new()];
+    for t in tokens {
+        match t.as_str() {
+            "(" => stack.push(Vec::new()),
+            ")" => {
+                let done = stack
+                    .pop()
+                    .ok_or_else(|| SygusError::ParseError("unbalanced ')'".to_string()))?;
+                let parent = stack
+                    .last_mut()
+                    .ok_or_else(|| SygusError::ParseError("unbalanced ')'".to_string()))?;
+                parent.push(Sexp::List(done));
+            }
+            atom => stack
+                .last_mut()
+                .expect("stack never empty")
+                .push(Sexp::Atom(atom.to_string())),
+        }
+    }
+    if stack.len() != 1 {
+        return Err(SygusError::ParseError("unbalanced '('".to_string()));
+    }
+    Ok(stack.pop().expect("single frame"))
+}
+
+fn parse_sort(s: &Sexp) -> Result<Sort, SygusError> {
+    match s.atom() {
+        Some("Int") => Ok(Sort::Int),
+        Some("Bool") => Ok(Sort::Bool),
+        other => Err(SygusError::ParseError(format!(
+            "unsupported sort {other:?}"
+        ))),
+    }
+}
+
+struct SynthFun {
+    name: String,
+    params: Vec<(String, Sort)>,
+    ret: Sort,
+    grammar: Grammar,
+}
+
+fn parse_synth_fun(items: &[Sexp]) -> Result<SynthFun, SygusError> {
+    // (synth-fun name ((x Int) ...) Ret (decls) (rules))
+    if items.len() < 4 {
+        return Err(SygusError::ParseError(
+            "synth-fun needs a name, parameters and a return sort".to_string(),
+        ));
+    }
+    let name = items[1]
+        .atom()
+        .ok_or_else(|| SygusError::ParseError("synth-fun name must be an atom".to_string()))?
+        .to_string();
+    let mut params = Vec::new();
+    for p in items[2]
+        .list()
+        .ok_or_else(|| SygusError::ParseError("synth-fun parameter list expected".to_string()))?
+    {
+        let pl = p
+            .list()
+            .ok_or_else(|| SygusError::ParseError("parameter must be (name Sort)".to_string()))?;
+        if pl.len() != 2 {
+            return Err(SygusError::ParseError(
+                "parameter must be (name Sort)".to_string(),
+            ));
+        }
+        params.push((
+            pl[0]
+                .atom()
+                .ok_or_else(|| SygusError::ParseError("parameter name must be an atom".to_string()))?
+                .to_string(),
+            parse_sort(&pl[1])?,
+        ));
+    }
+    let ret = parse_sort(&items[3])?;
+
+    // Grammar part: either SyGuS-IF v2 ((A Int) (B Bool)) ((A Int (rules)) ...)
+    // or directly ((A Int (rules)) ...).
+    let grouped = if items.len() >= 6 {
+        items[5].list().ok_or_else(|| {
+            SygusError::ParseError("grouped grammar rules must be a list".to_string())
+        })?
+    } else if items.len() == 5 {
+        items[4].list().ok_or_else(|| {
+            SygusError::ParseError("grouped grammar rules must be a list".to_string())
+        })?
+    } else {
+        return Err(SygusError::ParseError(
+            "synth-fun must declare a grammar".to_string(),
+        ));
+    };
+
+    // Collect nonterminal declarations first.
+    let mut decls: Vec<(String, Sort)> = Vec::new();
+    for g in grouped {
+        let gl = g.list().ok_or_else(|| {
+            SygusError::ParseError("grammar group must be (Name Sort (rules…))".to_string())
+        })?;
+        if gl.len() < 3 {
+            return Err(SygusError::ParseError(
+                "grammar group must be (Name Sort (rules…))".to_string(),
+            ));
+        }
+        decls.push((
+            gl[0]
+                .atom()
+                .ok_or_else(|| SygusError::ParseError("nonterminal name must be an atom".to_string()))?
+                .to_string(),
+            parse_sort(&gl[1])?,
+        ));
+    }
+    let start = decls
+        .first()
+        .ok_or_else(|| SygusError::ParseError("grammar has no nonterminals".to_string()))?
+        .0
+        .clone();
+    let nts: BTreeMap<String, Sort> = decls.iter().cloned().collect();
+    let vars: BTreeMap<String, Sort> = params.iter().cloned().collect();
+
+    let mut builder = GrammarBuilder::new(&start);
+    for (n, s) in &decls {
+        builder = builder.nonterminal(n, *s);
+    }
+    for g in grouped {
+        let gl = g.list().expect("validated above");
+        let lhs = gl[0].atom().expect("validated above");
+        let rules = gl[2].list().ok_or_else(|| {
+            SygusError::ParseError("grammar rules must be a parenthesised list".to_string())
+        })?;
+        for rule in rules {
+            builder = parse_rule(builder, lhs, rule, &nts, &vars)?;
+        }
+    }
+    Ok(SynthFun {
+        name,
+        params,
+        ret,
+        grammar: builder.build()?,
+    })
+}
+
+fn parse_rule(
+    builder: GrammarBuilder,
+    lhs: &str,
+    rule: &Sexp,
+    nts: &BTreeMap<String, Sort>,
+    vars: &BTreeMap<String, Sort>,
+) -> Result<GrammarBuilder, SygusError> {
+    match rule {
+        Sexp::Atom(a) => {
+            if let Ok(c) = a.parse::<i64>() {
+                Ok(builder.production(lhs, Symbol::Num(c), &[]))
+            } else if vars.contains_key(a) {
+                Ok(builder.production(lhs, Symbol::Var(a.clone()), &[]))
+            } else if nts.contains_key(a) {
+                Ok(builder.chain(lhs, a))
+            } else if a == "true" || a == "false" {
+                Err(SygusError::ParseError(
+                    "Boolean literals in grammars are not supported; use comparisons".to_string(),
+                ))
+            } else {
+                Err(SygusError::ParseError(format!(
+                    "unknown grammar atom {a} in rules of {lhs}"
+                )))
+            }
+        }
+        Sexp::List(items) => {
+            let op = items
+                .first()
+                .and_then(|s| s.atom())
+                .ok_or_else(|| SygusError::ParseError("rule operator must be an atom".to_string()))?;
+            let args: Result<Vec<&str>, SygusError> = items[1..]
+                .iter()
+                .map(|s| {
+                    s.atom().ok_or_else(|| {
+                        SygusError::ParseError(format!(
+                            "nested terms in grammar rules are not supported (rule of {lhs}); \
+                             introduce an auxiliary nonterminal"
+                        ))
+                    })
+                })
+                .collect();
+            let args = args?;
+            // Arguments must be nonterminals.
+            for a in &args {
+                if !nts.contains_key(*a) {
+                    return Err(SygusError::ParseError(format!(
+                        "rule argument {a} of {lhs} is not a declared nonterminal"
+                    )));
+                }
+            }
+            let symbol = match op {
+                "+" => Symbol::Plus,
+                "-" => Symbol::Minus,
+                "ite" => Symbol::IfThenElse,
+                "and" => Symbol::And,
+                "or" => Symbol::Or,
+                "not" => Symbol::Not,
+                "<" => Symbol::LessThan,
+                "=" => Symbol::Equal,
+                other => {
+                    return Err(SygusError::ParseError(format!(
+                        "unsupported grammar operator {other}"
+                    )))
+                }
+            };
+            Ok(builder.production(lhs, symbol, &args))
+        }
+    }
+}
+
+/// Parses constraint terms into linear expressions (integer context).
+fn parse_int_expr(
+    sexp: &Sexp,
+    fun: &SynthFun,
+    declared: &BTreeMap<String, Sort>,
+) -> Result<LinearExpr, SygusError> {
+    match sexp {
+        Sexp::Atom(a) => {
+            if let Ok(c) = a.parse::<i64>() {
+                Ok(LinearExpr::constant(c))
+            } else if declared.contains_key(a) || fun.params.iter().any(|(p, _)| p == a) {
+                Ok(LinearExpr::var(Var::new(a.clone())))
+            } else {
+                Err(SygusError::ParseError(format!(
+                    "unknown variable {a} in constraint"
+                )))
+            }
+        }
+        Sexp::List(items) => {
+            let op = items
+                .first()
+                .and_then(|s| s.atom())
+                .ok_or_else(|| SygusError::ParseError("operator must be an atom".to_string()))?;
+            match op {
+                "+" => {
+                    let mut sum = LinearExpr::zero();
+                    for a in &items[1..] {
+                        sum = sum + parse_int_expr(a, fun, declared)?;
+                    }
+                    Ok(sum)
+                }
+                "-" => {
+                    if items.len() == 2 {
+                        Ok(parse_int_expr(&items[1], fun, declared)?.scale(-1))
+                    } else {
+                        let mut acc = parse_int_expr(&items[1], fun, declared)?;
+                        for a in &items[2..] {
+                            acc = acc - parse_int_expr(a, fun, declared)?;
+                        }
+                        Ok(acc)
+                    }
+                }
+                "*" => {
+                    if items.len() != 3 {
+                        return Err(SygusError::ParseError(
+                            "* must have exactly two operands".to_string(),
+                        ));
+                    }
+                    let a = parse_int_expr(&items[1], fun, declared)?;
+                    let b = parse_int_expr(&items[2], fun, declared)?;
+                    if a.is_constant() {
+                        Ok(b.scale(a.constant_part()))
+                    } else if b.is_constant() {
+                        Ok(a.scale(b.constant_part()))
+                    } else {
+                        Err(SygusError::ParseError(
+                            "non-linear multiplication is not supported".to_string(),
+                        ))
+                    }
+                }
+                name if name == fun.name => {
+                    // single-invocation application f(x̄)
+                    for (arg, (param, _)) in items[1..].iter().zip(&fun.params) {
+                        match arg.atom() {
+                            Some(a) if a == param => {}
+                            _ => {
+                                return Err(SygusError::ParseError(
+                                    "only single-invocation applications f(x̄) on the declared \
+                                     variables are supported"
+                                        .to_string(),
+                                ))
+                            }
+                        }
+                    }
+                    Ok(LinearExpr::var(Spec::output_var()))
+                }
+                other => Err(SygusError::ParseError(format!(
+                    "unsupported integer operator {other}"
+                ))),
+            }
+        }
+    }
+}
+
+fn parse_formula(
+    sexp: &Sexp,
+    fun: &SynthFun,
+    declared: &BTreeMap<String, Sort>,
+) -> Result<Formula, SygusError> {
+    match sexp {
+        Sexp::Atom(a) if a == "true" => Ok(Formula::True),
+        Sexp::Atom(a) if a == "false" => Ok(Formula::False),
+        Sexp::Atom(_) => Err(SygusError::ParseError(
+            "Boolean variables in constraints are not supported".to_string(),
+        )),
+        Sexp::List(items) => {
+            let op = items
+                .first()
+                .and_then(|s| s.atom())
+                .ok_or_else(|| SygusError::ParseError("operator must be an atom".to_string()))?;
+            let int = |i: usize| parse_int_expr(&items[i], fun, declared);
+            match op {
+                "=" => Ok(Formula::eq(int(1)?, int(2)?)),
+                "<" => Ok(Formula::lt(int(1)?, int(2)?)),
+                "<=" => Ok(Formula::le(int(1)?, int(2)?)),
+                ">" => Ok(Formula::gt(int(1)?, int(2)?)),
+                ">=" => Ok(Formula::ge(int(1)?, int(2)?)),
+                "and" => Ok(Formula::and(
+                    items[1..]
+                        .iter()
+                        .map(|s| parse_formula(s, fun, declared))
+                        .collect::<Result<Vec<_>, _>>()?,
+                )),
+                "or" => Ok(Formula::or(
+                    items[1..]
+                        .iter()
+                        .map(|s| parse_formula(s, fun, declared))
+                        .collect::<Result<Vec<_>, _>>()?,
+                )),
+                "not" => Ok(Formula::not(parse_formula(&items[1], fun, declared)?)),
+                "=>" => Ok(Formula::implies(
+                    parse_formula(&items[1], fun, declared)?,
+                    parse_formula(&items[2], fun, declared)?,
+                )),
+                "ite" => Ok(Formula::ite(
+                    parse_formula(&items[1], fun, declared)?,
+                    parse_formula(&items[2], fun, declared)?,
+                    parse_formula(&items[3], fun, declared)?,
+                )),
+                other => Err(SygusError::ParseError(format!(
+                    "unsupported Boolean operator {other}"
+                ))),
+            }
+        }
+    }
+}
+
+/// Parses a complete SyGuS-IF problem.
+///
+/// # Errors
+/// Returns a [`SygusError::ParseError`] for unsupported or malformed input.
+///
+/// # Example
+/// ```
+/// let src = r#"
+///   (set-logic LIA)
+///   (synth-fun f ((x Int)) Int
+///     ((Start Int) (X Int))
+///     ((Start Int ((+ X Start) 0))
+///      (X Int (x))))
+///   (declare-var x Int)
+///   (constraint (= (f x) (+ (* 2 x) 2)))
+///   (check-synth)
+/// "#;
+/// let problem = sygus::parser::parse_problem(src, "doc").unwrap();
+/// assert_eq!(problem.grammar().num_nonterminals(), 2);
+/// ```
+pub fn parse_problem(input: &str, name: &str) -> Result<Problem, SygusError> {
+    let sexps = parse_sexps(input)?;
+    let mut synth_fun: Option<SynthFun> = None;
+    let mut declared: BTreeMap<String, Sort> = BTreeMap::new();
+    let mut constraints: Vec<Sexp> = Vec::new();
+
+    for s in &sexps {
+        let Some(items) = s.list() else {
+            return Err(SygusError::ParseError(format!(
+                "top-level atoms are not valid SyGuS commands: {s:?}"
+            )));
+        };
+        let Some(head) = items.first().and_then(|s| s.atom()) else {
+            continue;
+        };
+        match head {
+            "set-logic" | "check-synth" | "set-option" => {}
+            "synth-fun" => synth_fun = Some(parse_synth_fun(items)?),
+            "declare-var" => {
+                let v = items
+                    .get(1)
+                    .and_then(|s| s.atom())
+                    .ok_or_else(|| SygusError::ParseError("declare-var needs a name".to_string()))?;
+                let sort = parse_sort(items.get(2).ok_or_else(|| {
+                    SygusError::ParseError("declare-var needs a sort".to_string())
+                })?)?;
+                declared.insert(v.to_string(), sort);
+            }
+            "constraint" => constraints.push(items[1].clone()),
+            other => {
+                return Err(SygusError::ParseError(format!(
+                    "unsupported SyGuS command {other}"
+                )))
+            }
+        }
+    }
+
+    let fun = synth_fun
+        .ok_or_else(|| SygusError::ParseError("no synth-fun command found".to_string()))?;
+    let formula = Formula::and(
+        constraints
+            .iter()
+            .map(|c| parse_formula(c, &fun, &declared))
+            .collect::<Result<Vec<_>, _>>()?,
+    );
+    // Inputs of the spec: the synth-fun's parameters (constraints are assumed
+    // single-invocation, i.e. the universally quantified variables coincide
+    // with the function arguments).
+    let input_vars: Vec<String> = if declared.is_empty() {
+        fun.params.iter().map(|(p, _)| p.clone()).collect()
+    } else {
+        declared.keys().cloned().collect()
+    };
+    let spec = Spec::new(formula, input_vars, fun.ret);
+    Ok(Problem::new(name, fun.grammar, spec))
+}
+
+/// Prints a grammar in the grouped SyGuS-IF rule format.
+pub fn grammar_to_sygus(grammar: &Grammar) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "(");
+    for (i, nt) in grammar.nonterminals().iter().enumerate() {
+        if i > 0 {
+            let _ = write!(out, "\n ");
+        }
+        let sort = grammar.sort_of(nt).expect("declared nonterminal");
+        let _ = write!(out, "({nt} {sort} (");
+        let rules: Vec<String> = grammar
+            .productions_of(nt)
+            .map(|p| {
+                if p.args.is_empty() {
+                    p.symbol.sygus_name()
+                } else {
+                    format!(
+                        "({} {})",
+                        p.symbol.sygus_name(),
+                        p.args
+                            .iter()
+                            .map(|a| a.to_string())
+                            .collect::<Vec<_>>()
+                            .join(" ")
+                    )
+                }
+            })
+            .collect();
+        let _ = write!(out, "{}))", rules.join(" "));
+    }
+    let _ = write!(out, ")");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::example::ExampleSet;
+    use crate::term::Term;
+
+    const SECTION2_LIA: &str = r#"
+      ; the LIA problem of Section 2 (grammar G1)
+      (set-logic LIA)
+      (synth-fun f ((x Int)) Int
+        ((Start Int) (S1 Int) (S2 Int) (S3 Int))
+        ((Start Int ((+ S1 Start) 0))
+         (S1 Int ((+ S2 S3)))
+         (S2 Int ((+ S3 S3)))
+         (S3 Int (x))))
+      (declare-var x Int)
+      (constraint (= (f x) (+ (* 2 x) 2)))
+      (check-synth)
+    "#;
+
+    #[test]
+    fn sexp_parsing() {
+        let sexps = parse_sexps("(a (b 1) ; comment\n c)").unwrap();
+        assert_eq!(sexps.len(), 1);
+        match &sexps[0] {
+            Sexp::List(items) => assert_eq!(items.len(), 3),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse_sexps("(a (b)").is_err());
+        assert!(parse_sexps("a) b").is_err());
+    }
+
+    #[test]
+    fn parses_the_section2_problem() {
+        let p = parse_problem(SECTION2_LIA, "section2").unwrap();
+        assert_eq!(p.grammar().num_nonterminals(), 4);
+        assert_eq!(p.grammar().num_productions(), 5);
+        assert!(p.grammar().is_lia());
+        // spec: f(1) must be 4
+        let e = crate::Example::from_pairs([("x", 1)]);
+        assert!(p.spec().holds(&e, 4));
+        assert!(!p.spec().holds(&e, 3));
+    }
+
+    #[test]
+    fn parsed_grammar_generates_3kx() {
+        let p = parse_problem(SECTION2_LIA, "section2").unwrap();
+        let examples = ExampleSet::for_single_var("x", [1]);
+        for t in p.grammar().terms_up_to_size(p.grammar().start(), 9, 100) {
+            let out = t.eval_on(&examples).unwrap();
+            let v = out.as_int().unwrap()[0];
+            assert_eq!(v % 3, 0, "grammar G1 should only produce multiples of 3·x");
+        }
+    }
+
+    #[test]
+    fn chain_productions_are_resolved() {
+        let src = r#"
+          (synth-fun f ((x Int)) Int
+            ((Start Int) (A Int))
+            ((Start Int (A))
+             (A Int (x 0))))
+          (constraint (= (f x) x))
+        "#;
+        let p = parse_problem(src, "chain").unwrap();
+        // Start has the copied productions of A
+        assert!(p.grammar().contains_term(&Term::var("x")));
+        assert!(p.grammar().contains_term(&Term::num(0)));
+    }
+
+    #[test]
+    fn clia_grammar_parsing() {
+        let src = r#"
+          (set-logic CLIA)
+          (synth-fun f ((x Int) (y Int)) Int
+            ((Start Int) (B Bool))
+            ((Start Int (x y 0 1 (+ Start Start) (ite B Start Start)))
+             (B Bool ((< Start Start) (and B B) (not B)))))
+          (declare-var x Int)
+          (declare-var y Int)
+          (constraint (>= (f x y) x))
+          (constraint (>= (f x y) y))
+          (constraint (or (= (f x y) x) (= (f x y) y)))
+          (check-synth)
+        "#;
+        let p = parse_problem(src, "max2").unwrap();
+        assert!(p.grammar().has_ite());
+        assert_eq!(p.grammar().bool_nonterminals().len(), 1);
+        assert_eq!(p.grammar().variables().len(), 2);
+        // max(3,5) = 5 satisfies, 4 does not
+        let e = crate::Example::from_pairs([("x", 3), ("y", 5)]);
+        assert!(p.spec().holds(&e, 5));
+        assert!(!p.spec().holds(&e, 4));
+    }
+
+    #[test]
+    fn rejects_nonlinear_and_unknown() {
+        let bad = r#"
+          (synth-fun f ((x Int)) Int ((Start Int)) ((Start Int (x))))
+          (declare-var x Int)
+          (constraint (= (f x) (* x x)))
+        "#;
+        assert!(parse_problem(bad, "bad").is_err());
+        let unknown = r#"
+          (synth-fun f ((x Int)) Int ((Start Int)) ((Start Int (y))))
+        "#;
+        assert!(parse_problem(unknown, "bad").is_err());
+    }
+
+    #[test]
+    fn grammar_printer_round_trips_through_parser() {
+        let p = parse_problem(SECTION2_LIA, "section2").unwrap();
+        let printed = grammar_to_sygus(p.grammar());
+        assert!(printed.contains("(Start Int"));
+        assert!(printed.contains("(+ S1 Start)"));
+    }
+}

@@ -1,0 +1,191 @@
+//! SyGuS problems `sy = (ψ, G)` (Def. 3.2).
+
+use crate::example::{Example, ExampleSet};
+use crate::grammar::Grammar;
+use crate::spec::Spec;
+use crate::term::Term;
+use crate::SygusError;
+use std::fmt;
+
+/// A syntax-guided synthesis problem: a behavioral specification `ψ` and a
+/// regular tree grammar `G` describing the search space (Def. 3.2).
+///
+/// The example-restricted problem `sy_E` (Def. 3.4) is represented by a
+/// [`Problem`] paired with an [`ExampleSet`]; see
+/// [`Problem::satisfied_on_examples`].
+///
+/// # Example
+/// ```
+/// use sygus::{GrammarBuilder, Problem, Sort, Spec, Symbol, Term, ExampleSet};
+/// use logic::{LinearExpr, Var};
+///
+/// let grammar = GrammarBuilder::new("Start")
+///     .nonterminal("Start", Sort::Int)
+///     .production("Start", Symbol::Num(0), &[])
+///     .production("Start", Symbol::Plus, &["Start", "Start"])
+///     .build().unwrap();
+/// let spec = Spec::output_equals(
+///     LinearExpr::var(Var::new("x")).scale(2),
+///     vec!["x".to_string()],
+/// );
+/// let problem = Problem::new("double", grammar, spec);
+/// let examples = ExampleSet::for_single_var("x", [3]);
+/// // Num(0) is not correct on x = 3 (expected 6)
+/// assert!(!problem.satisfied_on_examples(&Term::num(0), &examples).unwrap());
+/// ```
+#[derive(Clone)]
+pub struct Problem {
+    name: String,
+    grammar: Grammar,
+    spec: Spec,
+}
+
+impl Problem {
+    /// Creates a named SyGuS problem.
+    pub fn new(name: impl Into<String>, grammar: Grammar, spec: Spec) -> Self {
+        Problem {
+            name: name.into(),
+            grammar,
+            spec,
+        }
+    }
+
+    /// The problem's name (benchmark identifier).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The search-space grammar `G`.
+    pub fn grammar(&self) -> &Grammar {
+        &self.grammar
+    }
+
+    /// The behavioral specification `ψ`.
+    pub fn spec(&self) -> &Spec {
+        &self.spec
+    }
+
+    /// Replaces the grammar (used by benchmark generators that derive
+    /// "limited" variants from a base problem).
+    pub fn with_grammar(mut self, grammar: Grammar) -> Self {
+        self.grammar = grammar;
+        self
+    }
+
+    /// Renames the problem.
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// `true` iff the candidate term satisfies the specification on every
+    /// example of `E`, i.e. whether the term is a solution of `sy_E`
+    /// (Def. 3.4).
+    ///
+    /// # Errors
+    /// Propagates evaluation errors (e.g. unbound input variables).
+    pub fn satisfied_on_examples(
+        &self,
+        candidate: &Term,
+        examples: &ExampleSet,
+    ) -> Result<bool, SygusError> {
+        for e in examples.iter() {
+            let value = candidate.eval(e)?;
+            if !self.spec.holds_value(e, value) {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// The first example of `E` on which the candidate violates the
+    /// specification, if any.
+    ///
+    /// # Errors
+    /// Propagates evaluation errors.
+    pub fn first_violation(
+        &self,
+        candidate: &Term,
+        examples: &ExampleSet,
+    ) -> Result<Option<Example>, SygusError> {
+        for e in examples.iter() {
+            let value = candidate.eval(e)?;
+            if !self.spec.holds_value(e, value) {
+                return Ok(Some(e.clone()));
+            }
+        }
+        Ok(None)
+    }
+}
+
+impl fmt::Debug for Problem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Problem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "SyGuS problem {}", self.name)?;
+        writeln!(f, "  spec: {}", self.spec)?;
+        write!(f, "  grammar:\n{}", self.grammar)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grammar::GrammarBuilder;
+    use crate::term::{Sort, Symbol};
+    use logic::{LinearExpr, Var};
+
+    fn problem() -> Problem {
+        // Grammar G1 of §2 and spec f(x) = 2x + 2
+        let grammar = GrammarBuilder::new("Start")
+            .nonterminal("Start", Sort::Int)
+            .nonterminal("S1", Sort::Int)
+            .nonterminal("S2", Sort::Int)
+            .nonterminal("S3", Sort::Int)
+            .production("Start", Symbol::Plus, &["S1", "Start"])
+            .production("Start", Symbol::Num(0), &[])
+            .production("S1", Symbol::Plus, &["S2", "S3"])
+            .production("S2", Symbol::Plus, &["S3", "S3"])
+            .production("S3", Symbol::Var("x".to_string()), &[])
+            .build()
+            .unwrap();
+        let spec = Spec::output_equals(
+            LinearExpr::var(Var::new("x")).scale(2) + LinearExpr::constant(2),
+            vec!["x".to_string()],
+        );
+        Problem::new("section2-lia", grammar, spec)
+    }
+
+    #[test]
+    fn candidate_evaluation() {
+        let p = problem();
+        let examples = ExampleSet::for_single_var("x", [1]);
+        // Num(0) produces 0 ≠ 4
+        assert!(!p.satisfied_on_examples(&Term::num(0), &examples).unwrap());
+        assert!(p
+            .first_violation(&Term::num(0), &examples)
+            .unwrap()
+            .is_some());
+    }
+
+    #[test]
+    fn accessors() {
+        let p = problem();
+        assert_eq!(p.name(), "section2-lia");
+        assert_eq!(p.grammar().num_nonterminals(), 4);
+        let renamed = p.clone().with_name("other");
+        assert_eq!(renamed.name(), "other");
+    }
+
+    #[test]
+    fn empty_example_set_is_trivially_satisfied() {
+        let p = problem();
+        assert!(p
+            .satisfied_on_examples(&Term::num(0), &ExampleSet::new())
+            .unwrap());
+    }
+}

@@ -1,0 +1,205 @@
+//! The `h(G)` grammar rewriting that removes `Minus` by pushing negations to
+//! the leaves (§5.2), extended to CLIA grammars (§6.1).
+//!
+//! For every integer nonterminal `X` of the input grammar the rewritten
+//! grammar contains `X` and its "negative" twin `X⁻`, whose language is the
+//! negation of the language of `X` (Lemma 5.4):
+//!
+//! * `X → Plus(X₁, X₂)`      becomes `X → Plus(X₁, X₂)` and `X⁻ → Plus(X₁⁻, X₂⁻)`
+//! * `X → Minus(X₁, X₂)`     becomes `X → Plus(X₁, X₂⁻)` and `X⁻ → Plus(X₁⁻, X₂)`
+//! * `X → Num(c)`            becomes `X → Num(c)` and `X⁻ → Num(-c)`
+//! * `X → Var(x)`            becomes `X → Var(x)` and `X⁻ → NegVar(x)`
+//! * `X → IfThenElse(B,T,E)` becomes itself and `X⁻ → IfThenElse(B, T⁻, E⁻)`
+//!
+//! Boolean productions are copied unchanged (their arguments are positive
+//! nonterminals). Finally the result is trimmed to the nonterminals
+//! reachable from the start symbol.
+
+use crate::grammar::{Grammar, GrammarBuilder, NonTerminal, Production};
+use crate::term::{Sort, Symbol};
+use crate::SygusError;
+
+/// Rewrites a LIA or CLIA grammar into the equivalent `Minus`-free
+/// LIA⁺/CLIA⁺ form `h(G)`.
+///
+/// Grammars without `Minus` are returned unchanged (modulo trimming), so the
+/// function is idempotent.
+///
+/// # Errors
+/// Returns an error if the input grammar is malformed (should not happen for
+/// grammars built through [`GrammarBuilder`]).
+pub fn to_plus_form(grammar: &Grammar) -> Result<Grammar, SygusError> {
+    if !grammar.has_minus() {
+        return Ok(grammar.trim());
+    }
+
+    let mut builder = GrammarBuilder::new(grammar.start().name());
+    // Declare every original nonterminal and, for integer nonterminals,
+    // the negative twin.
+    for nt in grammar.nonterminals() {
+        let sort = grammar
+            .sort_of(nt)
+            .ok_or_else(|| SygusError::GrammarError(format!("nonterminal {nt} has no sort")))?;
+        builder = builder.nonterminal(nt.name(), sort);
+        if sort == Sort::Int {
+            builder = builder.nonterminal(nt.negative().name(), Sort::Int);
+        }
+    }
+
+    for p in grammar.productions() {
+        builder = add_rewritten(builder, grammar, p)?;
+    }
+    Ok(builder.build()?.trim())
+}
+
+fn add_rewritten(
+    mut builder: GrammarBuilder,
+    grammar: &Grammar,
+    p: &Production,
+) -> Result<GrammarBuilder, SygusError> {
+    let lhs = p.lhs.clone();
+    let neg_lhs = lhs.negative();
+    let args = p.args.clone();
+    let neg_args = |args: &[NonTerminal]| -> Vec<NonTerminal> {
+        args.iter().map(|a| a.negative()).collect()
+    };
+    match &p.symbol {
+        Symbol::Plus => {
+            builder = builder.production_nt(lhs, Symbol::Plus, args.clone());
+            builder = builder.production_nt(neg_lhs, Symbol::Plus, neg_args(&args));
+        }
+        Symbol::Minus => {
+            // X → Plus(X₁, X₂⁻), X⁻ → Plus(X₁⁻, X₂)
+            let (a, b) = (args[0].clone(), args[1].clone());
+            builder = builder.production_nt(lhs, Symbol::Plus, vec![a.clone(), b.negative()]);
+            builder = builder.production_nt(neg_lhs, Symbol::Plus, vec![a.negative(), b]);
+        }
+        Symbol::Num(c) => {
+            builder = builder.production_nt(lhs, Symbol::Num(*c), vec![]);
+            builder = builder.production_nt(neg_lhs, Symbol::Num(-c), vec![]);
+        }
+        Symbol::Var(x) => {
+            builder = builder.production_nt(lhs, Symbol::Var(x.clone()), vec![]);
+            builder = builder.production_nt(neg_lhs, Symbol::NegVar(x.clone()), vec![]);
+        }
+        Symbol::NegVar(x) => {
+            builder = builder.production_nt(lhs, Symbol::NegVar(x.clone()), vec![]);
+            builder = builder.production_nt(neg_lhs, Symbol::Var(x.clone()), vec![]);
+        }
+        Symbol::IfThenElse => {
+            let (b, t, e) = (args[0].clone(), args[1].clone(), args[2].clone());
+            builder = builder.production_nt(
+                lhs,
+                Symbol::IfThenElse,
+                vec![b.clone(), t.clone(), e.clone()],
+            );
+            builder = builder.production_nt(
+                neg_lhs,
+                Symbol::IfThenElse,
+                vec![b, t.negative(), e.negative()],
+            );
+        }
+        // Boolean symbols: arguments keep their positive versions; there is
+        // no negative twin for a Boolean nonterminal.
+        Symbol::And | Symbol::Or | Symbol::Not | Symbol::LessThan | Symbol::Equal => {
+            debug_assert_eq!(grammar.sort_of(&p.lhs), Some(Sort::Bool));
+            builder = builder.production_nt(lhs, p.symbol.clone(), args);
+        }
+    }
+    Ok(builder)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::example::ExampleSet;
+    use crate::grammar::GrammarBuilder;
+    use crate::term::Sort;
+    use std::collections::BTreeSet;
+
+    /// Example 5.3: Start ::= Minus(Start, Start) | Num(1) | Var(x)
+    fn example_5_3() -> Grammar {
+        GrammarBuilder::new("Start")
+            .nonterminal("Start", Sort::Int)
+            .production("Start", Symbol::Minus, &["Start", "Start"])
+            .production("Start", Symbol::Num(1), &[])
+            .production("Start", Symbol::Var("x".to_string()), &[])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn example_5_3_shape() {
+        let h = to_plus_form(&example_5_3()).unwrap();
+        // Start and Start⁻, three productions each
+        assert_eq!(h.num_nonterminals(), 2);
+        assert_eq!(h.num_productions(), 6);
+        assert!(!h.has_minus());
+        let names: BTreeSet<&str> = h.nonterminals().iter().map(|n| n.name()).collect();
+        assert!(names.contains("Start"));
+        assert!(names.contains("Start⁻"));
+    }
+
+    #[test]
+    fn minus_free_grammar_is_unchanged() {
+        let g = GrammarBuilder::new("Start")
+            .nonterminal("Start", Sort::Int)
+            .production("Start", Symbol::Plus, &["Start", "Start"])
+            .production("Start", Symbol::Num(1), &[])
+            .build()
+            .unwrap();
+        let h = to_plus_form(&g).unwrap();
+        assert_eq!(h.num_productions(), 2);
+        assert!(!h.has_minus());
+    }
+
+    #[test]
+    fn semantic_equivalence_on_sampled_terms() {
+        // Lemma 5.4 (sampled): every value producible by G on E is producible
+        // by h(G) on E, and vice versa.
+        let g = example_5_3();
+        let h = to_plus_form(&g).unwrap();
+        let examples = ExampleSet::for_single_var("x", [2, 5]);
+
+        let outputs = |grammar: &Grammar| -> BTreeSet<Vec<i64>> {
+            grammar
+                .terms_up_to_size(grammar.start(), 5, 10_000)
+                .iter()
+                .map(|t| t.eval_on(&examples).unwrap().as_int().unwrap().to_vec())
+                .collect()
+        };
+        // The h(G) rewriting maps derivations to derivations of the same
+        // size in both directions, so for a fixed size bound the producible
+        // output sets coincide exactly.
+        assert_eq!(outputs(&g), outputs(&h));
+    }
+
+    #[test]
+    fn clia_ite_rewriting() {
+        let g = GrammarBuilder::new("Start")
+            .nonterminal("Start", Sort::Int)
+            .nonterminal("B", Sort::Bool)
+            .production("Start", Symbol::Minus, &["Start", "Start"])
+            .production("Start", Symbol::Num(3), &[])
+            .production("Start", Symbol::IfThenElse, &["B", "Start", "Start"])
+            .production("B", Symbol::LessThan, &["Start", "Start"])
+            .build()
+            .unwrap();
+        let h = to_plus_form(&g).unwrap();
+        assert!(!h.has_minus());
+        assert!(h.has_ite());
+        // Boolean nonterminal must not get a negative twin
+        assert!(h
+            .nonterminals()
+            .iter()
+            .all(|nt| nt.name() != "B⁻"));
+    }
+
+    #[test]
+    fn idempotence() {
+        let h = to_plus_form(&example_5_3()).unwrap();
+        let h2 = to_plus_form(&h).unwrap();
+        assert_eq!(h.num_productions(), h2.num_productions());
+        assert_eq!(h.num_nonterminals(), h2.num_nonterminals());
+    }
+}

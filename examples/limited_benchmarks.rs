@@ -1,0 +1,54 @@
+//! Running the three tools (naySL, nayHorn, nope) on benchmarks from the
+//! paper's evaluation families — the workloads the introduction motivates:
+//! proving that *syntax-restricted* synthesis problems (a Plus too few, an
+//! IfThenElse too few, a missing constant) have no solution.
+//!
+//! Run with `cargo run --release --example limited_benchmarks`.
+
+use nay::check::check_unrealizable;
+use nay::Mode;
+use nope::NopeSolver;
+use std::time::Instant;
+
+fn main() {
+    let picks = [
+        "plus_plane1",
+        "plus_guard1",
+        "if_max2",
+        "if_guard1",
+        "array_search_2",
+        "array_sum_2_5",
+        "mpg_example1",
+    ];
+    println!(
+        "{:<18} {:>4} {:>4} {:>4} {:>4}   {:<14} {:<14} {:<14}",
+        "benchmark", "|N|", "|δ|", "|V|", "|E|", "naySL", "nayHorn", "nope"
+    );
+    for name in picks {
+        let bench = benchmarks::all()
+            .into_iter()
+            .find(|b| b.name == name)
+            .expect("benchmark exists");
+        let run = |mode: &Mode| {
+            let start = Instant::now();
+            let verdict = check_unrealizable(&bench.problem, &bench.witness_examples, mode).verdict;
+            format!("{:?} {:.0?}", verdict, start.elapsed())
+        };
+        let start = Instant::now();
+        let (nope_verdict, _) = NopeSolver::new().check(&bench.problem, &bench.witness_examples);
+        let nope_report = format!("{:?} {:.0?}", nope_verdict, start.elapsed());
+        println!(
+            "{:<18} {:>4} {:>4} {:>4} {:>4}   {:<14} {:<14} {:<14}",
+            bench.name,
+            bench.num_nonterminals(),
+            bench.num_productions(),
+            bench.num_variables(),
+            bench.num_examples(),
+            run(&Mode::default()),
+            run(&Mode::horn()),
+            nope_report
+        );
+    }
+    println!("\n(as in the paper, the exact naySL mode proves the most benchmarks;");
+    println!(" nayHorn and nope share their approximate back end and agree with each other)");
+}

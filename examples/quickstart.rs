@@ -1,0 +1,53 @@
+//! Quickstart: prove the Section-2 LIA problem unrealizable.
+//!
+//! The grammar G₁ only generates terms equivalent to `3k·x`, while the
+//! specification asks for `f(x) = 2x + 2`. With the single input example
+//! `x = 1` the set of producible outputs is `{0, 3, 6, …}`, which never
+//! contains the required output 4 — so the whole SyGuS problem is
+//! unrealizable (Lemma 3.5 of the paper).
+//!
+//! Run with `cargo run --example quickstart`.
+
+use nay::check::{check_unrealizable, Verdict};
+use nay::{CegisOutcome, Mode, Nay};
+use sygus::{parser, ExampleSet};
+
+fn main() {
+    let source = r#"
+        ; Section 2 of the paper, grammar G1: Start ::= Plus(3x, Start) | 0
+        (set-logic LIA)
+        (synth-fun f ((x Int)) Int
+          ((Start Int) (S1 Int) (S2 Int) (S3 Int))
+          ((Start Int ((+ S1 Start) 0))
+           (S1 Int ((+ S2 S3)))
+           (S2 Int ((+ S3 S3)))
+           (S3 Int (x))))
+        (declare-var x Int)
+        (constraint (= (f x) (+ (* 2 x) 2)))
+        (check-synth)
+    "#;
+    let problem = parser::parse_problem(source, "section2-lia").expect("well-formed SyGuS input");
+    println!("problem:\n{problem}");
+
+    // One-shot check on a fixed example set (Algorithm 1).
+    let examples = ExampleSet::for_single_var("x", [1]);
+    let outcome = check_unrealizable(&problem, &examples, &Mode::default());
+    println!(
+        "Alg. 1 on E = {examples}: {:?}  (abstraction size {}, {:?})",
+        outcome.verdict, outcome.abstraction_size, outcome.elapsed
+    );
+    assert_eq!(outcome.verdict, Verdict::Unrealizable);
+
+    // Full CEGIS loop (Algorithm 2) starting from a random example.
+    let (cegis_outcome, stats) = Nay::new().run(&problem);
+    println!(
+        "Alg. 2 (CEGIS): {:?} after {} iteration(s), {} example(s), {} GFA check(s), {:?}",
+        cegis_outcome,
+        stats.cegis_iterations,
+        stats.num_examples,
+        stats.gfa_checks,
+        stats.total_time
+    );
+    assert_eq!(cegis_outcome, CegisOutcome::Unrealizable);
+    println!("the SyGuS problem is unrealizable ✔");
+}
