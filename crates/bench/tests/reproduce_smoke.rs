@@ -1,0 +1,19 @@
+//! Smoke test for the experiment harness: the quick-mode §8.1 summary must
+//! keep producing a real report, so the `reproduce` driver cannot silently
+//! rot as the solvers evolve.
+
+#[test]
+fn reproduce_summary_quick_mode_yields_a_report() {
+    let report = bench::reproduce_summary(true);
+    assert!(!report.trim().is_empty(), "summary report is empty");
+    assert!(
+        report.contains("solved-benchmark counts"),
+        "summary report lost its header:\n{report}"
+    );
+    // One line per family plus the totals line and the paper's reference
+    // numbers: the report must cover all three benchmark families.
+    for family in ["LimitedPlus", "LimitedIf", "LimitedConst", "total", "paper"] {
+        assert!(report.contains(family), "summary report lacks `{family}`:\n{report}");
+    }
+    assert!(report.lines().count() >= 6, "summary report too short:\n{report}");
+}

@@ -126,7 +126,7 @@ mod tests {
         let names: Vec<String> = all().into_iter().map(|b| b.name).collect();
         for row in table1_rows().iter().chain(table2_rows().iter()) {
             assert!(
-                names.iter().any(|n| n == &row.name),
+                names.iter().any(|n| n == row.name),
                 "table row {} has no generated benchmark",
                 row.name
             );

@@ -192,7 +192,7 @@ impl Enumerator {
             }
             if added_any {
                 largest_new_size = size;
-            } else if size >= 1 + max_arity * largest_new_size {
+            } else if size > max_arity * largest_new_size {
                 // Every representative has size ≤ largest_new_size, so any
                 // term buildable from representatives has size at most
                 // 1 + max_arity·largest_new_size — and all of those sizes

@@ -81,7 +81,7 @@ fn differential<S: Semiring>(
 ) -> Vec<Vec<S::Elem>> {
     let n = system.num_vars();
     let mut matrix = vec![vec![semiring.zero(); n]; n];
-    for i in 0..n {
+    for (i, row) in matrix.iter_mut().enumerate() {
         for m in system.monomials(i) {
             for (pos, &var) in m.vars.iter().enumerate() {
                 // coefficient ⊗ Π_{q ≠ pos} ν[vars[q]]
@@ -91,8 +91,7 @@ fn differential<S: Semiring>(
                         term = semiring.extend(&term, &valuation[other]);
                     }
                 }
-                matrix[i][var] =
-                    semiring.normalize(semiring.combine(&matrix[i][var], &term));
+                row[var] = semiring.normalize(semiring.combine(&row[var], &term));
             }
         }
     }

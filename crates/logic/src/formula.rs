@@ -226,6 +226,9 @@ impl Formula {
     }
 
     /// Logical negation with constant folding.
+    // `not` is a constructor taking the formula by value, like `and`/`or`
+    // above, not a candidate for the `std::ops::Not` trait.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(f: Formula) -> Formula {
         match f {
             Formula::True => Formula::False,

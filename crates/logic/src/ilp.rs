@@ -264,8 +264,8 @@ impl IlpProblem {
                     continue;
                 }
                 c.coeffs[var] = 0;
-                for j in 0..self.num_vars {
-                    c.coeffs[j] += factor * sub_coeffs[j];
+                for (cj, &sj) in c.coeffs.iter_mut().zip(&sub_coeffs) {
+                    *cj += factor * sj;
                 }
                 c.rhs -= factor * sub_const;
             }

@@ -127,7 +127,7 @@ impl Tableau {
                 // optimal; compute objective value
                 let mut val = Rational::ZERO;
                 for (i, &b) in self.basis.iter().enumerate() {
-                    val = val + obj[b] * self.rhs[i];
+                    val += obj[b] * self.rhs[i];
                 }
                 return Some(val);
             };
@@ -254,8 +254,8 @@ impl Simplex {
 
         // Phase 1: maximize -(sum of artificials).
         let mut phase1_obj = vec![Rational::ZERO; ncols];
-        for j in art_base..ncols {
-            phase1_obj[j] = -Rational::ONE;
+        for slot in phase1_obj.iter_mut().skip(art_base) {
+            *slot = -Rational::ONE;
         }
         let allowed_all = vec![true; ncols];
         let val = tab
@@ -293,7 +293,7 @@ impl Simplex {
             if b < 2 * n {
                 let var = b / 2;
                 if b % 2 == 0 {
-                    point[var] = point[var] + tab.rhs[i];
+                    point[var] += tab.rhs[i];
                 } else {
                     point[var] = point[var] - tab.rhs[i];
                 }

@@ -179,7 +179,7 @@ mod tests {
     #[test]
     fn trivial_formulas() {
         let s = Solver::default();
-        assert_eq!(s.check(&Formula::True).is_sat(), true);
+        assert!(s.check(&Formula::True).is_sat());
         assert_eq!(s.check(&Formula::False), SolverResult::Unsat);
     }
 

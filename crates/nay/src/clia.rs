@@ -62,12 +62,12 @@ impl CliaAnalysis {
 /// some pair of members `v₁ ∈ sl₁, v₂ ∈ sl₂` satisfies `b = v₁ < v₂`
 /// component-wise. Computed with `2^|E|` QF-LIA queries.
 pub fn abstract_less_than(sl1: &SemiLinearSet, sl2: &SemiLinearSet, dim: usize) -> BoolVecSet {
-    abstract_comparison(sl1, sl2, dim, |a, b| Formula::lt(a, b), |a, b| Formula::ge(a, b))
+    abstract_comparison(sl1, sl2, dim, Formula::lt, Formula::ge)
 }
 
 /// `⟦Equal⟧♯(sl₁, sl₂)`: analogous to [`abstract_less_than`] for equality.
 pub fn abstract_equal(sl1: &SemiLinearSet, sl2: &SemiLinearSet, dim: usize) -> BoolVecSet {
-    abstract_comparison(sl1, sl2, dim, |a, b| Formula::eq(a, b), |a, b| Formula::ne(a, b))
+    abstract_comparison(sl1, sl2, dim, Formula::eq, Formula::ne)
 }
 
 fn abstract_comparison(

@@ -112,7 +112,7 @@ mod tests {
         let sl = SemiLinearSet::from_linear_sets([LinearSet::new(v(&[0]), vec![v(&[3])])]);
         let o1 = Var::indexed("o", 1);
         let i1 = Var::indexed("i", 1);
-        let gamma = concretize_semilinear(&sl, &[o1.clone()]);
+        let gamma = concretize_semilinear(&sl, std::slice::from_ref(&o1));
         let spec = Formula::and(vec![
             Formula::eq(
                 LinearExpr::var(o1),

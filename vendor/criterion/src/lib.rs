@@ -1,0 +1,193 @@
+//! Offline stand-in for the parts of the `criterion` crate this workspace
+//! uses.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! implements the API surface the `crates/bench/benches/*.rs` targets need:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkId`], [`Bencher::iter`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Semantics: under `cargo bench` (cargo passes `--bench` to `harness =
+//! false` targets) every registered benchmark runs `sample_size` iterations
+//! and the mean wall-clock time is printed. Under `cargo test` the binary
+//! exits immediately, exactly like real criterion's test mode, so bench
+//! targets never slow the test suite down. There are no statistics, plots,
+//! or baselines.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Re-export of [`std::hint::black_box`], mirroring `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    enabled: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo invokes `harness = false` bench executables with `--bench`
+        // under `cargo bench`; anything else (notably `cargo test`) is test
+        // mode, where measuring would only waste time.
+        Criterion { enabled: std::env::args().any(|a| a == "--bench") }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 10 }
+    }
+
+    /// Registers and (in bench mode) runs a single benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        run_one(self.enabled, &name, 10, |b| f(b));
+        self
+    }
+}
+
+/// A named collection of benchmarks, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Registers a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(self.criterion.enabled, &label, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Registers an unparameterised benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id().label);
+        run_one(self.criterion.enabled, &label, self.sample_size, |b| f(b));
+        self
+    }
+
+    /// Ends the group (kept for API parity; nothing to flush).
+    pub fn finish(self) {}
+}
+
+fn run_one(enabled: bool, label: &str, samples: usize, mut f: impl FnMut(&mut Bencher)) {
+    if !enabled {
+        return;
+    }
+    let mut bencher = Bencher { total_nanos: 0, iterations: 0, samples };
+    f(&mut bencher);
+    let mean = bencher.total_nanos as f64 / bencher.iterations.max(1) as f64;
+    println!("{label:<50} {:>12.3} µs/iter ({} iters)", mean / 1e3, bencher.iterations);
+}
+
+/// A benchmark identifier: a function name plus a parameter rendering.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id such as `E2/8` from a name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Builds an id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+/// Conversion into [`BenchmarkId`] for `bench_function` arguments.
+pub trait IntoBenchmarkId {
+    /// Performs the conversion.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { label: self.to_string() }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { label: self }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    total_nanos: u128,
+    iterations: u64,
+    samples: usize,
+}
+
+impl Bencher {
+    /// Times `samples` calls of `routine`.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        for _ in 0..self.samples {
+            let started = Instant::now();
+            black_box(routine());
+            self.total_nanos += started.elapsed().as_nanos();
+            self.iterations += 1;
+        }
+    }
+}
+
+/// Expands to a function running each listed benchmark target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Expands to `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,132 @@
+//! Offline stand-in for the parts of the `rand` crate this workspace uses.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! implements exactly the API surface the workspace needs: `StdRng`,
+//! [`SeedableRng::seed_from_u64`], and [`Rng::gen_range`] over integer
+//! ranges. The generator is SplitMix64 — deterministic, seedable, and more
+//! than good enough for drawing counterexample inputs; it makes no attempt
+//! at cryptographic quality.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Bound, RangeBounds};
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next word of the stream.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Integer types that [`Rng::gen_range`] can sample.
+pub trait SampleUniform: Copy {
+    /// Widens to `i128` (every supported type fits).
+    fn to_i128(self) -> i128;
+    /// Narrows from `i128`; the value is always in range by construction.
+    fn from_i128(v: i128) -> Self;
+    /// The type's minimum, widened.
+    const MIN_I128: i128;
+    /// The type's maximum, widened.
+    const MAX_I128: i128;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn to_i128(self) -> i128 {
+                self as i128
+            }
+            fn from_i128(v: i128) -> Self {
+                v as $t
+            }
+            const MIN_I128: i128 = <$t>::MIN as i128;
+            const MAX_I128: i128 = <$t>::MAX as i128;
+        }
+    )*};
+}
+
+impl_sample_uniform!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+/// High-level sampling methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Samples uniformly from `range` (any integer range form).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: RangeBounds<T>,
+    {
+        let lo = match range.start_bound() {
+            Bound::Included(x) => x.to_i128(),
+            Bound::Excluded(x) => x.to_i128() + 1,
+            Bound::Unbounded => T::MIN_I128,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(x) => x.to_i128(),
+            Bound::Excluded(x) => x.to_i128() - 1,
+            Bound::Unbounded => T::MAX_I128,
+        };
+        assert!(lo <= hi, "gen_range called with an empty range");
+        let span = (hi - lo) as u128 + 1;
+        let wide = ((self.next_u64() as u128) << 64) | self.next_u64() as u128;
+        T::from_i128(lo + (wide % span) as i128)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Named RNG types, mirroring `rand::rngs`.
+pub mod rngs {
+    pub use super::StdRng;
+}
+
+/// The standard deterministic generator (SplitMix64 underneath).
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        StdRng { state: seed }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: i64 = rng.gen_range(-50..=50);
+            assert!((-50..=50).contains(&v));
+            let u: usize = rng.gen_range(0..10);
+            assert!(u < 10);
+        }
+    }
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}
