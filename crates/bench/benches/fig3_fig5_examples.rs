@@ -13,11 +13,9 @@ fn bench_fig3_fig5(c: &mut Criterion) {
         for e in [1usize, 3, 5] {
             let problem = benchmarks::scaling_problem(n);
             let examples = ExampleSet::for_single_var("x", (1..=e as i64).collect::<Vec<_>>());
-            group.bench_with_input(
-                BenchmarkId::new(format!("nayHorn/N{n}"), e),
-                &e,
-                |b, _| b.iter(|| check_unrealizable(&problem, &examples, &Mode::horn())),
-            );
+            group.bench_with_input(BenchmarkId::new(format!("nayHorn/N{n}"), e), &e, |b, _| {
+                b.iter(|| check_unrealizable(&problem, &examples, &Mode::horn()))
+            });
             group.bench_with_input(BenchmarkId::new(format!("nope/N{n}"), e), &e, |b, _| {
                 b.iter(|| NopeSolver::new().check(&problem, &examples))
             });

@@ -15,9 +15,7 @@ fn bench_fig4(c: &mut Criterion) {
             b.iter(|| check_unrealizable(&problem, &examples, &Mode::default()))
         });
         group.bench_with_input(BenchmarkId::new("no_opt", n), &n, |b, _| {
-            b.iter(|| {
-                check_unrealizable(&problem, &examples, &Mode::semi_linear_unstratified())
-            })
+            b.iter(|| check_unrealizable(&problem, &examples, &Mode::semi_linear_unstratified()))
         });
     }
     group.finish();

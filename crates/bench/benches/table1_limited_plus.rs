@@ -7,7 +7,10 @@ use nay::Mode;
 fn bench_table1_plus(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1_limited_plus");
     group.sample_size(10);
-    for bench in bench::select(benchmarks::Family::LimitedPlus, true).into_iter().take(6) {
+    for bench in bench::select(benchmarks::Family::LimitedPlus, true)
+        .into_iter()
+        .take(6)
+    {
         group.bench_function(format!("naySL/{}", bench.name), |b| {
             b.iter(|| check_unrealizable(&bench.problem, &bench.witness_examples, &Mode::default()))
         });

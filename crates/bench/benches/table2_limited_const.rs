@@ -8,7 +8,10 @@ use nope::NopeSolver;
 fn bench_table2(c: &mut Criterion) {
     let mut group = c.benchmark_group("table2_limited_const");
     group.sample_size(10);
-    for bench in bench::select(benchmarks::Family::LimitedConst, true).into_iter().take(6) {
+    for bench in bench::select(benchmarks::Family::LimitedConst, true)
+        .into_iter()
+        .take(6)
+    {
         group.bench_function(format!("naySL/{}", bench.name), |b| {
             b.iter(|| check_unrealizable(&bench.problem, &bench.witness_examples, &Mode::default()))
         });

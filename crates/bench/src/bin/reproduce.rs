@@ -1,39 +1,170 @@
-//! Command-line driver regenerating the paper's tables and figures.
+//! Command-line driver regenerating the paper's tables and figures, and the
+//! CI perf-regression gate.
 //!
 //! ```text
-//! cargo run --release -p bench --bin reproduce -- [EXPERIMENT] [--full]
+//! cargo run --release -p bench --bin reproduce -- [EXPERIMENT] [OPTIONS]
+//! cargo run --release -p bench --bin reproduce -- compare OLD.json NEW.json [OPTIONS]
 //!
-//! EXPERIMENT: all | table1-plus | table1-if | table2 | fig2 | fig3 | fig4 |
-//!             fig5 | summary          (default: all)
-//! --full:     run every benchmark instead of the quick subset
+//! EXPERIMENT: all | table1-plus | table1-if | table1 | table2 | fig2 | fig3 |
+//!             fig4 | fig5 | summary          (default: all)
+//!
+//! OPTIONS:
+//!   --full            run every benchmark instead of the quick subset
+//!   --jobs N          worker threads for the benchmark suite (default: 1)
+//!   --timeout-ms MS   per-benchmark wall-clock budget (default: none)
+//!   --json PATH       write the suite's JSON report to PATH (with `all`)
+//!
+//! compare OPTIONS:
+//!   --threshold-pct P   flag slowdowns beyond P percent (default: 25)
+//!   --min-millis M      ignore entries faster than M ms (default: 50)
 //! ```
+//!
+//! `compare` exits 0 when the new report has no regressions against the old
+//! one, 1 when it does, and 2 on usage or parse errors.
+
+use runner::{compare, CompareConfig, PoolConfig, Report};
+use std::time::Duration;
+
+fn usage_error(message: &str) -> ! {
+    eprintln!("error: {message}");
+    eprintln!("run with no arguments for the default quick sweep; see README.md for the CLI");
+    std::process::exit(2);
+}
+
+/// Parses the value following a `--flag`.
+fn parse_value<T: std::str::FromStr>(flag: &str, value: Option<&String>) -> T {
+    let Some(text) = value else {
+        usage_error(&format!("`{flag}` needs a value"));
+    };
+    match text.parse() {
+        Ok(v) => v,
+        Err(_) => usage_error(&format!("`{flag}` got an unparsable value `{text}`")),
+    }
+}
+
+fn run_compare(args: &[String]) -> ! {
+    let mut paths: Vec<&String> = Vec::new();
+    let mut config = CompareConfig::default();
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--threshold-pct" => config.threshold_pct = parse_value(arg, iter.next()),
+            "--min-millis" => config.min_millis = parse_value(arg, iter.next()),
+            flag if flag.starts_with("--") => {
+                usage_error(&format!("unknown compare option `{flag}`"))
+            }
+            _ => paths.push(arg),
+        }
+    }
+    let [old_path, new_path] = paths[..] else {
+        usage_error("compare needs exactly two report paths: OLD.json NEW.json");
+    };
+    let load = |path: &String| -> Report {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot read `{path}`: {e}");
+            std::process::exit(2);
+        });
+        Report::from_json(&text).unwrap_or_else(|e| {
+            eprintln!("error: `{path}` is not a valid report: {e}");
+            std::process::exit(2);
+        })
+    };
+    let old = load(old_path);
+    let new = load(new_path);
+    let regressions = compare(&old, &new, &config);
+    if regressions.is_empty() {
+        println!(
+            "no regressions: {} entries compared (threshold {}%, floor {}ms)",
+            old.entries.len(),
+            config.threshold_pct,
+            config.min_millis
+        );
+        std::process::exit(0);
+    }
+    println!("{} regression(s) against `{old_path}`:", regressions.len());
+    for regression in &regressions {
+        println!("  {regression}");
+    }
+    std::process::exit(1);
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = !args.iter().any(|a| a == "--full");
-    let experiment = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .map(|s| s.as_str())
-        .unwrap_or("all");
+    if args.first().map(String::as_str) == Some("compare") {
+        run_compare(&args[1..]);
+    }
 
-    let report = match experiment {
-        "all" => bench::reproduce_all(quick),
-        "table1-plus" => bench::reproduce_table1_plus(quick),
-        "table1-if" => bench::reproduce_table1_if(quick),
+    let mut quick = true;
+    let mut config = PoolConfig::serial();
+    let mut json_path: Option<String> = None;
+    let mut experiment: Option<String> = None;
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--full" => quick = false,
+            "--jobs" => config.jobs = parse_value(arg, iter.next()),
+            "--timeout-ms" => {
+                config.timeout = Some(Duration::from_millis(parse_value(arg, iter.next())))
+            }
+            "--json" => {
+                json_path = Some(parse_value::<String>(arg, iter.next()));
+            }
+            flag if flag.starts_with("--") => usage_error(&format!("unknown option `{flag}`")),
+            name => {
+                if experiment.is_some() {
+                    usage_error(&format!("unexpected extra argument `{name}`"));
+                }
+                experiment = Some(name.to_string());
+            }
+        }
+    }
+    let experiment = experiment.unwrap_or_else(|| "all".to_string());
+
+    if json_path.is_some() && experiment != "all" && experiment != "summary" {
+        usage_error(
+            "`--json` is only supported with the `all` and `summary` experiments (they run the table suite)",
+        );
+    }
+
+    let write_report = |report: &runner::Report| {
+        if let Some(path) = &json_path {
+            if let Err(e) = std::fs::write(path, report.to_json()) {
+                eprintln!("error: cannot write `{path}`: {e}");
+                std::process::exit(2);
+            }
+            eprintln!(
+                "wrote {} benchmark entries to {path} (suite: {})",
+                report.entries.len(),
+                report.suite
+            );
+        }
+    };
+
+    let report = match experiment.as_str() {
+        "all" => {
+            let (text, report) = bench::reproduce_all_with(quick, &config);
+            write_report(&report);
+            text
+        }
+        "table1-plus" => bench::reproduce_table1_plus_with(quick, &config),
+        "table1-if" => bench::reproduce_table1_if_with(quick, &config),
         "table1" => format!(
             "{}\n{}",
-            bench::reproduce_table1_plus(quick),
-            bench::reproduce_table1_if(quick)
+            bench::reproduce_table1_plus_with(quick, &config),
+            bench::reproduce_table1_if_with(quick, &config)
         ),
-        "table2" => bench::reproduce_table2(quick),
+        "table2" => bench::reproduce_table2_with(quick, &config),
         "fig2" => bench::reproduce_fig2(quick),
         "fig3" | "fig5" | "fig3-fig5" => bench::reproduce_fig3_fig5(quick),
         "fig4" => bench::reproduce_fig4(quick),
-        "summary" => bench::reproduce_summary(quick),
+        "summary" => {
+            let report = bench::run_suite(quick, &config);
+            write_report(&report);
+            bench::render_summary(&report.entries, quick)
+        }
         other => {
             eprintln!("unknown experiment `{other}`");
-            eprintln!("expected one of: all, table1-plus, table1-if, table1, table2, fig2, fig3, fig4, fig5, summary");
+            eprintln!("expected one of: all, table1-plus, table1-if, table1, table2, fig2, fig3, fig4, fig5, summary, compare");
             std::process::exit(2);
         }
     };

@@ -5,6 +5,15 @@
 //! series the paper presents); the `reproduce` binary prints them and
 //! EXPERIMENTS.md records a snapshot together with the paper's numbers.
 //!
+//! Execution is layered on `crates/runner`: the evaluation functions
+//! ([`eval_nay`], [`eval_nope`]) are *pure* — they run a tool and report its
+//! verdict and iteration count, nothing else — while all wall-clock timing,
+//! parallelism, per-job timeouts, and panic isolation live in the runner's
+//! work-stealing pool. The [`suite`] module assembles the (benchmark, tool)
+//! jobs and the schema-versioned JSON [`runner::Report`] that the CI
+//! perf-regression gate diffs against the committed `BENCH_quick.json`
+//! baseline.
+//!
 //! Absolute times differ from the paper (different machine, different SMT
 //! substrate); what is expected to match is the *shape*: which tool solves
 //! which benchmark, how running time grows with `|N|` and `|E|`, and the
@@ -13,14 +22,59 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod suite;
+
+pub use suite::{
+    render_family_table, render_summary, run_benches, run_family, run_suite, FAMILIES, TOOLS,
+};
+
 use benchmarks::{Benchmark, Family};
 use nay::check::{check_unrealizable, Verdict};
 use nay::Mode;
 use nope::{NopeSolver, NopeVerdict};
+use runner::{measure, PoolConfig, Report};
 use std::fmt::Write as _;
-use std::time::Instant;
 
-/// The result of running one tool on one benchmark.
+/// The timing-free outcome of running one tool on one benchmark: what the
+/// runner's jobs return, with the wall clock hoisted into the pool.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Evaluation {
+    /// The tool's realizability verdict (`unrealizable`, `realizable`,
+    /// `unknown`).
+    pub verdict: &'static str,
+    /// Whether the tool proved unrealizability.
+    pub proved: bool,
+    /// Solver iterations (equation-solver rounds for nay, abstract-
+    /// interpretation passes for nope).
+    pub iterations: usize,
+}
+
+/// Runs one of the nay modes on a benchmark's witness example set.
+/// Pure with respect to timing: measure it with [`runner::measure`] or run
+/// it as a pool job.
+pub fn eval_nay(bench: &Benchmark, mode: &Mode) -> Evaluation {
+    let outcome = check_unrealizable(&bench.problem, &bench.witness_examples, mode);
+    Evaluation {
+        verdict: outcome.verdict.name(),
+        proved: outcome.verdict == Verdict::Unrealizable,
+        iterations: outcome.solver_iterations,
+    }
+}
+
+/// Runs the nope baseline on a benchmark's witness example set (pure, like
+/// [`eval_nay`]).
+pub fn eval_nope(bench: &Benchmark) -> Evaluation {
+    let (verdict, stats) = NopeSolver::new().check(&bench.problem, &bench.witness_examples);
+    Evaluation {
+        verdict: verdict.name(),
+        proved: verdict == NopeVerdict::Unrealizable,
+        iterations: stats.abstract_iterations,
+    }
+}
+
+/// The result of running one tool on one benchmark, with its wall-clock
+/// time (the serial-measurement convenience wrapper around [`eval_nay`] /
+/// [`eval_nope`]).
 #[derive(Clone, Debug)]
 pub struct Measurement {
     /// Benchmark name.
@@ -33,42 +87,29 @@ pub struct Measurement {
     pub seconds: f64,
 }
 
-/// Runs one of the nay modes on a benchmark's witness example set.
+/// Runs one of the nay modes on a benchmark, measured.
 pub fn run_nay(bench: &Benchmark, mode: &Mode) -> Measurement {
-    let started = Instant::now();
-    let outcome = check_unrealizable(&bench.problem, &bench.witness_examples, mode);
+    let (eval, elapsed) = measure(|| eval_nay(bench, mode));
     Measurement {
         benchmark: bench.name.clone(),
-        tool: if *mode == Mode::Horn { "nayHorn" } else { "naySL" },
-        proved: outcome.verdict == Verdict::Unrealizable,
-        seconds: started.elapsed().as_secs_f64(),
+        tool: if *mode == Mode::Horn {
+            "nayHorn"
+        } else {
+            "naySL"
+        },
+        proved: eval.proved,
+        seconds: elapsed.as_secs_f64(),
     }
 }
 
-/// Runs the nope baseline on a benchmark's witness example set.
+/// Runs the nope baseline on a benchmark, measured.
 pub fn run_nope(bench: &Benchmark) -> Measurement {
-    let started = Instant::now();
-    let (verdict, _) = NopeSolver::new().check(&bench.problem, &bench.witness_examples);
+    let (eval, elapsed) = measure(|| eval_nope(bench));
     Measurement {
         benchmark: bench.name.clone(),
         tool: "nope",
-        proved: verdict == NopeVerdict::Unrealizable,
-        seconds: started.elapsed().as_secs_f64(),
-    }
-}
-
-fn fmt_time(m: &Measurement) -> String {
-    if m.proved {
-        format!("{:8.3}", m.seconds)
-    } else {
-        "       ✗".to_string()
-    }
-}
-
-fn fmt_paper(seconds: Option<f64>) -> String {
-    match seconds {
-        Some(s) => format!("{s:8.2}"),
-        None => "       ✗".to_string(),
+        proved: eval.proved,
+        seconds: elapsed.as_secs_f64(),
     }
 }
 
@@ -84,80 +125,87 @@ pub fn select(family: Family, quick: bool) -> Vec<Benchmark> {
                 return true;
             }
             let masks = 1usize << b.num_examples().min(4);
-            let cost = b.num_nonterminals() * if b.problem.grammar().has_ite() { masks } else { 1 };
+            let cost = b.num_nonterminals()
+                * if b.problem.grammar().has_ite() {
+                    masks
+                } else {
+                    1
+                };
             cost <= 32 && b.num_examples() <= 4
         })
         .collect()
 }
 
-fn table_report(title: &str, family: Family, quick: bool) -> String {
-    let mut out = String::new();
-    let _ = writeln!(out, "# {title}");
-    let _ = writeln!(
-        out,
-        "{:<18} {:>4} {:>4} {:>4} {:>4} | {:>8} {:>8} {:>8} | paper: {:>8} {:>8} {:>8}",
-        "benchmark", "|N|", "|δ|", "|V|", "|E|", "naySL", "nayHorn", "nope", "naySL", "nayHorn", "nope"
-    );
-    for bench in select(family, quick) {
-        let sl = run_nay(&bench, &Mode::default());
-        let horn = run_nay(&bench, &Mode::horn());
-        let nope = run_nope(&bench);
-        let paper = bench.paper.as_ref();
-        let _ = writeln!(
-            out,
-            "{:<18} {:>4} {:>4} {:>4} {:>4} | {} {} {} | paper: {} {} {}",
-            bench.name,
-            bench.num_nonterminals(),
-            bench.num_productions(),
-            bench.num_variables(),
-            bench.num_examples(),
-            fmt_time(&sl),
-            fmt_time(&horn),
-            fmt_time(&nope),
-            fmt_paper(paper.and_then(|r| r.naysl_seconds)),
-            fmt_paper(paper.and_then(|r| r.nayhorn_seconds)),
-            fmt_paper(paper.and_then(|r| r.nope_seconds)),
-        );
-    }
-    out
+fn family_table(title: &str, family: Family, quick: bool, config: &PoolConfig) -> String {
+    let entries = run_family(family, quick, config);
+    render_family_table(title, family, quick, &entries)
 }
 
 /// Table 1 (LimitedPlus rows): naySL vs nayHorn vs nope.
 pub fn reproduce_table1_plus(quick: bool) -> String {
-    table_report("Table 1 — LimitedPlus", Family::LimitedPlus, quick)
+    reproduce_table1_plus_with(quick, &PoolConfig::serial())
+}
+
+/// [`reproduce_table1_plus`] with an explicit pool configuration.
+pub fn reproduce_table1_plus_with(quick: bool, config: &PoolConfig) -> String {
+    family_table("Table 1 — LimitedPlus", Family::LimitedPlus, quick, config)
 }
 
 /// Table 1 (LimitedIf rows).
 pub fn reproduce_table1_if(quick: bool) -> String {
-    table_report("Table 1 — LimitedIf", Family::LimitedIf, quick)
+    reproduce_table1_if_with(quick, &PoolConfig::serial())
+}
+
+/// [`reproduce_table1_if`] with an explicit pool configuration.
+pub fn reproduce_table1_if_with(quick: bool, config: &PoolConfig) -> String {
+    family_table("Table 1 — LimitedIf", Family::LimitedIf, quick, config)
 }
 
 /// Table 2 (LimitedConst rows).
 pub fn reproduce_table2(quick: bool) -> String {
-    table_report("Table 2 — LimitedConst", Family::LimitedConst, quick)
+    reproduce_table2_with(quick, &PoolConfig::serial())
+}
+
+/// [`reproduce_table2`] with an explicit pool configuration.
+pub fn reproduce_table2_with(quick: bool, config: &PoolConfig) -> String {
+    family_table(
+        "Table 2 — LimitedConst",
+        Family::LimitedConst,
+        quick,
+        config,
+    )
 }
 
 /// Fig. 2: time to compute the semi-linear set of the start symbol as a
 /// function of `|N|`, one series per number of examples.
+///
+/// The scaling figures stay serial on purpose: their whole point is the
+/// per-point timing curve, which concurrent load would distort.
 pub fn reproduce_fig2(quick: bool) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "# Fig. 2 — naySL semi-linear solving time vs |N|");
-    let _ = writeln!(out, "{:<6} {:<6} {:>12} {:>10}", "|N|", "|E|", "seconds", "verdict");
+    let _ = writeln!(
+        out,
+        "{:<6} {:<6} {:>12} {:>10}",
+        "|N|", "|E|", "seconds", "verdict"
+    );
     let max_n = if quick { 8 } else { 16 };
     let max_e = if quick { 3 } else { 4 };
     for num_examples in 1..=max_e {
         for n in (2..=max_n).step_by(2) {
             let problem = benchmarks::scaling_problem(n);
-            let examples =
-                sygus::ExampleSet::for_single_var("x", (1..=num_examples as i64).collect::<Vec<_>>());
-            let started = Instant::now();
-            let outcome = check_unrealizable(&problem, &examples, &Mode::default());
+            let examples = sygus::ExampleSet::for_single_var(
+                "x",
+                (1..=num_examples as i64).collect::<Vec<_>>(),
+            );
+            let (outcome, elapsed) =
+                measure(|| check_unrealizable(&problem, &examples, &Mode::default()));
             let _ = writeln!(
                 out,
                 "{:<6} {:<6} {:>12.4} {:>10}",
                 n + 1,
                 num_examples,
-                started.elapsed().as_secs_f64(),
+                elapsed.as_secs_f64(),
                 format!("{:?}", outcome.verdict)
             );
         }
@@ -166,7 +214,7 @@ pub fn reproduce_fig2(quick: bool) -> String {
 }
 
 /// Fig. 3 and Fig. 5: nayHorn / nope running time as a function of `|E|`,
-/// one series per `|N|`.
+/// one series per `|N|` (serial, like [`reproduce_fig2`]).
 pub fn reproduce_fig3_fig5(quick: bool) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "# Fig. 3 / Fig. 5 — nayHorn and nope time vs |E|");
@@ -181,20 +229,16 @@ pub fn reproduce_fig3_fig5(quick: bool) -> String {
             let problem = benchmarks::scaling_problem(n);
             let examples =
                 sygus::ExampleSet::for_single_var("x", (1..=e as i64).collect::<Vec<_>>());
-            let started = Instant::now();
-            let _ = check_unrealizable(&problem, &examples, &Mode::horn());
-            let horn_time = started.elapsed().as_secs_f64();
-            let started = Instant::now();
-            let bench_problem = problem.clone();
-            let _ = NopeSolver::new().check(&bench_problem, &examples);
-            let nope_time = started.elapsed().as_secs_f64();
+            let (_, horn_elapsed) =
+                measure(|| check_unrealizable(&problem, &examples, &Mode::horn()));
+            let (_, nope_elapsed) = measure(|| NopeSolver::new().check(&problem, &examples));
             let _ = writeln!(
                 out,
                 "{:<6} {:<6} {:>14.4} {:>14.4}",
                 n + 1,
                 e,
-                horn_time,
-                nope_time
+                horn_elapsed.as_secs_f64(),
+                nope_elapsed.as_secs_f64()
             );
         }
     }
@@ -202,7 +246,7 @@ pub fn reproduce_fig3_fig5(quick: bool) -> String {
 }
 
 /// Fig. 4: the effect of the stratification optimisation on naySL's
-/// semi-linear solving time (per benchmark, with vs without).
+/// semi-linear solving time (per benchmark, with vs without; serial).
 pub fn reproduce_fig4(quick: bool) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "# Fig. 4 — stratification speed-up");
@@ -211,45 +255,30 @@ pub fn reproduce_fig4(quick: bool) -> String {
         "{:<22} {:>14} {:>14} {:>8}",
         "benchmark", "stratified (s)", "no opt. (s)", "speedup"
     );
+    let mut row = |name: &str, problem: &sygus::Problem, examples: &sygus::ExampleSet| {
+        let (_, stratified) = measure(|| check_unrealizable(problem, examples, &Mode::default()));
+        let (_, unstratified) =
+            measure(|| check_unrealizable(problem, examples, &Mode::semi_linear_unstratified()));
+        let stratified = stratified.as_secs_f64();
+        let unstratified = unstratified.as_secs_f64();
+        let _ = writeln!(
+            out,
+            "{:<22} {:>14.4} {:>14.4} {:>8.2}",
+            name,
+            stratified,
+            unstratified,
+            unstratified / stratified.max(1e-9)
+        );
+    };
     let max_n = if quick { 10 } else { 20 };
     for n in (2..=max_n).step_by(2) {
         let problem = benchmarks::scaling_problem(n);
         let examples = sygus::ExampleSet::for_single_var("x", [1, 2]);
-        let started = Instant::now();
-        let _ = check_unrealizable(&problem, &examples, &Mode::default());
-        let stratified = started.elapsed().as_secs_f64();
-        let started = Instant::now();
-        let _ = check_unrealizable(&problem, &examples, &Mode::semi_linear_unstratified());
-        let unstratified = started.elapsed().as_secs_f64();
-        let _ = writeln!(
-            out,
-            "{:<22} {:>14.4} {:>14.4} {:>8.2}",
-            format!("scaling_n{n}"),
-            stratified,
-            unstratified,
-            unstratified / stratified.max(1e-9)
-        );
+        row(&format!("scaling_n{n}"), &problem, &examples);
     }
     // also a couple of the table benchmarks
     for bench in select(Family::LimitedConst, true).into_iter().take(4) {
-        let started = Instant::now();
-        let _ = check_unrealizable(&bench.problem, &bench.witness_examples, &Mode::default());
-        let stratified = started.elapsed().as_secs_f64();
-        let started = Instant::now();
-        let _ = check_unrealizable(
-            &bench.problem,
-            &bench.witness_examples,
-            &Mode::semi_linear_unstratified(),
-        );
-        let unstratified = started.elapsed().as_secs_f64();
-        let _ = writeln!(
-            out,
-            "{:<22} {:>14.4} {:>14.4} {:>8.2}",
-            bench.name,
-            stratified,
-            unstratified,
-            unstratified / stratified.max(1e-9)
-        );
+        row(&bench.name, &bench.problem, &bench.witness_examples);
     }
     out
 }
@@ -257,65 +286,57 @@ pub fn reproduce_fig4(quick: bool) -> String {
 /// The §8.1 headline numbers: how many benchmarks each tool proves
 /// unrealizable, and how many naySL solves that nope does not.
 pub fn reproduce_summary(quick: bool) -> String {
-    let mut out = String::new();
-    let _ = writeln!(out, "# §8.1 — solved-benchmark counts");
-    let families = [Family::LimitedPlus, Family::LimitedIf, Family::LimitedConst];
-    let mut totals = (0usize, 0usize, 0usize, 0usize); // (run, naySL, nayHorn, nope)
-    let mut naysl_only = 0usize;
-    for family in families {
-        let benches = select(family, quick);
-        let mut counts = (0usize, 0usize, 0usize);
-        for bench in &benches {
-            let sl = run_nay(bench, &Mode::default());
-            let horn = run_nay(bench, &Mode::horn());
-            let nope = run_nope(bench);
-            counts.0 += usize::from(sl.proved);
-            counts.1 += usize::from(horn.proved);
-            counts.2 += usize::from(nope.proved);
-            naysl_only += usize::from(sl.proved && !nope.proved);
-            totals.0 += 1;
-            totals.1 += usize::from(sl.proved);
-            totals.2 += usize::from(horn.proved);
-            totals.3 += usize::from(nope.proved);
-        }
-        let _ = writeln!(
-            out,
-            "{:<14} ({:>3} run): naySL {:>3}  nayHorn {:>3}  nope {:>3}",
-            family.name(),
-            benches.len(),
-            counts.0,
-            counts.1,
-            counts.2
-        );
-    }
-    let _ = writeln!(
-        out,
-        "total          ({:>3} run): naySL {:>3}  nayHorn {:>3}  nope {:>3}  (naySL-only vs nope: {})",
-        totals.0, totals.1, totals.2, totals.3, naysl_only
-    );
-    let _ = writeln!(
-        out,
-        "paper (132 benchmarks): naySL 70, nayHorn 59, nope 59, naySL-only 11"
-    );
-    out
+    reproduce_summary_with(quick, &PoolConfig::serial())
+}
+
+/// [`reproduce_summary`] with an explicit pool configuration.
+pub fn reproduce_summary_with(quick: bool, config: &PoolConfig) -> String {
+    let report = run_suite(quick, config);
+    render_summary(&report.entries, quick)
 }
 
 /// Runs every experiment and concatenates the reports.
 pub fn reproduce_all(quick: bool) -> String {
+    reproduce_all_with(quick, &PoolConfig::serial()).0
+}
+
+/// Runs every experiment with an explicit pool configuration.
+///
+/// The table suite runs exactly once on the pool; the three tables and the
+/// §8.1 summary are rendered from that single sweep, which is also returned
+/// as the JSON-ready [`Report`] (`--json` writes it to disk). The scaling
+/// figures are appended as text, measured serially.
+pub fn reproduce_all_with(quick: bool, config: &PoolConfig) -> (String, Report) {
+    let report = run_suite(quick, config);
     let mut out = String::new();
     for part in [
-        reproduce_table1_plus(quick),
-        reproduce_table1_if(quick),
-        reproduce_table2(quick),
+        render_family_table(
+            "Table 1 — LimitedPlus",
+            Family::LimitedPlus,
+            quick,
+            &report.entries,
+        ),
+        render_family_table(
+            "Table 1 — LimitedIf",
+            Family::LimitedIf,
+            quick,
+            &report.entries,
+        ),
+        render_family_table(
+            "Table 2 — LimitedConst",
+            Family::LimitedConst,
+            quick,
+            &report.entries,
+        ),
         reproduce_fig2(quick),
         reproduce_fig3_fig5(quick),
         reproduce_fig4(quick),
-        reproduce_summary(quick),
+        render_summary(&report.entries, quick),
     ] {
         out.push_str(&part);
         out.push('\n');
     }
-    out
+    (out, report)
 }
 
 #[cfg(test)]
@@ -338,6 +359,18 @@ mod tests {
         let m = run_nay(&bench, &Mode::default());
         assert_eq!(m.tool, "naySL");
         assert!(m.seconds >= 0.0);
+    }
+
+    #[test]
+    fn evaluations_are_pure_and_consistent_with_measurements() {
+        let bench = select(Family::LimitedConst, true)
+            .into_iter()
+            .next()
+            .expect("at least one quick benchmark");
+        let eval = eval_nay(&bench, &Mode::default());
+        let m = run_nay(&bench, &Mode::default());
+        assert_eq!(eval.proved, m.proved);
+        assert_eq!(eval.proved, eval.verdict == "unrealizable");
     }
 
     #[test]

@@ -13,7 +13,13 @@ fn reproduce_summary_quick_mode_yields_a_report() {
     // One line per family plus the totals line and the paper's reference
     // numbers: the report must cover all three benchmark families.
     for family in ["LimitedPlus", "LimitedIf", "LimitedConst", "total", "paper"] {
-        assert!(report.contains(family), "summary report lacks `{family}`:\n{report}");
+        assert!(
+            report.contains(family),
+            "summary report lacks `{family}`:\n{report}"
+        );
     }
-    assert!(report.lines().count() >= 6, "summary report too short:\n{report}");
+    assert!(
+        report.lines().count() >= 6,
+        "summary report too short:\n{report}"
+    );
 }

@@ -82,7 +82,9 @@ fn plus_limited_grammar(vars: &[&str], budget: usize, with_ite: bool) -> Grammar
             .production("Cond", Symbol::LessThan, &[&level(0), &level(0)])
             .production("Cond", Symbol::And, &["Cond", "Cond"]);
     }
-    builder.build().expect("plus-limited grammar is well-formed")
+    builder
+        .build()
+        .expect("plus-limited grammar is well-formed")
 }
 
 /// A grammar whose terms contain at most `budget` `IfThenElse` operators
@@ -134,7 +136,9 @@ fn const_limited_grammar(vars: &[&str], consts: &[i64], with_plus: bool) -> Gram
         .production("Start", Symbol::IfThenElse, &["Cond", "Start", "Start"])
         .production("Cond", Symbol::LessThan, &["Start", "Start"])
         .production("Cond", Symbol::And, &["Cond", "Cond"]);
-    builder.build().expect("const-limited grammar is well-formed")
+    builder
+        .build()
+        .expect("const-limited grammar is well-formed")
 }
 
 // ---------------------------------------------------------------------------
@@ -154,13 +158,14 @@ fn max_spec(n: usize) -> Spec {
 /// `sum_n_t`: f = x₁+…+xₙ when that sum is below `t`, and 0 otherwise.
 fn sum_spec(n: usize, threshold: i64) -> Spec {
     let names: Vec<String> = (1..=n).map(|i| format!("x{i}")).collect();
-    let sum = names
-        .iter()
-        .fold(LinearExpr::zero(), |acc, x| acc + var(x));
+    let sum = names.iter().fold(LinearExpr::zero(), |acc, x| acc + var(x));
     let below = Formula::lt(sum.clone(), LinearExpr::constant(threshold));
     let formula = Formula::and(vec![
         Formula::implies(below.clone(), Formula::eq(out(), sum)),
-        Formula::implies(Formula::not(below), Formula::eq(out(), LinearExpr::constant(0))),
+        Formula::implies(
+            Formula::not(below),
+            Formula::eq(out(), LinearExpr::constant(0)),
+        ),
     ]);
     Spec::new(formula, names, Sort::Int)
 }
@@ -208,17 +213,20 @@ fn guard_spec(offset: i64, threshold: i64) -> Spec {
 
 /// `plane_i`: a plain linear target with large coefficients, `f = a·x + b·y`.
 fn plane_spec(a: i64, b: i64) -> Spec {
-    Spec::output_equals(var("x").scale(a) + var("y").scale(b), vec![
-        "x".to_string(),
-        "y".to_string(),
-    ])
+    Spec::output_equals(
+        var("x").scale(a) + var("y").scale(b),
+        vec!["x".to_string(), "y".to_string()],
+    )
 }
 
 /// `ite_i`: a two-branch conditional target on a single variable.
 fn ite_spec(threshold: i64, then_coeff: i64, else_offset: i64) -> Spec {
     let below = Formula::lt(var("x"), LinearExpr::constant(threshold));
     let formula = Formula::and(vec![
-        Formula::implies(below.clone(), Formula::eq(out(), var("x").scale(then_coeff))),
+        Formula::implies(
+            below.clone(),
+            Formula::eq(out(), var("x").scale(then_coeff)),
+        ),
         Formula::implies(
             Formula::not(below),
             Formula::eq(out(), var("x") + LinearExpr::constant(else_offset)),
@@ -230,9 +238,9 @@ fn ite_spec(threshold: i64, then_coeff: i64, else_offset: i64) -> Spec {
 /// `example_i` / `mpg_example_i`: small linear targets over several inputs.
 fn example_spec(num_vars: usize, coeff: i64, constant: i64) -> Spec {
     let names: Vec<String> = (1..=num_vars).map(|i| format!("x{i}")).collect();
-    let rhs = names
-        .iter()
-        .fold(LinearExpr::constant(constant), |acc, x| acc + var(x).scale(coeff));
+    let rhs = names.iter().fold(LinearExpr::constant(constant), |acc, x| {
+        acc + var(x).scale(coeff)
+    });
     Spec::new(Formula::eq(out(), rhs), names, Sort::Int)
 }
 
@@ -245,9 +253,10 @@ fn examples_1d(values: &[i64]) -> ExampleSet {
 }
 
 fn examples_nd(names: &[&str], rows: &[&[i64]]) -> ExampleSet {
-    ExampleSet::from_examples(rows.iter().map(|row| {
-        Example::from_pairs(names.iter().zip(row.iter()).map(|(n, v)| (*n, *v)))
-    }))
+    ExampleSet::from_examples(
+        rows.iter()
+            .map(|row| Example::from_pairs(names.iter().zip(row.iter()).map(|(n, v)| (*n, *v)))),
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -261,8 +270,9 @@ pub fn limited_plus() -> Vec<Benchmark> {
     let xyz = ["x", "y", "z"];
 
     // guard1-4: guarded targets whose branches need budget+1 additions.
-    for (i, (budget, offset, threshold)) in
-        [(2usize, 4i64, 2i64), (3, 5, 3), (4, 6, 2), (4, 7, 5)].iter().enumerate()
+    for (i, (budget, offset, threshold)) in [(2usize, 4i64, 2i64), (3, 5, 3), (4, 6, 2), (4, 7, 5)]
+        .iter()
+        .enumerate()
     {
         let grammar = plus_limited_grammar(&xyz, *budget, true);
         let problem = Problem::new("", grammar, guard_spec(*offset, *threshold));
@@ -297,10 +307,14 @@ pub fn limited_plus() -> Vec<Benchmark> {
         ));
     }
     // ite1-4: conditional targets.
-    for (i, (budget, threshold, coeff, offset)) in
-        [(2usize, 0i64, 3i64, 4i64), (3, 2, 4, 5), (2, 1, 3, 5), (3, 0, 4, 6)]
-            .iter()
-            .enumerate()
+    for (i, (budget, threshold, coeff, offset)) in [
+        (2usize, 0i64, 3i64, 4i64),
+        (3, 2, 4, 5),
+        (2, 1, 3, 5),
+        (3, 0, 4, 6),
+    ]
+    .iter()
+    .enumerate()
     {
         let grammar = plus_limited_grammar(&xyz, *budget, true);
         let problem = Problem::new("", grammar, ite_spec(*threshold, *coeff, *offset));
@@ -469,10 +483,7 @@ pub fn limited_if() -> Vec<Benchmark> {
     for i in 1..=8usize {
         let grammar = ite_limited_grammar(&["x", "y", "z"], 1);
         let problem = Problem::new("", grammar, ite_spec(i as i64, 2, 3));
-        let examples = examples_nd(
-            &["x", "y", "z"],
-            &[&[-3, 0, 0], &[0, 0, 0], &[7, 0, 0]],
-        );
+        let examples = examples_nd(&["x", "y", "z"], &[&[-3, 0, 0], &[0, 0, 0], &[7, 0, 0]]);
         out_benchmarks.push(benchmark(
             &format!("if_ite{i}"),
             Family::LimitedIf,

@@ -20,7 +20,10 @@ use sygus::{Grammar, GrammarBuilder, Problem, Sort, Spec, Symbol};
 /// # Panics
 /// Panics if `n == 0`.
 pub fn scaling_grammar(n: usize) -> Grammar {
-    assert!(n >= 1, "the scaling grammar needs at least one chain nonterminal");
+    assert!(
+        n >= 1,
+        "the scaling grammar needs at least one chain nonterminal"
+    );
     let mut builder = GrammarBuilder::new("Start").nonterminal("Start", Sort::Int);
     for i in 1..=n {
         builder = builder.nonterminal(format!("S{i}"), Sort::Int);

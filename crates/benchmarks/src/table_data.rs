@@ -52,31 +52,251 @@ pub fn table1_rows() -> Vec<PaperRow> {
     vec![
         // LimitedPlus
         row("plus_guard1", LP, 7, 24, 3, Some(2), Some(0.24), None, None),
-        row("plus_guard2", LP, 9, 34, 3, Some(3), Some(12.86), None, None),
-        row("plus_guard3", LP, 11, 41, 3, Some(1), Some(0.07), None, None),
-        row("plus_guard4", LP, 11, 72, 3, Some(4), Some(147.50), None, None),
-        row("plus_plane1", LP, 2, 5, 2, Some(1), Some(0.07), Some(0.55), Some(0.69)),
-        row("plus_plane2", LP, 17, 60, 2, Some(2), Some(0.90), None, None),
-        row("plus_plane3", LP, 29, 122, 2, Some(2), Some(15.73), None, None),
+        row(
+            "plus_guard2",
+            LP,
+            9,
+            34,
+            3,
+            Some(3),
+            Some(12.86),
+            None,
+            None,
+        ),
+        row(
+            "plus_guard3",
+            LP,
+            11,
+            41,
+            3,
+            Some(1),
+            Some(0.07),
+            None,
+            None,
+        ),
+        row(
+            "plus_guard4",
+            LP,
+            11,
+            72,
+            3,
+            Some(4),
+            Some(147.50),
+            None,
+            None,
+        ),
+        row(
+            "plus_plane1",
+            LP,
+            2,
+            5,
+            2,
+            Some(1),
+            Some(0.07),
+            Some(0.55),
+            Some(0.69),
+        ),
+        row(
+            "plus_plane2",
+            LP,
+            17,
+            60,
+            2,
+            Some(2),
+            Some(0.90),
+            None,
+            None,
+        ),
+        row(
+            "plus_plane3",
+            LP,
+            29,
+            122,
+            2,
+            Some(2),
+            Some(15.73),
+            None,
+            None,
+        ),
         row("plus_ite1", LP, 7, 2, 3, Some(2), Some(1.05), None, None),
         row("plus_ite2", LP, 9, 34, 3, Some(4), Some(294.88), None, None),
-        row("plus_sum_2_5", LP, 11, 40, 2, Some(4), Some(15.48), None, None),
-        row("plus_search_2", LP, 5, 16, 3, Some(3), Some(1.21), None, None),
-        row("plus_search_3", LP, 7, 25, 4, Some(4), Some(2.65), None, None),
+        row(
+            "plus_sum_2_5",
+            LP,
+            11,
+            40,
+            2,
+            Some(4),
+            Some(15.48),
+            None,
+            None,
+        ),
+        row(
+            "plus_search_2",
+            LP,
+            5,
+            16,
+            3,
+            Some(3),
+            Some(1.21),
+            None,
+            None,
+        ),
+        row(
+            "plus_search_3",
+            LP,
+            7,
+            25,
+            4,
+            Some(4),
+            Some(2.65),
+            None,
+            None,
+        ),
         // LimitedIf
-        row("if_max2", LIf, 1, 5, 2, Some(4), Some(0.13), Some(1.13), Some(1.48)),
-        row("if_max3", LIf, 3, 15, 3, None, None, Some(9.67), Some(58.57)),
-        row("if_sum_2_5", LIf, 1, 5, 2, Some(3), Some(0.17), Some(0.61), Some(0.69)),
-        row("if_sum_2_15", LIf, 1, 5, 2, Some(3), Some(0.17), Some(0.56), Some(0.87)),
-        row("if_sum_3_5", LIf, 3, 15, 3, None, None, Some(17.85), Some(101.44)),
-        row("if_sum_3_15", LIf, 3, 15, 3, None, None, Some(16.65), Some(134.87)),
-        row("if_search_2", LIf, 3, 15, 3, None, None, Some(25.85), Some(112.78)),
-        row("if_example1", LIf, 3, 10, 2, Some(3), Some(0.14), Some(0.73), Some(1.12)),
-        row("if_guard1", LIf, 1, 6, 2, Some(4), Some(0.13), Some(0.44), Some(0.43)),
-        row("if_guard2", LIf, 1, 6, 2, Some(4), Some(0.22), Some(0.33), Some(0.49)),
-        row("if_guard3", LIf, 1, 6, 2, Some(4), Some(0.16), Some(0.27), Some(0.46)),
-        row("if_guard4", LIf, 1, 6, 2, Some(4), Some(0.11), Some(0.72), Some(0.58)),
-        row("if_ite1", LIf, 3, 15, 3, None, None, Some(2.68), Some(369.57)),
+        row(
+            "if_max2",
+            LIf,
+            1,
+            5,
+            2,
+            Some(4),
+            Some(0.13),
+            Some(1.13),
+            Some(1.48),
+        ),
+        row(
+            "if_max3",
+            LIf,
+            3,
+            15,
+            3,
+            None,
+            None,
+            Some(9.67),
+            Some(58.57),
+        ),
+        row(
+            "if_sum_2_5",
+            LIf,
+            1,
+            5,
+            2,
+            Some(3),
+            Some(0.17),
+            Some(0.61),
+            Some(0.69),
+        ),
+        row(
+            "if_sum_2_15",
+            LIf,
+            1,
+            5,
+            2,
+            Some(3),
+            Some(0.17),
+            Some(0.56),
+            Some(0.87),
+        ),
+        row(
+            "if_sum_3_5",
+            LIf,
+            3,
+            15,
+            3,
+            None,
+            None,
+            Some(17.85),
+            Some(101.44),
+        ),
+        row(
+            "if_sum_3_15",
+            LIf,
+            3,
+            15,
+            3,
+            None,
+            None,
+            Some(16.65),
+            Some(134.87),
+        ),
+        row(
+            "if_search_2",
+            LIf,
+            3,
+            15,
+            3,
+            None,
+            None,
+            Some(25.85),
+            Some(112.78),
+        ),
+        row(
+            "if_example1",
+            LIf,
+            3,
+            10,
+            2,
+            Some(3),
+            Some(0.14),
+            Some(0.73),
+            Some(1.12),
+        ),
+        row(
+            "if_guard1",
+            LIf,
+            1,
+            6,
+            2,
+            Some(4),
+            Some(0.13),
+            Some(0.44),
+            Some(0.43),
+        ),
+        row(
+            "if_guard2",
+            LIf,
+            1,
+            6,
+            2,
+            Some(4),
+            Some(0.22),
+            Some(0.33),
+            Some(0.49),
+        ),
+        row(
+            "if_guard3",
+            LIf,
+            1,
+            6,
+            2,
+            Some(4),
+            Some(0.16),
+            Some(0.27),
+            Some(0.46),
+        ),
+        row(
+            "if_guard4",
+            LIf,
+            1,
+            6,
+            2,
+            Some(4),
+            Some(0.11),
+            Some(0.72),
+            Some(0.58),
+        ),
+        row(
+            "if_ite1",
+            LIf,
+            3,
+            15,
+            3,
+            None,
+            None,
+            Some(2.68),
+            Some(369.57),
+        ),
     ]
 }
 

@@ -243,10 +243,7 @@ impl AbsInt {
             conjuncts.push(Formula::le(o.clone(), LinearExpr::constant(hi)));
         }
         if self.congruence.modulus == 0 {
-            conjuncts.push(Formula::eq(
-                o,
-                LinearExpr::constant(self.congruence.rem),
-            ));
+            conjuncts.push(Formula::eq(o, LinearExpr::constant(self.congruence.rem)));
         } else if self.congruence.modulus > 1 {
             // o = rem + m·k for some integer k
             let k = Var::new(aux_name);
@@ -386,7 +383,10 @@ mod tests {
     #[test]
     fn interval_operations() {
         let a = Interval::constant(3);
-        let b = Interval { lo: Some(0), hi: None };
+        let b = Interval {
+            lo: Some(0),
+            hi: None,
+        };
         assert!(a.add(&a).contains(6));
         assert_eq!(a.neg(), Interval::constant(-3));
         let j = a.join(&Interval::constant(10));
@@ -398,8 +398,14 @@ mod tests {
 
     #[test]
     fn interval_widening_goes_to_infinity() {
-        let old = Interval { lo: Some(0), hi: Some(3) };
-        let new = Interval { lo: Some(0), hi: Some(6) };
+        let old = Interval {
+            lo: Some(0),
+            hi: Some(3),
+        };
+        let new = Interval {
+            lo: Some(0),
+            hi: Some(6),
+        };
         let w = old.widen(&new);
         assert_eq!(w.lo, Some(0));
         assert_eq!(w.hi, None);
@@ -442,7 +448,10 @@ mod tests {
     fn absint_formula_round_trip() {
         use logic::{Model, Solver};
         let a = AbsInt {
-            interval: Interval { lo: Some(0), hi: None },
+            interval: Interval {
+                lo: Some(0),
+                hi: None,
+            },
             congruence: Congruence { modulus: 3, rem: 0 },
         };
         let out = Var::new("o");
@@ -479,11 +488,17 @@ mod tests {
     #[test]
     fn abstract_less_than() {
         let small = AbsInt {
-            interval: Interval { lo: Some(0), hi: Some(1) },
+            interval: Interval {
+                lo: Some(0),
+                hi: Some(1),
+            },
             congruence: Congruence::top(),
         };
         let big = AbsInt {
-            interval: Interval { lo: Some(5), hi: Some(9) },
+            interval: Interval {
+                lo: Some(5),
+                hi: Some(9),
+            },
             congruence: Congruence::top(),
         };
         assert_eq!(AbsBool::less_than(&small, &big), AbsBool::True);

@@ -177,15 +177,11 @@ fn production_constraint(
             Symbol::Num(c) => Formula::eq(h, LinearExpr::constant(*c)),
             Symbol::Var(x) => Formula::eq(
                 h,
-                LinearExpr::constant(
-                    examples.projection(x).map(|v| v[j]).unwrap_or_default(),
-                ),
+                LinearExpr::constant(examples.projection(x).map(|v| v[j]).unwrap_or_default()),
             ),
             Symbol::NegVar(x) => Formula::eq(
                 h,
-                LinearExpr::constant(
-                    -examples.projection(x).map(|v| v[j]).unwrap_or_default(),
-                ),
+                LinearExpr::constant(-examples.projection(x).map(|v| v[j]).unwrap_or_default()),
             ),
             Symbol::Plus => {
                 let mut sum = LinearExpr::zero();
@@ -255,8 +251,8 @@ fn production_constraint(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sygus::Sort;
     use sygus::GrammarBuilder;
+    use sygus::Sort;
 
     fn g1() -> Grammar {
         GrammarBuilder::new("Start")

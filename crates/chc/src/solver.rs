@@ -152,8 +152,8 @@ impl HornSolver {
                     .enumerate()
                     .map(|(j, a)| a.to_formula(&outputs[j], &format!("k_{j}"))),
             ),
-            AbsValue::Bool(components) => Formula::and(components.iter().enumerate().map(
-                |(j, b)| {
+            AbsValue::Bool(components) => {
+                Formula::and(components.iter().enumerate().map(|(j, b)| {
                     let o = logic::LinearExpr::var(outputs[j].clone());
                     match b {
                         AbsBool::True => Formula::eq(o, logic::LinearExpr::constant(1)),
@@ -163,8 +163,8 @@ impl HornSolver {
                             Formula::le(o, logic::LinearExpr::constant(1)),
                         ]),
                     }
-                },
-            )),
+                }))
+            }
         };
         let query = Formula::and(vec![gamma, spec.conjunction_over(examples, &outputs)]);
         match Solver::default().check(&query) {
@@ -256,16 +256,10 @@ impl HornSolver {
                     })
                     .collect(),
             ),
-            Symbol::And => AbsValue::Bool(
-                (0..dim)
-                    .map(|j| bools(0)[j].and(&bools(1)[j]))
-                    .collect(),
-            ),
-            Symbol::Or => AbsValue::Bool(
-                (0..dim)
-                    .map(|j| bools(0)[j].or(&bools(1)[j]))
-                    .collect(),
-            ),
+            Symbol::And => {
+                AbsValue::Bool((0..dim).map(|j| bools(0)[j].and(&bools(1)[j])).collect())
+            }
+            Symbol::Or => AbsValue::Bool((0..dim).map(|j| bools(0)[j].or(&bools(1)[j])).collect()),
             Symbol::Not => AbsValue::Bool((0..dim).map(|j| bools(0)[j].not()).collect()),
         }
     }
@@ -274,9 +268,9 @@ impl HornSolver {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sygus::Sort;
     use logic::LinearExpr;
     use sygus::GrammarBuilder;
+    use sygus::Sort;
 
     /// Grammar G1 of §2 (multiples of 3x).
     fn g1() -> Grammar {

@@ -109,9 +109,8 @@ impl Enumerator {
         let mut by_size: BTreeMap<(NonTerminal, usize), Vec<Term>> = BTreeMap::new();
         let mut total_terms = 0usize;
 
-        let signature = |out: &Output| -> Vec<i64> {
-            (0..out.len()).map(|j| out.as_i64(j)).collect()
-        };
+        let signature =
+            |out: &Output| -> Vec<i64> { (0..out.len()).map(|j| out.as_i64(j)).collect() };
         let max_arity = grammar
             .productions()
             .iter()
@@ -144,9 +143,7 @@ impl Enumerator {
                         for (used, terms) in &combos {
                             let max_here = budget - used - remaining_args;
                             for arg_size in 1..=max_here {
-                                if let Some(candidates) =
-                                    by_size.get(&(arg.clone(), arg_size))
-                                {
+                                if let Some(candidates) = by_size.get(&(arg.clone(), arg_size)) {
                                     for c in candidates {
                                         let mut terms2 = terms.clone();
                                         terms2.push(c.clone());
@@ -272,7 +269,10 @@ mod tests {
         // must simply fail to find a solution up to the bound.
         let problem = g1_problem();
         let examples = ExampleSet::for_single_var("x", [1]);
-        match Enumerator::new().with_max_size(11).solve(&problem, &examples) {
+        match Enumerator::new()
+            .with_max_size(11)
+            .solve(&problem, &examples)
+        {
             EnumerationResult::NotFound { .. } => {}
             EnumerationResult::Found(t) => panic!("no solution should exist, found {t}"),
         }
@@ -309,10 +309,7 @@ mod tests {
             .build()
             .unwrap();
         let spec = Spec::new(
-            Formula::gt(
-                LinearExpr::var(Spec::output_var()),
-                LinearExpr::constant(0),
-            ),
+            Formula::gt(LinearExpr::var(Spec::output_var()), LinearExpr::constant(0)),
             vec!["x".to_string()],
             Sort::Int,
         );

@@ -161,8 +161,7 @@ mod tests {
     #[test]
     fn scc_topological_order_respects_dependencies() {
         // two independent cycles {0,1} and {2,3}, with 0 depending on 2
-        let sccs =
-            strongly_connected_components(4, &[(0, 1), (1, 0), (2, 3), (3, 2), (0, 2)]);
+        let sccs = strongly_connected_components(4, &[(0, 1), (1, 0), (2, 3), (3, 2), (0, 2)]);
         assert_eq!(sccs.len(), 2);
         let pos_01 = sccs.iter().position(|c| c.contains(&0)).unwrap();
         let pos_23 = sccs.iter().position(|c| c.contains(&2)).unwrap();

@@ -158,7 +158,11 @@ impl LinearExpr {
         }
         LinearExpr {
             constant: self.constant * k,
-            coeffs: self.coeffs.iter().map(|(v, c)| (v.clone(), c * k)).collect(),
+            coeffs: self
+                .coeffs
+                .iter()
+                .map(|(v, c)| (v.clone(), c * k))
+                .collect(),
         }
     }
 

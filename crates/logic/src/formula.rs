@@ -112,7 +112,10 @@ impl Atom {
     /// If both sides are constant, evaluates the atom to a Boolean.
     pub fn const_eval(&self) -> Option<bool> {
         if self.lhs.is_constant() && self.rhs.is_constant() {
-            Some(self.rel.eval(self.lhs.constant_part(), self.rhs.constant_part()))
+            Some(
+                self.rel
+                    .eval(self.lhs.constant_part(), self.rhs.constant_part()),
+            )
         } else {
             None
         }
@@ -509,17 +512,32 @@ mod tests {
 
     #[test]
     fn constant_folding() {
-        assert_eq!(Formula::and(vec![Formula::True, Formula::True]), Formula::True);
-        assert_eq!(Formula::and(vec![Formula::True, Formula::False]), Formula::False);
-        assert_eq!(Formula::or(vec![Formula::False, Formula::False]), Formula::False);
-        assert_eq!(Formula::or(vec![Formula::True, Formula::False]), Formula::True);
+        assert_eq!(
+            Formula::and(vec![Formula::True, Formula::True]),
+            Formula::True
+        );
+        assert_eq!(
+            Formula::and(vec![Formula::True, Formula::False]),
+            Formula::False
+        );
+        assert_eq!(
+            Formula::or(vec![Formula::False, Formula::False]),
+            Formula::False
+        );
+        assert_eq!(
+            Formula::or(vec![Formula::True, Formula::False]),
+            Formula::True
+        );
         assert_eq!(Formula::not(Formula::True), Formula::False);
     }
 
     #[test]
     fn flattening() {
         let f = Formula::and(vec![
-            Formula::and(vec![Formula::eq(x(), LinearExpr::constant(1)), Formula::eq(y(), LinearExpr::constant(2))]),
+            Formula::and(vec![
+                Formula::eq(x(), LinearExpr::constant(1)),
+                Formula::eq(y(), LinearExpr::constant(2)),
+            ]),
             Formula::eq(x(), y()),
         ]);
         match f {
@@ -548,7 +566,10 @@ mod tests {
 
     #[test]
     fn eval_respects_model() {
-        let f = Formula::and(vec![Formula::gt(x(), LinearExpr::constant(0)), Formula::lt(y(), LinearExpr::constant(5))]);
+        let f = Formula::and(vec![
+            Formula::gt(x(), LinearExpr::constant(0)),
+            Formula::lt(y(), LinearExpr::constant(5)),
+        ]);
         let mut m = Model::new();
         m.set(Var::new("x"), 1);
         m.set(Var::new("y"), 3);
@@ -606,7 +627,10 @@ mod tests {
 
     #[test]
     fn free_vars() {
-        let f = Formula::and(vec![Formula::eq(x(), LinearExpr::constant(1)), Formula::le(y(), x())]);
+        let f = Formula::and(vec![
+            Formula::eq(x(), LinearExpr::constant(1)),
+            Formula::le(y(), x()),
+        ]);
         let vars = f.free_vars();
         assert_eq!(vars.len(), 2);
         assert!(vars.contains(&Var::new("x")));

@@ -45,12 +45,7 @@ impl Constraint {
     }
 
     fn eval(&self, point: &[i64]) -> bool {
-        let lhs: i64 = self
-            .coeffs
-            .iter()
-            .zip(point)
-            .map(|(c, v)| c * v)
-            .sum();
+        let lhs: i64 = self.coeffs.iter().zip(point).map(|(c, v)| c * v).sum();
         match self.rel {
             LpRel::Le => lhs <= self.rhs,
             LpRel::Ge => lhs >= self.rhs,
@@ -236,9 +231,9 @@ impl IlpProblem {
             }
 
             // eliminate one equality with a unit coefficient, if any
-            let target = cons.iter().position(|c| {
-                c.rel == LpRel::Eq && c.coeffs.iter().any(|&a| a == 1 || a == -1)
-            });
+            let target = cons
+                .iter()
+                .position(|c| c.rel == LpRel::Eq && c.coeffs.iter().any(|&a| a == 1 || a == -1));
             let Some(idx) = target else {
                 return if cons.is_empty() { Some(true) } else { None };
             };
@@ -305,7 +300,8 @@ impl IlpProblem {
             }
             let mut lp = Simplex::new(self.num_vars);
             for c in cons {
-                let coeffs: Vec<Rational> = c.coeffs.iter().map(|&x| Rational::from_int(x)).collect();
+                let coeffs: Vec<Rational> =
+                    c.coeffs.iter().map(|&x| Rational::from_int(x)).collect();
                 lp.add_constraint(coeffs, c.rel, Rational::from_int(c.rhs));
             }
             for &(var, is_upper, bound) in &node.extra {
@@ -469,10 +465,35 @@ mod tests {
     fn brute_force_agreement_on_small_boxes() {
         // Compare against brute force on a handful of deterministic systems.
         let systems: Vec<Vec<Constraint>> = vec![
-            vec![ge(vec![1, 0], -3), le(vec![1, 0], 3), ge(vec![0, 1], -3), le(vec![0, 1], 3), eq(vec![2, 3], 1)],
-            vec![ge(vec![1, 0], -3), le(vec![1, 0], 3), ge(vec![0, 1], -3), le(vec![0, 1], 3), eq(vec![2, 4], 7)],
-            vec![ge(vec![1, 0], 0), le(vec![1, 0], 4), ge(vec![0, 1], 0), le(vec![0, 1], 4), le(vec![1, 1], 2), ge(vec![1, 1], 2)],
-            vec![ge(vec![1, 0], -2), le(vec![1, 0], 2), ge(vec![0, 1], -2), le(vec![0, 1], 2), ge(vec![3, -2], 5)],
+            vec![
+                ge(vec![1, 0], -3),
+                le(vec![1, 0], 3),
+                ge(vec![0, 1], -3),
+                le(vec![0, 1], 3),
+                eq(vec![2, 3], 1),
+            ],
+            vec![
+                ge(vec![1, 0], -3),
+                le(vec![1, 0], 3),
+                ge(vec![0, 1], -3),
+                le(vec![0, 1], 3),
+                eq(vec![2, 4], 7),
+            ],
+            vec![
+                ge(vec![1, 0], 0),
+                le(vec![1, 0], 4),
+                ge(vec![0, 1], 0),
+                le(vec![0, 1], 4),
+                le(vec![1, 1], 2),
+                ge(vec![1, 1], 2),
+            ],
+            vec![
+                ge(vec![1, 0], -2),
+                le(vec![1, 0], 2),
+                ge(vec![0, 1], -2),
+                le(vec![0, 1], 2),
+                ge(vec![3, -2], 5),
+            ],
         ];
         for cons in systems {
             let mut p = IlpProblem::new(2);
@@ -482,10 +503,19 @@ mod tests {
             let brute = (-5..=5).any(|x| (-5..=5).any(|y| cons.iter().all(|c| c.eval(&[x, y]))));
             match p.solve() {
                 IlpResult::Sat(pt) => {
-                    assert!(cons.iter().all(|c| c.eval(&pt)), "returned point must satisfy system");
-                    assert!(brute, "solver found a point but brute force (within box) disagrees: {cons:?}");
+                    assert!(
+                        cons.iter().all(|c| c.eval(&pt)),
+                        "returned point must satisfy system"
+                    );
+                    assert!(
+                        brute,
+                        "solver found a point but brute force (within box) disagrees: {cons:?}"
+                    );
                 }
-                IlpResult::Unsat => assert!(!brute, "solver said unsat but brute force found a point: {cons:?}"),
+                IlpResult::Unsat => assert!(
+                    !brute,
+                    "solver said unsat but brute force found a point: {cons:?}"
+                ),
                 IlpResult::Unknown => panic!("budget should not be hit on tiny systems"),
             }
         }

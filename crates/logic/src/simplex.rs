@@ -180,7 +180,11 @@ impl Simplex {
     /// # Panics
     /// Panics if `coeffs.len() != num_vars`.
     pub fn add_constraint(&mut self, coeffs: Vec<Rational>, rel: LpRel, rhs: Rational) {
-        assert_eq!(coeffs.len(), self.num_vars, "coefficient vector length mismatch");
+        assert_eq!(
+            coeffs.len(),
+            self.num_vars,
+            "coefficient vector length mismatch"
+        );
         self.constraints.push((coeffs, rel, rhs));
     }
 
@@ -413,7 +417,11 @@ mod tests {
         lp.add_constraint(vec![r(0), r(1), r(1)], GE, r(1));
         lp.add_constraint(vec![r(1), r(-1), r(0)], EQ, r(0));
         let p = lp.feasible_point().expect("feasible");
-        let dot = |c: &[Rational]| c.iter().zip(&p).fold(Rational::ZERO, |acc, (a, b)| acc + *a * *b);
+        let dot = |c: &[Rational]| {
+            c.iter()
+                .zip(&p)
+                .fold(Rational::ZERO, |acc, (a, b)| acc + *a * *b)
+        };
         assert!(dot(&[r(1), r(2), r(-1)]) <= r(4));
         assert!(dot(&[r(0), r(1), r(1)]) >= r(1));
         assert_eq!(dot(&[r(1), r(-1), r(0)]), r(0));

@@ -179,8 +179,7 @@ impl Nay {
                                         } else {
                                             // degenerate case: restart with a
                                             // fresh random example
-                                            examples
-                                                .push(self.random_example(problem, &mut rng));
+                                            examples.push(self.random_example(problem, &mut rng));
                                         }
                                         break; // next CEGIS iteration
                                     }
@@ -190,13 +189,17 @@ impl Nay {
                                     }
                                 }
                             }
-                            EnumerationResult::NotFound { exhausted: true, .. } => {
+                            EnumerationResult::NotFound {
+                                exhausted: true, ..
+                            } => {
                                 // the quotiented search space was exhausted:
                                 // sy_E itself is unrealizable
                                 stats.total_time = started.elapsed();
                                 return (CegisOutcome::Unrealizable, stats);
                             }
-                            EnumerationResult::NotFound { exhausted: false, .. } => {
+                            EnumerationResult::NotFound {
+                                exhausted: false, ..
+                            } => {
                                 if drew_random >= self.max_random_examples {
                                     stats.total_time = started.elapsed();
                                     return (CegisOutcome::Unknown, stats);

@@ -40,6 +40,18 @@ pub enum Verdict {
     Unknown,
 }
 
+impl Verdict {
+    /// Stable lower-case name used by the benchmark report
+    /// (`unrealizable`, `realizable`, `unknown`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Verdict::Unrealizable => "unrealizable",
+            Verdict::Realizable => "realizable",
+            Verdict::Unknown => "unknown",
+        }
+    }
+}
+
 /// The outcome of a single unrealizability check, with statistics used by
 /// the benchmark harness.
 #[derive(Clone, Debug)]
@@ -70,10 +82,7 @@ pub fn check_unrealizable(problem: &Problem, examples: &ExampleSet, mode: &Mode)
     // realizable exactly when the grammar derives any term at all.
     if examples.is_empty() {
         let trimmed = problem.grammar().trim();
-        let has_terms = trimmed
-            .productions_of(trimmed.start())
-            .next()
-            .is_some();
+        let has_terms = trimmed.productions_of(trimmed.start()).next().is_some();
         return outcome(
             if has_terms {
                 Verdict::Realizable
@@ -87,11 +96,8 @@ pub fn check_unrealizable(problem: &Problem, examples: &ExampleSet, mode: &Mode)
 
     match mode {
         Mode::Horn => {
-            let verdict = match HornSolver::new().check(
-                problem.grammar(),
-                examples,
-                problem.spec(),
-            ) {
+            let verdict = match HornSolver::new().check(problem.grammar(), examples, problem.spec())
+            {
                 HornVerdict::Unrealizable => Verdict::Unrealizable,
                 HornVerdict::Unknown => Verdict::Unknown,
             };
@@ -148,10 +154,9 @@ fn check_semilinear(
                 let size = analysis.start_size(&rewritten);
                 let iterations = analysis.outer_iterations;
                 let gamma = match rewritten.sort_of(rewritten.start()) {
-                    Some(Sort::Int) => concretize_semilinear(
-                        &analysis.int_values[rewritten.start()],
-                        &outputs,
-                    ),
+                    Some(Sort::Int) => {
+                        concretize_semilinear(&analysis.int_values[rewritten.start()], &outputs)
+                    }
                     Some(Sort::Bool) => {
                         // the start symbol is Boolean-valued: its abstraction
                         // is a finite set of Boolean vectors, concretized as a
@@ -350,10 +355,7 @@ mod tests {
             .build()
             .unwrap();
         let spec = Spec::new(
-            Formula::eq(
-                LinearExpr::var(Spec::output_var()),
-                LinearExpr::constant(1),
-            ),
+            Formula::eq(LinearExpr::var(Spec::output_var()), LinearExpr::constant(1)),
             vec!["x".to_string()],
             Sort::Bool,
         );

@@ -23,7 +23,7 @@ use gfa::{EquationSystem, Monomial, SemiLinearSemiring, Semiring};
 use logic::{Formula, Solver, Var};
 use semilinear::{concretize_semilinear_prefixed, BoolVec, BoolVecSet, IntVec, SemiLinearSet};
 use std::collections::BTreeMap;
-use sygus::{ExampleSet, Grammar, NonTerminal, Sort, Symbol, SygusError};
+use sygus::{ExampleSet, Grammar, NonTerminal, Sort, SygusError, Symbol};
 
 /// The result of the CLIA analysis.
 #[derive(Clone, Debug)]
@@ -126,11 +126,9 @@ pub fn solve_bool(
             let mut acc = BoolVecSet::empty();
             for p in grammar.productions_of(nt) {
                 let contribution = match &p.symbol {
-                    Symbol::LessThan => abstract_less_than(
-                        &int_values[&p.args[0]],
-                        &int_values[&p.args[1]],
-                        dim,
-                    ),
+                    Symbol::LessThan => {
+                        abstract_less_than(&int_values[&p.args[0]], &int_values[&p.args[1]], dim)
+                    }
                     Symbol::Equal => {
                         abstract_equal(&int_values[&p.args[0]], &int_values[&p.args[1]], dim)
                     }
@@ -180,8 +178,12 @@ pub fn solve_int(
     } else {
         vec![BoolVec::trues(dim)]
     };
-    let mask_index: BTreeMap<BoolVec, usize> =
-        masks.iter().cloned().enumerate().map(|(i, m)| (m, i)).collect();
+    let mask_index: BTreeMap<BoolVec, usize> = masks
+        .iter()
+        .cloned()
+        .enumerate()
+        .map(|(i, m)| (m, i))
+        .collect();
     let var_of = |nt: &NonTerminal, mask: &BoolVec| -> usize {
         nt_index[nt] * masks.len() + mask_index[mask]
     };
@@ -429,12 +431,7 @@ mod tests {
         // and that its output vector is abstracted
         let three_x = Term::apply(
             Symbol::Plus,
-            vec![
-                Term::var("x"),
-                Term::var("x"),
-                Term::var("x"),
-                Term::num(0),
-            ],
+            vec![Term::var("x"), Term::var("x"), Term::var("x"), Term::num(0)],
         )
         .unwrap();
         let four_x = Term::apply(
@@ -456,12 +453,7 @@ mod tests {
             three_x.clone(),
         )
         .unwrap();
-        let witness = Term::ite(
-            Term::less_than(Term::num(0), inner),
-            three_x,
-            four_x,
-        )
-        .unwrap();
+        let witness = Term::ite(Term::less_than(Term::num(0), inner), three_x, four_x).unwrap();
         assert!(g2().contains_term(&witness), "witness must be in L(G2)");
         let out = witness.eval_on(&examples).unwrap();
         assert_eq!(out.as_int().unwrap(), &[4, 6]);

@@ -15,7 +15,7 @@
 use gfa::{EquationSystem, Monomial, SemiLinearSemiring, Semiring};
 use semilinear::{IntVec, SemiLinearSet};
 use std::collections::BTreeMap;
-use sygus::{ExampleSet, Grammar, NonTerminal, Symbol, SygusError};
+use sygus::{ExampleSet, Grammar, NonTerminal, SygusError, Symbol};
 
 /// The result of the LIA analysis: the exact abstraction of every
 /// nonterminal, plus solver statistics.
@@ -69,9 +69,9 @@ pub fn build_equations(
             Symbol::Var(x) => Monomial::constant(SemiLinearSet::singleton(IntVec::from(
                 examples.projection(x)?,
             ))),
-            Symbol::NegVar(x) => Monomial::constant(SemiLinearSet::singleton(
-                -IntVec::from(examples.projection(x)?),
-            )),
+            Symbol::NegVar(x) => Monomial::constant(SemiLinearSet::singleton(-IntVec::from(
+                examples.projection(x)?,
+            ))),
             Symbol::Minus => {
                 return Err(SygusError::GrammarError(
                     "the grammar contains Minus; apply the h(G) rewriting first".to_string(),
@@ -111,10 +111,7 @@ pub fn analyze(
         .cloned()
         .zip(solution.values.iter().cloned())
         .collect();
-    let start_size = values
-        .get(grammar.start())
-        .map(|v| v.size())
-        .unwrap_or(0);
+    let start_size = values.get(grammar.start()).map(|v| v.size()).unwrap_or(0);
     Ok(LiaAnalysis {
         values,
         newton_iterations: solution.iterations,
@@ -189,7 +186,10 @@ mod tests {
         for term in grammar.terms_up_to_size(grammar.start(), 15, 200) {
             let out = term.eval_on(&examples).unwrap();
             let v = IntVec::from(out.as_int().unwrap().to_vec());
-            assert!(start.contains(&v), "enumerated output {v} must be abstracted");
+            assert!(
+                start.contains(&v),
+                "enumerated output {v} must be abstracted"
+            );
         }
         // and some members of the abstraction are indeed outputs (spot check)
         assert!(start.contains(&IntVec::from(vec![3, 9])));

@@ -49,8 +49,12 @@ impl Mode {
     /// A short human-readable name, used by the benchmark harness.
     pub fn name(&self) -> &'static str {
         match self {
-            Mode::SemiLinear { stratified: true, .. } => "naySL",
-            Mode::SemiLinear { stratified: false, .. } => "naySL(no-strat)",
+            Mode::SemiLinear {
+                stratified: true, ..
+            } => "naySL",
+            Mode::SemiLinear {
+                stratified: false, ..
+            } => "naySL(no-strat)",
             Mode::Horn => "nayHorn",
         }
     }

@@ -85,10 +85,7 @@ mod tests {
                     LinearExpr::var(Spec::output_var()),
                     LinearExpr::var(Var::new("x")),
                 ),
-                Formula::ge(
-                    LinearExpr::var(Spec::output_var()),
-                    LinearExpr::constant(0),
-                ),
+                Formula::ge(LinearExpr::var(Spec::output_var()), LinearExpr::constant(0)),
             ]),
             vec!["x".to_string()],
             Sort::Int,

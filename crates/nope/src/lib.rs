@@ -21,7 +21,7 @@
 pub mod program;
 pub mod verify;
 
-pub use program::{ProgExpr, Procedure, Program};
+pub use program::{Procedure, ProgExpr, Program};
 pub use verify::{NopeVerdict, ProgramVerifier};
 
 use std::time::{Duration, Instant};
@@ -36,6 +36,9 @@ pub struct NopeStats {
     pub num_branches: usize,
     /// Number of call sites (encoding size).
     pub num_call_sites: usize,
+    /// Fixed-point iterations performed by the abstract interpreter
+    /// (0 when the bounded search already decided the verdict).
+    pub abstract_iterations: usize,
     /// Wall-clock time of the check.
     pub elapsed: Duration,
 }
@@ -62,11 +65,14 @@ impl NopeSolver {
     pub fn check(&self, problem: &Problem, examples: &ExampleSet) -> (NopeVerdict, NopeStats) {
         let started = Instant::now();
         let program = Program::from_grammar(problem.grammar(), examples);
-        let verdict = self.verifier.check(&program, examples, problem.spec());
+        let (verdict, abstract_iterations) =
+            self.verifier
+                .check_counted(&program, examples, problem.spec());
         let stats = NopeStats {
             num_procedures: program.procedures.len(),
             num_branches: program.num_branches(),
             num_call_sites: program.num_call_sites(),
+            abstract_iterations,
             elapsed: started.elapsed(),
         };
         (verdict, stats)

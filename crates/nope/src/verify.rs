@@ -35,6 +35,18 @@ pub enum NopeVerdict {
     Unknown,
 }
 
+impl NopeVerdict {
+    /// Stable lower-case name used by the benchmark report
+    /// (`unrealizable`, `realizable`, `unknown`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            NopeVerdict::Unrealizable => "unrealizable",
+            NopeVerdict::RealizableOnExamples(_) => "realizable",
+            NopeVerdict::Unknown => "unknown",
+        }
+    }
+}
+
 /// Configuration of the bounded/abstract program verifier.
 #[derive(Clone, Debug)]
 pub struct ProgramVerifier {
@@ -67,18 +79,32 @@ impl ProgramVerifier {
 
     /// Runs both analyses and combines their verdicts.
     pub fn check(&self, program: &Program, examples: &ExampleSet, spec: &Spec) -> NopeVerdict {
+        self.check_counted(program, examples, spec).0
+    }
+
+    /// Like [`ProgramVerifier::check`], but also reports how many
+    /// fixed-point iterations the abstract interpreter performed (0 when
+    /// the bounded search already decided the verdict).
+    pub fn check_counted(
+        &self,
+        program: &Program,
+        examples: &ExampleSet,
+        spec: &Spec,
+    ) -> (NopeVerdict, usize) {
         if examples.is_empty() {
-            return NopeVerdict::Unknown;
+            return (NopeVerdict::Unknown, 0);
         }
         // 1. bounded concrete exploration: can we reach the bad location?
         if let Some(witness) = self.bounded_search(program, examples, spec) {
-            return NopeVerdict::RealizableOnExamples(witness);
+            return (NopeVerdict::RealizableOnExamples(witness), 0);
         }
         // 2. abstract interpretation: is the bad location provably unreachable?
-        if self.abstract_unreachable(program, examples, spec) {
-            return NopeVerdict::Unrealizable;
+        let (unreachable, iterations) = self.abstract_unreachable_counted(program, examples, spec);
+        if unreachable {
+            (NopeVerdict::Unrealizable, iterations)
+        } else {
+            (NopeVerdict::Unknown, iterations)
         }
-        NopeVerdict::Unknown
     }
 
     /// Bounded unrolling of the recursive program: computes, per procedure,
@@ -239,9 +265,23 @@ impl ProgramVerifier {
         examples: &ExampleSet,
         spec: &Spec,
     ) -> bool {
+        self.abstract_unreachable_counted(program, examples, spec).0
+    }
+
+    /// Like [`ProgramVerifier::abstract_unreachable`], but also reports the
+    /// number of fixed-point iterations performed before convergence (or
+    /// the configured cap, if the iteration never stabilised).
+    pub fn abstract_unreachable_counted(
+        &self,
+        program: &Program,
+        examples: &ExampleSet,
+        spec: &Spec,
+    ) -> (bool, usize) {
         let n = program.procedures.len();
         let mut values: Vec<AbsValue> = vec![AbsValue::Bottom; n];
+        let mut iterations_run = 0;
         for iteration in 0..self.max_abstract_iterations {
+            iterations_run = iteration + 1;
             let mut changed = false;
             let mut next = values.clone();
             for (i, proc_) in program.procedures.iter().enumerate() {
@@ -274,15 +314,15 @@ impl ProgramVerifier {
             .map(|j| Var::indexed("o", j + 1))
             .collect();
         let gamma = match &values[program.entry] {
-            AbsValue::Bottom => return true,
+            AbsValue::Bottom => return (true, iterations_run),
             AbsValue::Int(components) => Formula::and(
                 components
                     .iter()
                     .enumerate()
                     .map(|(j, a)| a.to_formula(&outputs[j], &format!("k_{j}"))),
             ),
-            AbsValue::Bool(components) => Formula::and(components.iter().enumerate().map(
-                |(j, b)| {
+            AbsValue::Bool(components) => {
+                Formula::and(components.iter().enumerate().map(|(j, b)| {
                     let o = LinearExpr::var(outputs[j].clone());
                     match b {
                         AbsBool::True => Formula::eq(o, LinearExpr::constant(1)),
@@ -292,11 +332,14 @@ impl ProgramVerifier {
                             Formula::le(o, LinearExpr::constant(1)),
                         ]),
                     }
-                },
-            )),
+                }))
+            }
         };
         let query = Formula::and(vec![gamma, spec.conjunction_over(examples, &outputs)]);
-        matches!(Solver::default().check(&query), SolverResult::Unsat)
+        (
+            matches!(Solver::default().check(&query), SolverResult::Unsat),
+            iterations_run,
+        )
     }
 
     fn abstract_expr(&self, expr: &ProgExpr, values: &[AbsValue], dim: usize) -> AbsValue {
@@ -383,11 +426,7 @@ impl ProgramVerifier {
                 ) else {
                     return AbsValue::Bottom;
                 };
-                AbsValue::Bool(
-                    (0..dim)
-                        .map(|j| AbsBool::less_than(&x[j], &y[j]))
-                        .collect(),
-                )
+                AbsValue::Bool((0..dim).map(|j| AbsBool::less_than(&x[j], &y[j])).collect())
             }
             ProgExpr::Equal(a, b) => {
                 let (Some(x), Some(y)) = (
@@ -444,7 +483,7 @@ mod tests {
     use super::*;
     use crate::program::Program;
     use logic::{LinearExpr, Var};
-    use sygus::{GrammarBuilder, Grammar, Sort, Symbol};
+    use sygus::{Grammar, GrammarBuilder, Sort, Symbol};
 
     fn g1() -> Grammar {
         GrammarBuilder::new("Start")

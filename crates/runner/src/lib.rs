@@ -1,0 +1,34 @@
+//! Parallel benchmark runner: the execution substrate of the experiment
+//! harness in `crates/bench`.
+//!
+//! The paper's evaluation (§8.1) is a large sweep — 132 benchmarks × 3
+//! tools — and a credible perf trajectory needs three things the naive
+//! serial loop cannot give:
+//!
+//! * **parallelism** — a [`pool`] of worker threads with per-worker deques
+//!   and work stealing saturates the machine (std-only: `std::thread` +
+//!   channels, no external dependencies),
+//! * **isolation** — every job runs with a wall-clock [timeout] and panic
+//!   containment, so one diverging or crashing benchmark cannot take the
+//!   whole sweep down, and
+//! * **comparability** — results land in a deterministic, schema-versioned
+//!   [`report::Report`] (JSON, hand-rolled in [`json`] since the build is
+//!   offline) that [`report::compare`] can diff against a committed
+//!   baseline, turning perf PRs into measurable deltas.
+//!
+//! [timeout]: pool::PoolConfig::timeout
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod pool;
+pub mod report;
+pub mod timing;
+
+pub use json::Json;
+pub use pool::{run_jobs, Job, JobResult, JobStatus, PoolConfig};
+pub use report::{
+    compare, Aggregates, CompareConfig, Entry, Regression, RegressionKind, Report, SCHEMA_VERSION,
+};
+pub use timing::measure;

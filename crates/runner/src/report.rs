@@ -1,0 +1,563 @@
+//! The schema-versioned benchmark report and the regression comparator.
+//!
+//! A [`Report`] is what one sweep of the suite produces: one [`Entry`] per
+//! (benchmark, tool) pair plus computed [`Aggregates`]. Entries are kept
+//! sorted by `(benchmark, tool)` and objects serialize with a fixed key
+//! order, so a report is deterministic: two sweeps that measure the same
+//! verdicts produce byte-identical JSON after [`Report::canonicalized`]
+//! (which zeroes the wall-clock fields) regardless of worker count.
+//!
+//! [`compare`] diffs two reports and is the engine of the CI perf gate: it
+//! flags verdict flips, jobs that stopped completing, vanished benchmarks,
+//! and slowdowns beyond a configurable threshold.
+
+use crate::json::Json;
+use crate::pool::JobStatus;
+use std::fmt;
+
+/// Version of the JSON layout; bump on any breaking change to the schema.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// One (benchmark, tool) measurement.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Entry {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Tool name (`naySL`, `nayHorn`, `nope`).
+    pub tool: String,
+    /// How the job ended.
+    pub status: JobStatus,
+    /// Realizability verdict reported by the tool (`unrealizable`,
+    /// `realizable`, `unknown`), or `-` when the job did not complete.
+    pub verdict: String,
+    /// Whether the tool proved unrealizability.
+    pub proved: bool,
+    /// Solver iterations (equation-solver rounds for nay, abstract-
+    /// interpretation passes for nope); 0 when the job did not complete.
+    pub iterations: u64,
+    /// Wall-clock milliseconds.
+    pub millis: f64,
+}
+
+impl Entry {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("benchmark".into(), Json::Str(self.benchmark.clone())),
+            ("tool".into(), Json::Str(self.tool.clone())),
+            ("status".into(), Json::Str(self.status.as_str().into())),
+            ("verdict".into(), Json::Str(self.verdict.clone())),
+            ("proved".into(), Json::Bool(self.proved)),
+            ("iterations".into(), Json::Num(self.iterations as f64)),
+            ("millis".into(), Json::Num(self.millis)),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Result<Entry, String> {
+        let field = |key: &str| {
+            value
+                .get(key)
+                .ok_or_else(|| format!("entry is missing the `{key}` field"))
+        };
+        let status_name = field("status")?
+            .as_str()
+            .ok_or("`status` is not a string")?;
+        Ok(Entry {
+            benchmark: field("benchmark")?
+                .as_str()
+                .ok_or("`benchmark` is not a string")?
+                .to_string(),
+            tool: field("tool")?
+                .as_str()
+                .ok_or("`tool` is not a string")?
+                .to_string(),
+            status: JobStatus::parse(status_name)
+                .ok_or_else(|| format!("unknown status `{status_name}`"))?,
+            verdict: field("verdict")?
+                .as_str()
+                .ok_or("`verdict` is not a string")?
+                .to_string(),
+            proved: field("proved")?
+                .as_bool()
+                .ok_or("`proved` is not a boolean")?,
+            iterations: field("iterations")?
+                .as_u64()
+                .ok_or("`iterations` is not an integer")?,
+            millis: field("millis")?
+                .as_f64()
+                .ok_or("`millis` is not a number")?,
+        })
+    }
+
+    fn key(&self) -> (&str, &str) {
+        (self.benchmark.as_str(), self.tool.as_str())
+    }
+}
+
+/// Suite-level totals, recomputed from the entries.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Aggregates {
+    /// Number of entries.
+    pub total: usize,
+    /// Entries that completed.
+    pub ok: usize,
+    /// Entries that exceeded the wall-clock budget.
+    pub timed_out: usize,
+    /// Entries whose job panicked.
+    pub crashed: usize,
+    /// Entries that proved unrealizability.
+    pub proved: usize,
+    /// Sum of all wall-clock milliseconds.
+    pub total_millis: f64,
+}
+
+/// A full sweep of the benchmark suite.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Report {
+    /// The schema version the report was written with.
+    pub schema_version: u64,
+    /// Which suite ran (`quick` or `full`).
+    pub suite: String,
+    /// Per-(benchmark, tool) measurements, sorted by `(benchmark, tool)`.
+    pub entries: Vec<Entry>,
+}
+
+impl Report {
+    /// Builds a report, sorting the entries into canonical order.
+    pub fn new(suite: impl Into<String>, mut entries: Vec<Entry>) -> Report {
+        entries.sort_by(|a, b| a.key().cmp(&b.key()));
+        Report {
+            schema_version: SCHEMA_VERSION,
+            suite: suite.into(),
+            entries,
+        }
+    }
+
+    /// Recomputes the suite aggregates.
+    pub fn aggregates(&self) -> Aggregates {
+        let mut agg = Aggregates {
+            total: self.entries.len(),
+            ok: 0,
+            timed_out: 0,
+            crashed: 0,
+            proved: 0,
+            total_millis: 0.0,
+        };
+        for entry in &self.entries {
+            match entry.status {
+                JobStatus::Ok => agg.ok += 1,
+                JobStatus::TimedOut => agg.timed_out += 1,
+                JobStatus::Crashed => agg.crashed += 1,
+            }
+            agg.proved += usize::from(entry.proved);
+            agg.total_millis += entry.millis;
+        }
+        agg
+    }
+
+    /// Finds the entry for a (benchmark, tool) pair.
+    pub fn entry(&self, benchmark: &str, tool: &str) -> Option<&Entry> {
+        self.entries.iter().find(|e| e.key() == (benchmark, tool))
+    }
+
+    /// The report with every wall-clock field zeroed: what is left is
+    /// exactly the machine- and scheduling-independent content, so two runs
+    /// with identical verdicts canonicalize to byte-identical JSON.
+    pub fn canonicalized(&self) -> Report {
+        let mut report = self.clone();
+        for entry in &mut report.entries {
+            entry.millis = 0.0;
+        }
+        report
+    }
+
+    /// Serializes to pretty-printed JSON (deterministic byte output).
+    pub fn to_json(&self) -> String {
+        let agg = self.aggregates();
+        Json::Obj(vec![
+            (
+                "schema_version".into(),
+                Json::Num(self.schema_version as f64),
+            ),
+            ("suite".into(), Json::Str(self.suite.clone())),
+            (
+                "aggregates".into(),
+                Json::Obj(vec![
+                    ("total".into(), Json::Num(agg.total as f64)),
+                    ("ok".into(), Json::Num(agg.ok as f64)),
+                    ("timed_out".into(), Json::Num(agg.timed_out as f64)),
+                    ("crashed".into(), Json::Num(agg.crashed as f64)),
+                    ("proved".into(), Json::Num(agg.proved as f64)),
+                    ("total_millis".into(), Json::Num(agg.total_millis)),
+                ]),
+            ),
+            (
+                "benchmarks".into(),
+                Json::Arr(self.entries.iter().map(Entry::to_json).collect()),
+            ),
+        ])
+        .to_string_pretty()
+    }
+
+    /// Parses a report, validating the schema version. The stored
+    /// aggregates are ignored (they are always recomputed from the entries).
+    pub fn from_json(text: &str) -> Result<Report, String> {
+        let root = Json::parse(text).map_err(|e| e.to_string())?;
+        let version = root
+            .get("schema_version")
+            .and_then(Json::as_u64)
+            .ok_or("report is missing `schema_version`")?;
+        if version != SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported schema version {version} (this binary reads version {SCHEMA_VERSION})"
+            ));
+        }
+        let suite = root
+            .get("suite")
+            .and_then(Json::as_str)
+            .ok_or("report is missing `suite`")?
+            .to_string();
+        let entries = root
+            .get("benchmarks")
+            .and_then(Json::as_array)
+            .ok_or("report is missing the `benchmarks` array")?
+            .iter()
+            .map(Entry::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Report::new(suite, entries))
+    }
+}
+
+/// Thresholds for [`compare`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CompareConfig {
+    /// A completed entry is a regression when its new time exceeds the old
+    /// time by more than this percentage.
+    pub threshold_pct: f64,
+    /// Entries whose new time is below this floor are never flagged as
+    /// slowdowns (shields sub-millisecond benchmarks from scheduler noise).
+    pub min_millis: f64,
+}
+
+impl Default for CompareConfig {
+    fn default() -> Self {
+        CompareConfig {
+            threshold_pct: 25.0,
+            min_millis: 50.0,
+        }
+    }
+}
+
+/// What kind of regression [`compare`] found.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RegressionKind {
+    /// The realizability verdict changed between the two reports.
+    VerdictFlip,
+    /// An entry that used to complete now times out or crashes.
+    StatusChange,
+    /// An entry got slower than the threshold allows.
+    Slowdown,
+    /// A (benchmark, tool) pair from the old report is gone.
+    Missing,
+}
+
+/// One regression found by [`compare`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct Regression {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Tool name.
+    pub tool: String,
+    /// What regressed.
+    pub kind: RegressionKind,
+    /// Human-readable explanation with the numbers involved.
+    pub detail: String,
+}
+
+impl fmt::Display for Regression {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}: {}", self.benchmark, self.tool, self.detail)
+    }
+}
+
+/// Diffs `new` against `old` and returns every regression. An empty result
+/// means the gate passes; improvements (faster, newly solved, new entries)
+/// are never flagged.
+pub fn compare(old: &Report, new: &Report, config: &CompareConfig) -> Vec<Regression> {
+    // A timed-out job's thread is abandoned, not killed (std has no thread
+    // cancellation), so it keeps consuming CPU and inflates the measured
+    // time of every job that runs after it. When the new report contains
+    // any timed-out entry its wall-clock numbers are therefore suspect:
+    // slowdown comparisons are suppressed and only the machine-independent
+    // regressions (status changes, verdict flips, missing entries) gate —
+    // which already includes the timeout itself.
+    let timings_trustworthy = new.aggregates().timed_out == 0;
+    let mut regressions = Vec::new();
+    for old_entry in &old.entries {
+        let regression = |kind, detail| Regression {
+            benchmark: old_entry.benchmark.clone(),
+            tool: old_entry.tool.clone(),
+            kind,
+            detail,
+        };
+        let Some(new_entry) = new.entry(&old_entry.benchmark, &old_entry.tool) else {
+            regressions.push(regression(
+                RegressionKind::Missing,
+                "entry missing from the new report".into(),
+            ));
+            continue;
+        };
+        // Status first: an entry that stops completing is a StatusChange,
+        // not a "verdict flip to -"; an entry that *starts* completing is an
+        // improvement, never a regression, whatever its verdict reads.
+        if old_entry.status == JobStatus::Ok && new_entry.status != JobStatus::Ok {
+            regressions.push(regression(
+                RegressionKind::StatusChange,
+                format!("status changed: ok -> {}", new_entry.status.as_str()),
+            ));
+            continue;
+        }
+        let both_ok = old_entry.status == JobStatus::Ok && new_entry.status == JobStatus::Ok;
+        if both_ok && new_entry.verdict != old_entry.verdict {
+            regressions.push(regression(
+                RegressionKind::VerdictFlip,
+                format!(
+                    "verdict flipped: {} -> {}",
+                    old_entry.verdict, new_entry.verdict
+                ),
+            ));
+            continue;
+        }
+        let above_floor = new_entry.millis >= config.min_millis;
+        let budget = old_entry.millis * (1.0 + config.threshold_pct / 100.0);
+        if timings_trustworthy && both_ok && above_floor && new_entry.millis > budget {
+            regressions.push(regression(
+                RegressionKind::Slowdown,
+                format!(
+                    "slowed down {:.1}ms -> {:.1}ms (>{:.0}% over baseline)",
+                    old_entry.millis, new_entry.millis, config.threshold_pct
+                ),
+            ));
+        }
+    }
+    regressions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(benchmark: &str, tool: &str, millis: f64) -> Entry {
+        Entry {
+            benchmark: benchmark.into(),
+            tool: tool.into(),
+            status: JobStatus::Ok,
+            verdict: "unrealizable".into(),
+            proved: true,
+            iterations: 3,
+            millis,
+        }
+    }
+
+    fn sample() -> Report {
+        Report::new(
+            "quick",
+            vec![
+                entry("mpg_ite2", "naySL", 120.0),
+                entry("mpg_ite2", "nope", 900.0),
+                Entry {
+                    status: JobStatus::TimedOut,
+                    verdict: "-".into(),
+                    proved: false,
+                    iterations: 0,
+                    ..entry("plane1", "nayHorn", 5000.0)
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn json_round_trips_exactly() {
+        let report = sample();
+        let text = report.to_json();
+        let parsed = Report::from_json(&text).expect("parse back");
+        assert_eq!(parsed, report);
+        assert_eq!(parsed.to_json(), text);
+    }
+
+    #[test]
+    fn entries_are_sorted_canonically() {
+        let report = Report::new(
+            "quick",
+            vec![
+                entry("zz", "nope", 1.0),
+                entry("aa", "nope", 1.0),
+                entry("aa", "naySL", 1.0),
+            ],
+        );
+        let keys: Vec<_> = report
+            .entries
+            .iter()
+            .map(|e| (e.benchmark.clone(), e.tool.clone()))
+            .collect();
+        assert_eq!(
+            keys,
+            vec![
+                ("aa".into(), "naySL".into()),
+                ("aa".into(), "nope".into()),
+                ("zz".into(), "nope".into())
+            ] as Vec<(String, String)>
+        );
+    }
+
+    #[test]
+    fn aggregates_count_statuses_and_proofs() {
+        let agg = sample().aggregates();
+        assert_eq!(agg.total, 3);
+        assert_eq!(agg.ok, 2);
+        assert_eq!(agg.timed_out, 1);
+        assert_eq!(agg.crashed, 0);
+        assert_eq!(agg.proved, 2);
+        assert!(agg.total_millis > 6000.0);
+    }
+
+    #[test]
+    fn canonicalization_zeroes_time_but_keeps_verdicts() {
+        let canon = sample().canonicalized();
+        assert!(canon.entries.iter().all(|e| e.millis == 0.0));
+        assert_eq!(canon.entries.len(), 3);
+        assert_eq!(canon.aggregates().proved, 2);
+    }
+
+    #[test]
+    fn comparing_a_report_with_itself_is_clean() {
+        let report = sample();
+        assert!(compare(&report, &report, &CompareConfig::default()).is_empty());
+    }
+
+    fn all_ok() -> Report {
+        Report::new(
+            "quick",
+            vec![
+                entry("mpg_ite2", "naySL", 120.0),
+                entry("mpg_ite2", "nope", 900.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn verdict_flips_and_slowdowns_are_flagged() {
+        let old = all_ok();
+        let mut new = all_ok();
+        new.entries[0].verdict = "unknown".into();
+        new.entries[0].proved = false;
+        assert_eq!(new.entries[1].tool, "nope");
+        new.entries[1].millis = 2000.0;
+        let regressions = compare(&old, &new, &CompareConfig::default());
+        assert_eq!(regressions.len(), 2);
+        assert!(regressions
+            .iter()
+            .any(|r| r.kind == RegressionKind::VerdictFlip));
+        assert!(regressions
+            .iter()
+            .any(|r| r.kind == RegressionKind::Slowdown));
+    }
+
+    #[test]
+    fn timeouts_in_the_new_report_suppress_slowdown_noise() {
+        // A timed-out job's abandoned thread keeps consuming CPU, so the
+        // other entries' timings are not comparable: the timeout itself
+        // gates (StatusChange), but no Slowdown findings pile on top.
+        let mut old = all_ok();
+        old.entries.push(entry("plane1", "nayHorn", 100.0));
+        let mut new = all_ok();
+        new.entries[1].millis = 9000.0; // would be a Slowdown on a clean run
+        new.entries.push(Entry {
+            status: JobStatus::TimedOut,
+            verdict: "-".into(),
+            proved: false,
+            iterations: 0,
+            ..entry("plane1", "nayHorn", 5000.0)
+        });
+        let new = Report::new("quick", new.entries);
+        let regressions = compare(&old, &new, &CompareConfig::default());
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].kind, RegressionKind::StatusChange);
+    }
+
+    #[test]
+    fn small_absolute_times_are_shielded_from_noise() {
+        let old = Report::new("quick", vec![entry("tiny", "naySL", 1.0)]);
+        let new = Report::new("quick", vec![entry("tiny", "naySL", 3.0)]);
+        // 3x slower but under the 50ms floor: not a regression.
+        assert!(compare(&old, &new, &CompareConfig::default()).is_empty());
+        // With the floor lowered it is flagged.
+        let config = CompareConfig {
+            threshold_pct: 25.0,
+            min_millis: 0.0,
+        };
+        assert_eq!(compare(&old, &new, &config).len(), 1);
+    }
+
+    #[test]
+    fn missing_entries_and_status_changes_are_flagged() {
+        let old = sample();
+        let mut new = sample();
+        new.entries.remove(2);
+        new.entries[0].status = JobStatus::Crashed;
+        new.entries[0].verdict = "-".into();
+        new.entries[0].proved = false;
+        let regressions = compare(&old, &new, &CompareConfig::default());
+        assert!(regressions
+            .iter()
+            .any(|r| r.kind == RegressionKind::Missing));
+        // The crashed entry's verdict also changed, which reports first.
+        assert!(regressions.iter().any(
+            |r| r.kind == RegressionKind::VerdictFlip || r.kind == RegressionKind::StatusChange
+        ));
+    }
+
+    #[test]
+    fn recovering_entries_are_improvements_not_regressions() {
+        // Old: timed out (verdict "-"). New: completes and proves. The
+        // verdicts differ, but an entry that *starts* completing must never
+        // be flagged.
+        let old = Report::new(
+            "quick",
+            vec![Entry {
+                status: JobStatus::TimedOut,
+                verdict: "-".into(),
+                proved: false,
+                iterations: 0,
+                ..entry("plane1", "naySL", 5000.0)
+            }],
+        );
+        let new = Report::new("quick", vec![entry("plane1", "naySL", 80.0)]);
+        assert!(compare(&old, &new, &CompareConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn stopping_to_complete_reports_a_status_change_not_a_verdict_flip() {
+        let old = Report::new("quick", vec![entry("plane1", "naySL", 80.0)]);
+        let new = Report::new(
+            "quick",
+            vec![Entry {
+                status: JobStatus::TimedOut,
+                verdict: "-".into(),
+                proved: false,
+                iterations: 0,
+                ..entry("plane1", "naySL", 5000.0)
+            }],
+        );
+        let regressions = compare(&old, &new, &CompareConfig::default());
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].kind, RegressionKind::StatusChange);
+    }
+
+    #[test]
+    fn wrong_schema_version_is_rejected() {
+        let mut text = sample().to_json();
+        text = text.replace("\"schema_version\": 1", "\"schema_version\": 99");
+        let err = Report::from_json(&text).unwrap_err();
+        assert!(err.contains("schema version"), "{err}");
+    }
+}

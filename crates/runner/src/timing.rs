@@ -1,0 +1,25 @@
+//! The one measured-execution helper shared by the pool and the harness.
+//!
+//! Every wall-clock measurement in the workspace goes through [`measure`],
+//! so "how we time things" is defined in exactly one place.
+
+use std::time::{Duration, Instant};
+
+/// Runs `f` and returns its value together with the elapsed wall-clock time.
+pub fn measure<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let started = Instant::now();
+    let value = f();
+    (value, started.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_returns_the_value_and_a_nonnegative_duration() {
+        let (v, elapsed) = measure(|| 6 * 7);
+        assert_eq!(v, 42);
+        assert!(elapsed >= Duration::ZERO);
+    }
+}

@@ -1,0 +1,131 @@
+//! Isolation guarantees of the work-stealing pool: a timed-out job reports
+//! `TimedOut` without killing the pool, and a panicking job reports
+//! `Crashed` while its siblings run to completion.
+
+use runner::{run_jobs, Job, JobStatus, PoolConfig};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+#[test]
+fn timeout_fires_without_killing_the_pool() {
+    let completed = Arc::new(AtomicUsize::new(0));
+    let mut jobs = Vec::new();
+    for i in 0..6 {
+        let completed = Arc::clone(&completed);
+        if i == 2 {
+            jobs.push(Job::new("sleeper", move || {
+                std::thread::sleep(Duration::from_secs(30));
+                completed.fetch_add(1, Ordering::SeqCst);
+                0usize
+            }));
+        } else {
+            jobs.push(Job::new(format!("quick-{i}"), move || {
+                completed.fetch_add(1, Ordering::SeqCst);
+                i
+            }));
+        }
+    }
+
+    let config = PoolConfig {
+        jobs: 3,
+        timeout: Some(Duration::from_millis(100)),
+    };
+    let results = run_jobs(jobs, &config);
+
+    assert_eq!(results.len(), 6);
+    assert_eq!(results[2].id, "sleeper");
+    assert_eq!(results[2].status, JobStatus::TimedOut);
+    assert_eq!(results[2].output, None);
+    assert_eq!(results[2].elapsed, Duration::from_millis(100));
+    // Every sibling still completed, on the same pool, after the timeout.
+    for (i, result) in results.iter().enumerate() {
+        if i != 2 {
+            assert_eq!(result.status, JobStatus::Ok, "sibling {i} was disturbed");
+            assert_eq!(result.output, Some(i));
+        }
+    }
+    assert_eq!(completed.load(Ordering::SeqCst), 5);
+}
+
+#[test]
+fn panicking_job_reports_crashed_while_siblings_finish() {
+    let mut jobs: Vec<Job<usize>> = Vec::new();
+    for i in 0..8 {
+        if i == 3 {
+            jobs.push(Job::new("bomb", || panic!("benchmark exploded")));
+        } else {
+            jobs.push(Job::new(format!("steady-{i}"), move || i * 10));
+        }
+    }
+
+    let results = run_jobs(
+        jobs,
+        &PoolConfig {
+            jobs: 4,
+            timeout: None,
+        },
+    );
+
+    assert_eq!(results.len(), 8);
+    assert_eq!(results[3].id, "bomb");
+    assert_eq!(results[3].status, JobStatus::Crashed);
+    assert_eq!(results[3].output, None);
+    for (i, result) in results.iter().enumerate() {
+        if i != 3 {
+            assert_eq!(result.status, JobStatus::Ok, "sibling {i} was disturbed");
+            assert_eq!(result.output, Some(i * 10));
+        }
+    }
+}
+
+#[test]
+fn worker_counts_do_not_change_results() {
+    let make_jobs = || -> Vec<Job<u64>> {
+        (0..24u64)
+            .map(|i| Job::new(format!("j{i}"), move || i.pow(2) + 1))
+            .collect()
+    };
+    let serial = run_jobs(make_jobs(), &PoolConfig::serial());
+    let parallel = run_jobs(
+        make_jobs(),
+        &PoolConfig {
+            jobs: 8,
+            timeout: None,
+        },
+    );
+    let serial_out: Vec<_> = serial.iter().map(|r| (r.id.clone(), r.output)).collect();
+    let parallel_out: Vec<_> = parallel.iter().map(|r| (r.id.clone(), r.output)).collect();
+    assert_eq!(serial_out, parallel_out);
+}
+
+#[test]
+fn stealing_drains_queues_that_belong_to_busy_workers() {
+    // With 2 workers and one long-ish job, the other worker must steal the
+    // remaining jobs instead of idling; the whole batch should finish well
+    // before the sum of serial times.
+    let mut jobs: Vec<Job<()>> = Vec::new();
+    jobs.push(Job::new("long", || {
+        std::thread::sleep(Duration::from_millis(300))
+    }));
+    for i in 0..6 {
+        jobs.push(Job::new(format!("short-{i}"), || {
+            std::thread::sleep(Duration::from_millis(30))
+        }));
+    }
+    let (results, elapsed) = runner::measure(|| {
+        run_jobs(
+            jobs,
+            &PoolConfig {
+                jobs: 2,
+                timeout: None,
+            },
+        )
+    });
+    assert!(results.iter().all(|r| r.status == JobStatus::Ok));
+    // Serial would take 300 + 6*30 = 480ms; stealing bounds it near 300ms.
+    assert!(
+        elapsed < Duration::from_millis(460),
+        "stealing did not overlap work: {elapsed:?}"
+    );
+}

@@ -130,16 +130,10 @@ mod tests {
         let sl = SemiLinearSet::from_linear_sets([LinearSet::new(v(&[0, 0]), vec![v(&[2, 4])])]);
         let outputs = outs(2);
         let gamma = concretize_semilinear(&sl, &outputs);
-        let constraint = Formula::eq(
-            LinearExpr::var(outputs[0].clone()),
-            LinearExpr::constant(6),
-        );
+        let constraint = Formula::eq(LinearExpr::var(outputs[0].clone()), LinearExpr::constant(6));
         match Solver::default().check(&Formula::and(vec![gamma, constraint])) {
             SolverResult::Sat(m) => {
-                let o = IntVec::from(vec![
-                    m.get_or_zero(&outputs[0]),
-                    m.get_or_zero(&outputs[1]),
-                ]);
+                let o = IntVec::from(vec![m.get_or_zero(&outputs[0]), m.get_or_zero(&outputs[1])]);
                 assert_eq!(o, v(&[6, 12]));
                 assert!(sl.contains(&o));
             }

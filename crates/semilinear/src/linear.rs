@@ -122,10 +122,7 @@ impl LinearSet {
     /// `other` and the base of `self` is a member of `other`. This is the
     /// "trivially subsumed" pruning used by naySL (§7).
     pub fn subsumed_by(&self, other: &LinearSet) -> bool {
-        self.generators
-            .iter()
-            .all(|g| other.generators.contains(g))
-            && other.contains(&self.base)
+        self.generators.iter().all(|g| other.generators.contains(g)) && other.contains(&self.base)
     }
 
     /// Enumerates members of the set with coefficient sum at most `budget`

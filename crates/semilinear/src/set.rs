@@ -179,9 +179,7 @@ impl SemiLinearSet {
     /// sets are *sample-equivalent* if they agree on membership of all
     /// vectors enumerable from either side within the budget.
     pub fn sample_equivalent(&self, other: &SemiLinearSet, budget: usize) -> bool {
-        self.enumerate(budget)
-            .iter()
-            .all(|v| other.contains(v))
+        self.enumerate(budget).iter().all(|v| other.contains(v))
             && other.enumerate(budget).iter().all(|v| self.contains(v))
     }
 }

@@ -48,7 +48,11 @@ pub struct EncodedTerm {
 /// # Panics
 /// Panics if the term is Boolean-sorted; use [`encode_bool_term`] for those.
 pub fn encode_int_term(term: &Term) -> EncodedTerm {
-    assert_eq!(term.sort(), Sort::Int, "encode_int_term requires an Int term");
+    assert_eq!(
+        term.sort(),
+        Sort::Int,
+        "encode_int_term requires an Int term"
+    );
     let mut fresh = FreshVars::default();
     let (constraints, value) = encode_int(term, &mut fresh);
     EncodedTerm { constraints, value }
@@ -59,7 +63,11 @@ pub fn encode_int_term(term: &Term) -> EncodedTerm {
 /// # Panics
 /// Panics if the term is integer-sorted.
 pub fn encode_bool_term(term: &Term) -> (Formula, Formula) {
-    assert_eq!(term.sort(), Sort::Bool, "encode_bool_term requires a Bool term");
+    assert_eq!(
+        term.sort(),
+        Sort::Bool,
+        "encode_bool_term requires a Bool term"
+    );
     let mut fresh = FreshVars::default();
     encode_bool(term, &mut fresh)
 }
@@ -143,11 +151,7 @@ pub fn counterexample_query(candidate: &Term, spec: &Spec) -> Formula {
         Sort::Int => {
             let encoded = encode_int_term(candidate);
             let bind = Formula::eq(LinearExpr::var(out), encoded.value);
-            Formula::and(vec![
-                encoded.constraints,
-                bind,
-                Formula::not(spec_formula),
-            ])
+            Formula::and(vec![encoded.constraints, bind, Formula::not(spec_formula)])
         }
         Sort::Bool => {
             let (constraints, truth) = encode_bool_term(candidate);
@@ -231,10 +235,7 @@ mod tests {
     fn ite_candidate_encoding() {
         // candidate: ite(x < 0, 0, x); spec: f(x) ≥ 0 — correct everywhere
         let spec = Spec::new(
-            Formula::ge(
-                LinearExpr::var(Spec::output_var()),
-                LinearExpr::constant(0),
-            ),
+            Formula::ge(LinearExpr::var(Spec::output_var()), LinearExpr::constant(0)),
             vec!["x".to_string()],
             Sort::Int,
         );
@@ -249,10 +250,7 @@ mod tests {
 
         // but spec f(x) > 0 admits the counterexample x = 0 (or any x ≤ 0)
         let strict = Spec::new(
-            Formula::gt(
-                LinearExpr::var(Spec::output_var()),
-                LinearExpr::constant(0),
-            ),
+            Formula::gt(LinearExpr::var(Spec::output_var()), LinearExpr::constant(0)),
             vec!["x".to_string()],
             Sort::Int,
         );
@@ -271,10 +269,7 @@ mod tests {
     fn bool_candidate_encoding() {
         // candidate: x < 5, spec: f(x) = 1 (always true) — x = 5 is a cex
         let spec = Spec::new(
-            Formula::eq(
-                LinearExpr::var(Spec::output_var()),
-                LinearExpr::constant(1),
-            ),
+            Formula::eq(LinearExpr::var(Spec::output_var()), LinearExpr::constant(1)),
             vec!["x".to_string()],
             Sort::Bool,
         );

@@ -95,11 +95,7 @@ impl ExampleSet {
 
     /// For a single-input function: builds the example set `⟨x=v₁, …⟩`.
     pub fn for_single_var(var: &str, values: impl IntoIterator<Item = i64>) -> Self {
-        ExampleSet::from_examples(
-            values
-                .into_iter()
-                .map(|v| Example::from_pairs([(var, v)])),
-        )
+        ExampleSet::from_examples(values.into_iter().map(|v| Example::from_pairs([(var, v)])))
     }
 
     /// Appends an example, returning its index.

@@ -458,7 +458,12 @@ impl GrammarBuilder {
     }
 
     /// Adds a production with pre-built nonterminals.
-    pub fn production_nt(mut self, lhs: NonTerminal, symbol: Symbol, args: Vec<NonTerminal>) -> Self {
+    pub fn production_nt(
+        mut self,
+        lhs: NonTerminal,
+        symbol: Symbol,
+        args: Vec<NonTerminal>,
+    ) -> Self {
         self.productions.push(Production::new(lhs, symbol, args));
         self
     }

@@ -153,7 +153,9 @@ fn parse_synth_fun(items: &[Sexp]) -> Result<SynthFun, SygusError> {
         params.push((
             pl[0]
                 .atom()
-                .ok_or_else(|| SygusError::ParseError("parameter name must be an atom".to_string()))?
+                .ok_or_else(|| {
+                    SygusError::ParseError("parameter name must be an atom".to_string())
+                })?
                 .to_string(),
             parse_sort(&pl[1])?,
         ));
@@ -190,7 +192,9 @@ fn parse_synth_fun(items: &[Sexp]) -> Result<SynthFun, SygusError> {
         decls.push((
             gl[0]
                 .atom()
-                .ok_or_else(|| SygusError::ParseError("nonterminal name must be an atom".to_string()))?
+                .ok_or_else(|| {
+                    SygusError::ParseError("nonterminal name must be an atom".to_string())
+                })?
                 .to_string(),
             parse_sort(&gl[1])?,
         ));
@@ -251,10 +255,9 @@ fn parse_rule(
             }
         }
         Sexp::List(items) => {
-            let op = items
-                .first()
-                .and_then(|s| s.atom())
-                .ok_or_else(|| SygusError::ParseError("rule operator must be an atom".to_string()))?;
+            let op = items.first().and_then(|s| s.atom()).ok_or_else(|| {
+                SygusError::ParseError("rule operator must be an atom".to_string())
+            })?;
             let args: Result<Vec<&str>, SygusError> = items[1..]
                 .iter()
                 .map(|s| {
@@ -471,10 +474,9 @@ pub fn parse_problem(input: &str, name: &str) -> Result<Problem, SygusError> {
             "set-logic" | "check-synth" | "set-option" => {}
             "synth-fun" => synth_fun = Some(parse_synth_fun(items)?),
             "declare-var" => {
-                let v = items
-                    .get(1)
-                    .and_then(|s| s.atom())
-                    .ok_or_else(|| SygusError::ParseError("declare-var needs a name".to_string()))?;
+                let v = items.get(1).and_then(|s| s.atom()).ok_or_else(|| {
+                    SygusError::ParseError("declare-var needs a name".to_string())
+                })?;
                 let sort = parse_sort(items.get(2).ok_or_else(|| {
                     SygusError::ParseError("declare-var needs a sort".to_string())
                 })?)?;

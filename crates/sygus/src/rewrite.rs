@@ -60,9 +60,8 @@ fn add_rewritten(
     let lhs = p.lhs.clone();
     let neg_lhs = lhs.negative();
     let args = p.args.clone();
-    let neg_args = |args: &[NonTerminal]| -> Vec<NonTerminal> {
-        args.iter().map(|a| a.negative()).collect()
-    };
+    let neg_args =
+        |args: &[NonTerminal]| -> Vec<NonTerminal> { args.iter().map(|a| a.negative()).collect() };
     match &p.symbol {
         Symbol::Plus => {
             builder = builder.production_nt(lhs, Symbol::Plus, args.clone());
@@ -189,10 +188,7 @@ mod tests {
         assert!(!h.has_minus());
         assert!(h.has_ite());
         // Boolean nonterminal must not get a negative twin
-        assert!(h
-            .nonterminals()
-            .iter()
-            .all(|nt| nt.name() != "B⁻"));
+        assert!(h.nonterminals().iter().all(|nt| nt.name() != "B⁻"));
     }
 
     #[test]

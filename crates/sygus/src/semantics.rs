@@ -84,8 +84,12 @@ impl Term {
                     Ok(Value::Int(kids[2].expect_int()?))
                 }
             }
-            Symbol::And => Ok(Value::Bool(kids[0].expect_bool()? && kids[1].expect_bool()?)),
-            Symbol::Or => Ok(Value::Bool(kids[0].expect_bool()? || kids[1].expect_bool()?)),
+            Symbol::And => Ok(Value::Bool(
+                kids[0].expect_bool()? && kids[1].expect_bool()?,
+            )),
+            Symbol::Or => Ok(Value::Bool(
+                kids[0].expect_bool()? || kids[1].expect_bool()?,
+            )),
             Symbol::Not => Ok(Value::Bool(!kids[0].expect_bool()?)),
             Symbol::LessThan => Ok(Value::Bool(kids[0].expect_int()? < kids[1].expect_int()?)),
             Symbol::Equal => Ok(Value::Bool(kids[0].expect_int()? == kids[1].expect_int()?)),

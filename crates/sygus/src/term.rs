@@ -248,12 +248,7 @@ impl Term {
 
     /// Height of the term (a leaf has height 1).
     pub fn height(&self) -> usize {
-        1 + self
-            .children
-            .iter()
-            .map(|c| c.height())
-            .max()
-            .unwrap_or(0)
+        1 + self.children.iter().map(|c| c.height()).max().unwrap_or(0)
     }
 
     /// The set of input-variable names occurring in the term.

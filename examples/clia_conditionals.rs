@@ -54,7 +54,10 @@ fn main() {
     // The exact CLIA analysis on E = ⟨1, 2⟩ (the paper's Eqns. (6)-(11)).
     let examples = ExampleSet::for_single_var("x", [1, 2]);
     let analysis = clia::analyze(problem.grammar(), &examples, true, true).expect("CLIA grammar");
-    println!("abstractions on E = ⟨1, 2⟩ (SolveMutual, {} outer iterations):", analysis.outer_iterations);
+    println!(
+        "abstractions on E = ⟨1, 2⟩ (SolveMutual, {} outer iterations):",
+        analysis.outer_iterations
+    );
     for (nt, value) in &analysis.int_values {
         println!("  n({nt}) = {value}");
     }
@@ -62,10 +65,12 @@ fn main() {
         println!("  n({nt}) = {value}");
     }
     // Exp2 and Exp3 match §2: multiples of (2,4) and (3,6).
-    assert!(analysis.int_values[&sygus::NonTerminal::new("Exp2")]
-        .contains(&IntVec::from(vec![2, 4])));
-    assert!(analysis.int_values[&sygus::NonTerminal::new("Exp3")]
-        .contains(&IntVec::from(vec![3, 6])));
+    assert!(
+        analysis.int_values[&sygus::NonTerminal::new("Exp2")].contains(&IntVec::from(vec![2, 4]))
+    );
+    assert!(
+        analysis.int_values[&sygus::NonTerminal::new("Exp3")].contains(&IntVec::from(vec![3, 6]))
+    );
 
     let two = check_unrealizable(&problem, &examples, &Mode::default());
     println!("verdict on ⟨1, 2⟩: {:?}", two.verdict);

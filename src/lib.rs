@@ -19,6 +19,8 @@
 //! * [`enumerative`] — the bottom-up enumerative synthesizer,
 //! * [`nope`] — the program-reachability baseline,
 //! * [`nay`] — Alg. 1 / Alg. 2: the unrealizability checker and CEGIS loop,
+//! * [`runner`] — the parallel benchmark runner: work-stealing pool,
+//!   per-job timeouts, panic isolation, and JSON perf reports,
 //! * [`benchmarks`] — the LimitedPlus / LimitedIf / LimitedConst families.
 //!
 //! # Quick start
@@ -57,5 +59,6 @@ pub use gfa;
 pub use logic;
 pub use nay;
 pub use nope;
+pub use runner;
 pub use semilinear;
 pub use sygus;

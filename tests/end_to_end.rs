@@ -31,7 +31,11 @@ fn section2_lia_full_pipeline() {
     let problem = section2_problem();
     // Alg. 1 with one example
     let examples = ExampleSet::for_single_var("x", [1]);
-    for mode in [Mode::default(), Mode::semi_linear_unstratified(), Mode::horn()] {
+    for mode in [
+        Mode::default(),
+        Mode::semi_linear_unstratified(),
+        Mode::horn(),
+    ] {
         let outcome = check_unrealizable(&problem, &examples, &mode);
         assert_eq!(
             outcome.verdict,
@@ -86,9 +90,10 @@ fn exact_procedure_agrees_with_enumerative_ground_truth() {
 fn verdicts_are_consistent_across_tools_on_benchmarks() {
     // naySL is exact; nayHorn and nope are sound: whenever they claim
     // unrealizability, naySL must agree.
-    for bench in benchmarks::all().into_iter().filter(|b| {
-        b.num_examples() <= 2 && b.num_nonterminals() <= 3 && b.num_variables() <= 3
-    }) {
+    for bench in benchmarks::all()
+        .into_iter()
+        .filter(|b| b.num_examples() <= 2 && b.num_nonterminals() <= 3 && b.num_variables() <= 3)
+    {
         let sl = check_unrealizable(&bench.problem, &bench.witness_examples, &Mode::default());
         let horn = check_unrealizable(&bench.problem, &bench.witness_examples, &Mode::horn());
         let (nope_verdict, _) = NopeSolver::new().check(&bench.problem, &bench.witness_examples);
@@ -191,7 +196,10 @@ fn horn_encoding_matches_grammar_shape() {
     let problem = section2_problem();
     let examples = ExampleSet::for_single_var("x", [1, 2]);
     let system = chc::encode::encode(problem.grammar(), &examples, problem.spec());
-    assert_eq!(system.predicates.len(), problem.grammar().num_nonterminals());
+    assert_eq!(
+        system.predicates.len(),
+        problem.grammar().num_nonterminals()
+    );
     assert_eq!(system.num_clauses(), problem.grammar().num_productions());
     let text = system.to_string();
     assert!(text.contains("(query"));
@@ -204,11 +212,7 @@ fn spec_api_round_trip() {
         LinearExpr::var(Var::new("x")).scale(3),
         vec!["x".to_string()],
     );
-    let problem = Problem::new(
-        "triple",
-        benchmarks::scaling_grammar(3),
-        spec,
-    );
+    let problem = Problem::new("triple", benchmarks::scaling_grammar(3), spec);
     // the scaling grammar produces multiples of 3x, so f(x) = 3x is realizable
     let examples = ExampleSet::for_single_var("x", [1, 2, 5]);
     assert_eq!(

@@ -174,10 +174,7 @@ fn small_formula() -> impl Strategy<Value = Formula> {
         prop_oneof![Just(0usize), Just(1), Just(2), Just(3)],
     )
         .prop_map(|(a, b, c, rel)| {
-            let lhs = LinearExpr::from_terms(
-                [(Var::new("x"), a), (Var::new("y"), b)],
-                0,
-            );
+            let lhs = LinearExpr::from_terms([(Var::new("x"), a), (Var::new("y"), b)], 0);
             let rhs = LinearExpr::constant(c);
             match rel {
                 0 => Formula::eq(lhs, rhs),

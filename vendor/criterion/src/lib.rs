@@ -34,14 +34,20 @@ impl Default for Criterion {
         // Cargo invokes `harness = false` bench executables with `--bench`
         // under `cargo bench`; anything else (notably `cargo test`) is test
         // mode, where measuring would only waste time.
-        Criterion { enabled: std::env::args().any(|a| a == "--bench") }
+        Criterion {
+            enabled: std::env::args().any(|a| a == "--bench"),
+        }
     }
 }
 
 impl Criterion {
     /// Starts a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 10 }
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
     }
 
     /// Registers and (in bench mode) runs a single benchmark.
@@ -80,7 +86,9 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         let label = format!("{}/{}", self.name, id.label);
-        run_one(self.criterion.enabled, &label, self.sample_size, |b| f(b, input));
+        run_one(self.criterion.enabled, &label, self.sample_size, |b| {
+            f(b, input)
+        });
         self
     }
 
@@ -102,10 +110,18 @@ fn run_one(enabled: bool, label: &str, samples: usize, mut f: impl FnMut(&mut Be
     if !enabled {
         return;
     }
-    let mut bencher = Bencher { total_nanos: 0, iterations: 0, samples };
+    let mut bencher = Bencher {
+        total_nanos: 0,
+        iterations: 0,
+        samples,
+    };
     f(&mut bencher);
     let mean = bencher.total_nanos as f64 / bencher.iterations.max(1) as f64;
-    println!("{label:<50} {:>12.3} µs/iter ({} iters)", mean / 1e3, bencher.iterations);
+    println!(
+        "{label:<50} {:>12.3} µs/iter ({} iters)",
+        mean / 1e3,
+        bencher.iterations
+    );
 }
 
 /// A benchmark identifier: a function name plus a parameter rendering.
@@ -116,12 +132,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// Builds an id such as `E2/8` from a name and a parameter.
     pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
-        BenchmarkId { label: format!("{}/{}", function_name.into(), parameter) }
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
     }
 
     /// Builds an id from a parameter alone.
     pub fn from_parameter(parameter: impl Display) -> Self {
-        BenchmarkId { label: parameter.to_string() }
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
     }
 }
 
@@ -139,7 +159,9 @@ impl IntoBenchmarkId for BenchmarkId {
 
 impl IntoBenchmarkId for &str {
     fn into_benchmark_id(self) -> BenchmarkId {
-        BenchmarkId { label: self.to_string() }
+        BenchmarkId {
+            label: self.to_string(),
+        }
     }
 }
 

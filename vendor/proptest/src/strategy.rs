@@ -155,7 +155,9 @@ impl<T> Union<T> {
 
 impl<T> Clone for Union<T> {
     fn clone(&self) -> Self {
-        Union { options: self.options.clone() }
+        Union {
+            options: self.options.clone(),
+        }
     }
 }
 
