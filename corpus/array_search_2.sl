@@ -1,0 +1,12 @@
+; array_search_2 — exported by `cargo run --example export_corpus`
+(set-logic CLIA)
+(synth-fun f ((x1 Int) (x2 Int) (k Int)) Int
+  ((Start Int (x1 x2 k 0 1 (ite Cond Start Start)))
+  (Cond Bool ((< Start Start) (and Cond Cond)))))
+(declare-var x1 Int)
+(declare-var x2 Int)
+(declare-var k Int)
+(constraint (or (>= k x1) (= (f x1 x2 k) 0)))
+(constraint (or (>= x2 k) (= (f x1 x2 k) 2)))
+(constraint (or (not (and (< x1 k) (< k x2))) (= (f x1 x2 k) 1)))
+(check-synth)

@@ -1,0 +1,8 @@
+; const_large — exported by `cargo run --example export_corpus`
+(set-logic CLIA)
+(synth-fun f ((x Int)) Int
+  ((Start Int (x 0 1 100 (ite Cond Start Start)))
+  (Cond Bool ((< Start Start) (and Cond Cond)))))
+(declare-var x Int)
+(constraint (= (f x) (+ x 1000)))
+(check-synth)

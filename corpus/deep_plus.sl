@@ -1,0 +1,12 @@
+; deep_plus — exported by `cargo run --example export_corpus`
+(set-logic LIA)
+(synth-fun f ((x Int)) Int
+  ((S5 Int ((+ S0 S4) (+ S1 S3) (+ S2 S2) (+ S3 S1) (+ S4 S0) (+ S0 S3) (+ S1 S2) (+ S2 S1) (+ S3 S0) (+ S0 S2) (+ S1 S1) (+ S2 S0) (+ S0 S1) (+ S1 S0) (+ S0 S0) x 0))
+  (S0 Int (x 0))
+  (S1 Int ((+ S0 S0) x 0))
+  (S2 Int ((+ S0 S1) (+ S1 S0) (+ S0 S0) x 0))
+  (S3 Int ((+ S0 S2) (+ S1 S1) (+ S2 S0) (+ S0 S1) (+ S1 S0) (+ S0 S0) x 0))
+  (S4 Int ((+ S0 S3) (+ S1 S2) (+ S2 S1) (+ S3 S0) (+ S0 S2) (+ S1 S1) (+ S2 S0) (+ S0 S1) (+ S1 S0) (+ S0 S0) x 0))))
+(declare-var x Int)
+(constraint (= (f x) (* 7 x)))
+(check-synth)

@@ -1,0 +1,10 @@
+; gap_guard — exported by `cargo run --example export_corpus`
+(set-logic CLIA)
+(synth-fun f ((x Int) (y Int)) Int
+  ((Start Int (x y 0 1 (ite Cond Start Start)))
+  (Cond Bool ((< Start Start) (and Cond Cond)))))
+(declare-var x Int)
+(declare-var y Int)
+(constraint (or (>= x 0) (= (f x y) (+ x -200))))
+(constraint (or (< x 0) (= (f x y) (+ y 300))))
+(check-synth)

@@ -1,0 +1,9 @@
+; if_guard1 — exported by `cargo run --example export_corpus`
+(set-logic LIA)
+(synth-fun f ((x Int) (y Int)) Int
+  ((S0 Int (x y 0 1 (+ S0 S0)))))
+(declare-var x Int)
+(declare-var y Int)
+(constraint (or (>= x 2) (= (f x y) (+ x 2))))
+(constraint (or (< x 2) (= (f x y) y)))
+(check-synth)

@@ -1,0 +1,10 @@
+; if_max2 — exported by `cargo run --example export_corpus`
+(set-logic LIA)
+(synth-fun f ((x1 Int) (x2 Int)) Int
+  ((S0 Int (x1 x2 0 1 (+ S0 S0)))))
+(declare-var x1 Int)
+(declare-var x2 Int)
+(constraint (>= (f x1 x2) x1))
+(constraint (>= (f x1 x2) x2))
+(constraint (or (= (f x1 x2) x1) (= (f x1 x2) x2)))
+(check-synth)

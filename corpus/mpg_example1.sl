@@ -1,0 +1,9 @@
+; mpg_example1 — exported by `cargo run --example export_corpus`
+(set-logic CLIA)
+(synth-fun f ((x Int) (y Int)) Int
+  ((Start Int (x y 0 1 (ite Cond Start Start)))
+  (Cond Bool ((< Start Start) (and Cond Cond)))))
+(declare-var x Int)
+(declare-var y Int)
+(constraint (= (f x y) (+ x y -1)))
+(check-synth)

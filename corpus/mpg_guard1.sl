@@ -1,0 +1,10 @@
+; mpg_guard1 — exported by `cargo run --example export_corpus`
+(set-logic CLIA)
+(synth-fun f ((x Int) (y Int)) Int
+  ((Start Int (x y 0 1 (ite Cond Start Start)))
+  (Cond Bool ((< Start Start) (and Cond Cond)))))
+(declare-var x Int)
+(declare-var y Int)
+(constraint (or (>= x 0) (= (f x y) (+ x -2))))
+(constraint (or (< x 0) (= (f x y) y)))
+(check-synth)

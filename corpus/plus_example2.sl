@@ -1,0 +1,10 @@
+; plus_example2 — exported by `cargo run --example export_corpus`
+(set-logic LIA)
+(synth-fun f ((x1 Int) (x Int)) Int
+  ((S2 Int ((+ S0 S1) (+ S1 S0) (+ S0 S0) x 0 1))
+  (S0 Int (x 0 1))
+  (S1 Int ((+ S0 S0) x 0 1))))
+(declare-var x1 Int)
+(declare-var x Int)
+(constraint (= (f x1 x) (+ (* 3 x1) 1)))
+(check-synth)

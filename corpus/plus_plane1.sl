@@ -1,0 +1,9 @@
+; plus_plane1 — exported by `cargo run --example export_corpus`
+(set-logic LIA)
+(synth-fun f ((x Int) (y Int)) Int
+  ((S1 Int ((+ S0 S0) x y 0 1))
+  (S0 Int (x y 0 1))))
+(declare-var x Int)
+(declare-var y Int)
+(constraint (= (f x y) (+ (* 2 x) y)))
+(check-synth)

@@ -1,0 +1,11 @@
+; realizable_max2 — exported by `cargo run --example export_corpus`
+(set-logic CLIA)
+(synth-fun f ((x Int) (y Int)) Int
+  ((Start Int (x y 0 (ite B Start Start)))
+  (B Bool ((< Start Start)))))
+(declare-var x Int)
+(declare-var y Int)
+(constraint (>= (f x y) x))
+(constraint (>= (f x y) y))
+(constraint (or (= (f x y) x) (= (f x y) y)))
+(check-synth)

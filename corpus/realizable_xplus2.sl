@@ -1,0 +1,7 @@
+; realizable_xplus2 — exported by `cargo run --example export_corpus`
+(set-logic LIA)
+(synth-fun f ((x Int)) Int
+  ((Start Int (x 1 (+ Start Start)))))
+(declare-var x Int)
+(constraint (= (f x) (+ x 2)))
+(check-synth)

@@ -1,0 +1,10 @@
+; section2_g1 — exported by `cargo run --example export_corpus`
+(set-logic LIA)
+(synth-fun f ((x Int)) Int
+  ((Start Int ((+ S1 Start) 0))
+  (S1 Int ((+ S2 S3)))
+  (S2 Int ((+ S3 S3)))
+  (S3 Int (x))))
+(declare-var x Int)
+(constraint (= (f x) (+ (* 2 x) 2)))
+(check-synth)

@@ -1,0 +1,7 @@
+; unreal_parity — exported by `cargo run --example export_corpus`
+(set-logic LIA)
+(synth-fun f ((x Int)) Int
+  ((Start Int ((- Start Start) 2))))
+(declare-var x Int)
+(constraint (= (f x) 3))
+(check-synth)

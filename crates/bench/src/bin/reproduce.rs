@@ -4,6 +4,7 @@
 //! ```text
 //! cargo run --release -p bench --bin reproduce -- [EXPERIMENT] [OPTIONS]
 //! cargo run --release -p bench --bin reproduce -- compare OLD.json NEW.json [OPTIONS]
+//! cargo run --release -p bench --bin reproduce -- solve FILE|DIR [OPTIONS]
 //!
 //! EXPERIMENT: all | table1-plus | table1-if | table1 | table2 | fig2 | fig3 |
 //!             fig4 | fig5 | summary          (default: all)
@@ -17,12 +18,21 @@
 //! compare OPTIONS:
 //!   --threshold-pct P   flag slowdowns beyond P percent (default: 25)
 //!   --min-millis M      ignore entries faster than M ms (default: 50)
+//!
+//! solve OPTIONS:
+//!   --engine nay|nope|race   which engine to drive (default: race)
+//!   --timeout-ms MS          per-engine wall-clock budget (default: 600000)
+//!   --json PATH              write the runner-schema JSON report to PATH
 //! ```
 //!
 //! `compare` exits 0 when the new report has no regressions against the old
-//! one, 1 when it does, and 2 on usage or parse errors.
+//! one, 1 when it does, and 2 on usage or parse errors. `solve` exits 0
+//! when every file parses, every engine completes, and (when the corpus
+//! has a `MANIFEST`) every verdict matches the expectation; 1 on any
+//! corpus failure; 2 on usage errors.
 
 use runner::{compare, CompareConfig, PoolConfig, Report};
+use std::path::Path;
 use std::time::Duration;
 
 fn usage_error(message: &str) -> ! {
@@ -88,10 +98,117 @@ fn run_compare(args: &[String]) -> ! {
     std::process::exit(1);
 }
 
+fn run_solve(args: &[String]) -> ! {
+    let mut target: Option<&String> = None;
+    let mut engine = bench::Engine::Race;
+    let mut timeout: Option<Duration> = None;
+    let mut json_path: Option<String> = None;
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--engine" => {
+                let name: String = parse_value(arg, iter.next());
+                engine = bench::Engine::parse(&name).unwrap_or_else(|| {
+                    usage_error(&format!(
+                        "unknown engine `{name}` (expected nay, nope, or race)"
+                    ))
+                });
+            }
+            "--timeout-ms" => timeout = Some(Duration::from_millis(parse_value(arg, iter.next()))),
+            "--json" => json_path = Some(parse_value::<String>(arg, iter.next())),
+            flag if flag.starts_with("--") => {
+                usage_error(&format!("unknown solve option `{flag}`"))
+            }
+            _ => {
+                if target.is_some() {
+                    usage_error(&format!("unexpected extra argument `{arg}`"));
+                }
+                target = Some(arg);
+            }
+        }
+    }
+    let Some(target) = target else {
+        usage_error("solve needs a FILE or DIR of SyGuS-IF .sl problems");
+    };
+    let target = Path::new(target);
+    let files = bench::collect_sl_files(target).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+
+    let (rows, report) = bench::run_solve(&files, engine, timeout).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+    if let Some(path) = &json_path {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("error: cannot write `{path}`: {e}");
+            std::process::exit(2);
+        }
+        eprintln!(
+            "wrote {} entries to {path} (suite: {})",
+            report.entries.len(),
+            report.suite
+        );
+    }
+    println!("{}", bench::render_solve(&rows, engine));
+
+    // Gate against the corpus MANIFEST when one is present next to the
+    // problems (the directory itself, or the file's parent directory).
+    let manifest_dir = if target.is_dir() {
+        target
+    } else {
+        target.parent().unwrap_or(Path::new("."))
+    };
+    let manifest = bench::Manifest::load(manifest_dir).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+    match manifest {
+        None => {
+            let incomplete: Vec<_> = report
+                .entries
+                .iter()
+                .filter(|e| e.status != runner::JobStatus::Ok)
+                .collect();
+            if !incomplete.is_empty() {
+                for entry in incomplete {
+                    eprintln!(
+                        "corpus failure: {}/{}: status {}",
+                        entry.benchmark,
+                        entry.tool,
+                        entry.status.as_str()
+                    );
+                }
+                std::process::exit(1);
+            }
+        }
+        Some(manifest) => {
+            let problems = bench::check_manifest(&report, engine, &manifest, target.is_dir());
+            if !problems.is_empty() {
+                for p in &problems {
+                    eprintln!("corpus failure: {p}");
+                }
+                eprintln!("{} corpus failure(s) against the MANIFEST", problems.len());
+                std::process::exit(1);
+            }
+            println!(
+                "MANIFEST: all {} expected verdicts match for engine {}",
+                files.len(),
+                engine.name()
+            );
+        }
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("compare") {
         run_compare(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("solve") {
+        run_solve(&args[1..]);
     }
 
     let mut quick = true;

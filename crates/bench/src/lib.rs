@@ -9,10 +9,12 @@
 //! ([`eval_nay`], [`eval_nope`]) are *pure* — they run a tool and report its
 //! verdict and iteration count, nothing else — while all wall-clock timing,
 //! parallelism, per-job timeouts, and panic isolation live in the runner's
-//! work-stealing pool. The [`suite`] module assembles the (benchmark, tool)
+//! work-stealing pool. The suite module assembles the (benchmark, tool)
 //! jobs and the schema-versioned JSON [`runner::Report`] that the CI
 //! perf-regression gate diffs against the committed `BENCH_quick.json`
-//! baseline.
+//! baseline. The [`run_solve`] front-end drives the same machinery over
+//! on-disk SyGuS-IF corpora, racing [`portfolio::Portfolio`] or a single
+//! engine per file.
 //!
 //! Absolute times differ from the paper (different machine, different SMT
 //! substrate); what is expected to match is the *shape*: which tool solves
@@ -22,8 +24,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod solve;
 mod suite;
 
+pub use solve::{
+    check_manifest, collect_sl_files, load_problem, problem_name, render_solve, run_solve, Engine,
+    Manifest, SolveRow, DEFAULT_SOLVE_TIMEOUT,
+};
 pub use suite::{
     render_family_table, render_summary, run_benches, run_family, run_suite, FAMILIES, TOOLS,
 };

@@ -1,0 +1,473 @@
+//! The `reproduce solve` front-end: run the portfolio (or a single engine)
+//! over on-disk SyGuS-IF files and emit runner-schema JSON.
+//!
+//! A corpus is a directory of `.sl` files plus an optional `MANIFEST`
+//! recording the expected verdict per file and engine; [`check_manifest`]
+//! turns a solve report plus a manifest into a list of mismatches, which
+//! is what the CI `corpus-check` job gates on.
+
+use portfolio::{solve_nay, solve_nope, Cancel, NopeEngine, Portfolio, SolveVerdict};
+use runner::{run_jobs, Entry, Job, JobStatus, PoolConfig, Report};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// The per-engine wall-clock budget `run_solve` applies when the caller
+/// does not pass one (solo and race alike): generous enough for any sane
+/// corpus instance, finite so a diverging engine becomes a `timed_out`
+/// entry instead of a hung run.
+pub const DEFAULT_SOLVE_TIMEOUT: Duration = Duration::from_secs(600);
+
+/// Which engine `reproduce solve` drives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Engine {
+    /// The exact CHC/GFA-based CEGIS engine.
+    Nay,
+    /// The approximate program-reachability engine.
+    Nope,
+    /// Both engines raced with cooperative cancellation.
+    Race,
+}
+
+impl Engine {
+    /// The CLI / MANIFEST name of the engine.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Engine::Nay => "nay",
+            Engine::Nope => "nope",
+            Engine::Race => "race",
+        }
+    }
+
+    /// Inverse of [`Engine::name`].
+    pub fn parse(s: &str) -> Option<Engine> {
+        match s {
+            "nay" => Some(Engine::Nay),
+            "nope" => Some(Engine::Nope),
+            "race" => Some(Engine::Race),
+            _ => None,
+        }
+    }
+}
+
+/// Collects the `.sl` files of a corpus path: a single file, or every
+/// `*.sl` in a directory (sorted by name, for deterministic reports).
+///
+/// # Errors
+/// Returns a message when the path does not exist, is not readable, or a
+/// directory contains no `.sl` file.
+pub fn collect_sl_files(path: &Path) -> Result<Vec<PathBuf>, String> {
+    if path.is_file() {
+        return Ok(vec![path.to_path_buf()]);
+    }
+    if !path.is_dir() {
+        return Err(format!(
+            "`{}` is neither a file nor a directory",
+            path.display()
+        ));
+    }
+    let mut files: Vec<PathBuf> = std::fs::read_dir(path)
+        .map_err(|e| format!("cannot read `{}`: {e}", path.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "sl"))
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        return Err(format!("`{}` contains no .sl files", path.display()));
+    }
+    Ok(files)
+}
+
+/// The file stem used as the benchmark name in reports and the MANIFEST.
+pub fn problem_name(path: &Path) -> String {
+    path.file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.display().to_string())
+}
+
+/// Parses one `.sl` file into a [`sygus::Problem`] named after the file.
+///
+/// # Errors
+/// Returns a message naming the file on I/O or parse errors.
+pub fn load_problem(path: &Path) -> Result<sygus::Problem, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read `{}`: {e}", path.display()))?;
+    sygus::parser::parse_problem(&text, &problem_name(path))
+        .map_err(|e| format!("parse error in `{}`: {e}", path.display()))
+}
+
+/// One row of the human-readable solve table.
+#[derive(Clone, Debug)]
+pub struct SolveRow {
+    /// Benchmark (file stem).
+    pub name: String,
+    /// The verdict of the driven engine (the race verdict for `race`).
+    pub verdict: String,
+    /// Which engine won the race, when racing.
+    pub winner: Option<&'static str>,
+    /// Wall-clock milliseconds of the run (race wall clock for `race`).
+    pub millis: f64,
+    /// The losing engine's cancellation latency, when racing.
+    pub loser_cancel_millis: Option<f64>,
+}
+
+/// Runs the chosen engine over the files and returns the human-readable
+/// rows plus the runner-schema JSON [`Report`] (suite `solve-<engine>`).
+///
+/// Per file the report contains one entry with the engine's name as the
+/// tool; a race additionally contributes `race/nay` and `race/nope`
+/// entries carrying each engine's own timing, verdict (`cancelled` for the
+/// cancelled loser), and iteration count, so the loser's cancellation
+/// latency is `race/<loser>.millis − race/<winner>.millis`.
+///
+/// Engines run under a wall-clock budget of `timeout`, defaulting to
+/// [`DEFAULT_SOLVE_TIMEOUT`] for solo and race alike, so a diverging
+/// engine always lands as a `timed_out` entry instead of hanging the run.
+///
+/// # Errors
+/// Returns the first file that fails to load or parse.
+pub fn run_solve(
+    files: &[PathBuf],
+    engine: Engine,
+    timeout: Option<Duration>,
+) -> Result<(Vec<SolveRow>, Report), String> {
+    let timeout = timeout.unwrap_or(DEFAULT_SOLVE_TIMEOUT);
+    let mut entries: Vec<Entry> = Vec::new();
+    let mut rows: Vec<SolveRow> = Vec::new();
+    for path in files {
+        let problem = load_problem(path)?;
+        let name = problem_name(path);
+        match engine {
+            Engine::Race => {
+                let report = Portfolio::new().with_timeout(timeout).race(&problem);
+                // The race entry surfaces the *worst* engine status: a
+                // panicking engine is a crash and a budget-exhausting
+                // engine is a timeout even when the other side produced a
+                // verdict — the corpus gate must fail on either (a loser
+                // that observes the cancel exits Ok with verdict
+                // `cancelled`, so healthy races are unaffected).
+                let race_status = if report.nay.status == JobStatus::Crashed
+                    || report.nope.status == JobStatus::Crashed
+                {
+                    JobStatus::Crashed
+                } else if report.nay.status == JobStatus::TimedOut
+                    || report.nope.status == JobStatus::TimedOut
+                {
+                    JobStatus::TimedOut
+                } else {
+                    JobStatus::Ok
+                };
+                entries.push(Entry {
+                    benchmark: name.clone(),
+                    tool: "race".into(),
+                    status: race_status,
+                    verdict: report.verdict.name().into(),
+                    proved: report.verdict == SolveVerdict::Unrealizable,
+                    iterations: report.nay.iterations + report.nope.iterations,
+                    millis: report.wall_millis,
+                    tainted: report.nay.tainted || report.nope.tainted,
+                });
+                for side in [&report.nay, &report.nope] {
+                    entries.push(Entry {
+                        benchmark: name.clone(),
+                        tool: format!("race/{}", side.engine),
+                        status: side.status,
+                        verdict: side.verdict.name().into(),
+                        proved: side.verdict == SolveVerdict::Unrealizable,
+                        iterations: side.iterations,
+                        millis: side.millis,
+                        tainted: side.tainted,
+                    });
+                }
+                rows.push(SolveRow {
+                    name,
+                    verdict: report.verdict.name().into(),
+                    winner: report.winner,
+                    millis: report.wall_millis,
+                    loser_cancel_millis: report.loser_cancel_millis,
+                });
+            }
+            Engine::Nay | Engine::Nope => {
+                let job_problem = problem.clone();
+                let job = Job::new(name.clone(), move || match engine {
+                    Engine::Nay => solve_nay(&job_problem, &Cancel::never(), &nay::Nay::default()),
+                    _ => solve_nope(&job_problem, &Cancel::never(), &NopeEngine::default()),
+                });
+                let config = PoolConfig {
+                    jobs: 1,
+                    timeout: Some(timeout),
+                };
+                let result = run_jobs(vec![job], &config)
+                    .pop()
+                    .expect("one job, one result");
+                let millis = result.elapsed.as_secs_f64() * 1000.0;
+                let (verdict, iterations) = match &result.output {
+                    Some(outcome) => (outcome.verdict.name().to_string(), outcome.iterations),
+                    None => ("-".to_string(), 0),
+                };
+                entries.push(Entry {
+                    benchmark: name.clone(),
+                    tool: engine.name().into(),
+                    status: result.status,
+                    verdict: verdict.clone(),
+                    proved: verdict == "unrealizable",
+                    iterations,
+                    millis,
+                    tainted: result.tainted,
+                });
+                rows.push(SolveRow {
+                    name,
+                    verdict,
+                    winner: None,
+                    millis,
+                    loser_cancel_millis: None,
+                });
+            }
+        }
+    }
+    let report = Report::new(format!("solve-{}", engine.name()), entries);
+    Ok((rows, report))
+}
+
+/// Renders the human-readable solve table.
+pub fn render_solve(rows: &[SolveRow], engine: Engine) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "# solve — engine: {}", engine.name());
+    let _ = writeln!(
+        out,
+        "{:<22} {:>12} {:>8} {:>12} {:>14}",
+        "benchmark", "verdict", "winner", "millis", "loser-abort-ms"
+    );
+    for row in rows {
+        let _ = writeln!(
+            out,
+            "{:<22} {:>12} {:>8} {:>12.1} {:>14}",
+            row.name,
+            row.verdict,
+            row.winner.unwrap_or("-"),
+            row.millis,
+            row.loser_cancel_millis
+                .map(|l| format!("{l:.1}"))
+                .unwrap_or_else(|| "-".to_string()),
+        );
+    }
+    out
+}
+
+/// A parsed `corpus/MANIFEST`: per benchmark, the expected verdict of each
+/// engine. The format is line-oriented:
+///
+/// ```text
+/// # comment
+/// <file.sl> nay=<verdict> nope=<verdict> race=<verdict>
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Manifest {
+    expected: BTreeMap<String, BTreeMap<String, String>>,
+}
+
+impl Manifest {
+    /// Parses the MANIFEST text.
+    ///
+    /// # Errors
+    /// Returns a message naming the offending line on malformed input.
+    pub fn parse(text: &str) -> Result<Manifest, String> {
+        let mut expected = BTreeMap::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let file = parts
+                .next()
+                .ok_or_else(|| format!("MANIFEST line {}: missing file name", lineno + 1))?;
+            let name = file.strip_suffix(".sl").unwrap_or(file).to_string();
+            let mut verdicts = BTreeMap::new();
+            for part in parts {
+                let Some((engine, verdict)) = part.split_once('=') else {
+                    return Err(format!(
+                        "MANIFEST line {}: `{part}` is not engine=verdict",
+                        lineno + 1
+                    ));
+                };
+                if Engine::parse(engine).is_none() {
+                    return Err(format!(
+                        "MANIFEST line {}: unknown engine `{engine}`",
+                        lineno + 1
+                    ));
+                }
+                verdicts.insert(engine.to_string(), verdict.to_string());
+            }
+            expected.insert(name, verdicts);
+        }
+        Ok(Manifest { expected })
+    }
+
+    /// Loads `MANIFEST` from a corpus directory, if present.
+    ///
+    /// # Errors
+    /// Propagates read and parse errors (a present-but-broken manifest must
+    /// fail the run, not silently skip the gate).
+    pub fn load(dir: &Path) -> Result<Option<Manifest>, String> {
+        let path = dir.join("MANIFEST");
+        if !path.is_file() {
+            return Ok(None);
+        }
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read `{}`: {e}", path.display()))?;
+        Manifest::parse(&text).map(Some)
+    }
+
+    /// The expected verdict for a benchmark under an engine, if recorded.
+    pub fn expected(&self, benchmark: &str, engine: Engine) -> Option<&str> {
+        self.expected
+            .get(benchmark)
+            .and_then(|v| v.get(engine.name()))
+            .map(String::as_str)
+    }
+
+    /// The benchmarks the manifest covers.
+    pub fn benchmarks(&self) -> impl Iterator<Item = &str> {
+        self.expected.keys().map(String::as_str)
+    }
+}
+
+/// Diffs a solve report against the manifest: verdict mismatches, files
+/// missing from the manifest, manifest rows without a corpus file (only
+/// when `require_complete` — i.e. the whole corpus directory ran, not a
+/// single file), and jobs that did not complete. An empty result means the
+/// corpus gate passes.
+pub fn check_manifest(
+    report: &Report,
+    engine: Engine,
+    manifest: &Manifest,
+    require_complete: bool,
+) -> Vec<String> {
+    let mut problems = Vec::new();
+    let tool = engine.name();
+    for entry in report.entries.iter().filter(|e| e.tool == tool) {
+        if entry.status != JobStatus::Ok {
+            problems.push(format!(
+                "{}/{tool}: did not complete (status {})",
+                entry.benchmark,
+                entry.status.as_str()
+            ));
+            continue;
+        }
+        match manifest.expected(&entry.benchmark, engine) {
+            None => problems.push(format!(
+                "{}: not covered by the MANIFEST (add `{}.sl {tool}={}`)",
+                entry.benchmark, entry.benchmark, entry.verdict
+            )),
+            Some(expected) if expected != entry.verdict => problems.push(format!(
+                "{}/{tool}: expected verdict `{expected}`, got `{}`",
+                entry.benchmark, entry.verdict
+            )),
+            Some(_) => {}
+        }
+    }
+    for benchmark in manifest.benchmarks() {
+        if require_complete
+            && manifest.expected(benchmark, engine).is_some()
+            && !report
+                .entries
+                .iter()
+                .any(|e| e.tool == tool && e.benchmark == benchmark)
+        {
+            problems.push(format!(
+                "{benchmark}: listed in the MANIFEST but absent from the corpus run"
+            ));
+        }
+    }
+    problems
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_names_round_trip() {
+        for engine in [Engine::Nay, Engine::Nope, Engine::Race] {
+            assert_eq!(Engine::parse(engine.name()), Some(engine));
+        }
+        assert_eq!(Engine::parse("cvc4"), None);
+    }
+
+    #[test]
+    fn manifest_parses_and_answers_lookups() {
+        let text = "# corpus expectations\nsection2_g1.sl nay=unrealizable nope=unrealizable race=unrealizable\nxplus2.sl nay=realizable nope=unknown race=realizable\n";
+        let manifest = Manifest::parse(text).unwrap();
+        assert_eq!(
+            manifest.expected("section2_g1", Engine::Nay),
+            Some("unrealizable")
+        );
+        assert_eq!(
+            manifest.expected("xplus2", Engine::Race),
+            Some("realizable")
+        );
+        assert_eq!(manifest.expected("missing", Engine::Race), None);
+        assert_eq!(manifest.benchmarks().count(), 2);
+    }
+
+    #[test]
+    fn malformed_manifests_are_rejected() {
+        assert!(Manifest::parse("a.sl nay:unrealizable").is_err());
+        assert!(Manifest::parse("a.sl cvc4=unrealizable").is_err());
+        assert!(Manifest::parse("# only comments\n").is_ok());
+    }
+
+    #[test]
+    fn manifest_mismatches_are_reported() {
+        let manifest =
+            Manifest::parse("a.sl race=unrealizable\nb.sl race=realizable\nc.sl race=unknown\n")
+                .unwrap();
+        let report = Report::new(
+            "solve-race",
+            vec![
+                Entry {
+                    benchmark: "a".into(),
+                    tool: "race".into(),
+                    status: JobStatus::Ok,
+                    verdict: "unrealizable".into(),
+                    proved: true,
+                    iterations: 1,
+                    millis: 1.0,
+                    tainted: false,
+                },
+                Entry {
+                    benchmark: "b".into(),
+                    tool: "race".into(),
+                    status: JobStatus::Ok,
+                    verdict: "unknown".into(), // mismatch
+                    proved: false,
+                    iterations: 1,
+                    millis: 1.0,
+                    tainted: false,
+                },
+                Entry {
+                    benchmark: "d".into(), // not in manifest
+                    tool: "race".into(),
+                    status: JobStatus::Ok,
+                    verdict: "unknown".into(),
+                    proved: false,
+                    iterations: 1,
+                    millis: 1.0,
+                    tainted: false,
+                },
+            ],
+        );
+        let problems = check_manifest(&report, Engine::Race, &manifest, true);
+        assert_eq!(problems.len(), 3, "{problems:?}");
+        assert!(problems.iter().any(|p| p.contains("b/race")));
+        assert!(problems.iter().any(|p| p.contains("not covered")));
+        assert!(problems
+            .iter()
+            .any(|p| p.contains("absent from the corpus run")));
+        // a partial (single-file) run does not demand corpus completeness
+        let partial = check_manifest(&report, Engine::Race, &manifest, false);
+        assert_eq!(partial.len(), 2, "{partial:?}");
+    }
+}

@@ -59,6 +59,7 @@ fn entry_from(benchmark: String, tool: String, result: JobResult<Evaluation>) ->
             proved: eval.proved,
             iterations: eval.iterations as u64,
             millis,
+            tainted: result.tainted,
         },
         (status, _) => Entry {
             benchmark,
@@ -68,6 +69,7 @@ fn entry_from(benchmark: String, tool: String, result: JobResult<Evaluation>) ->
             proved: false,
             iterations: 0,
             millis,
+            tainted: result.tainted,
         },
     }
 }

@@ -33,5 +33,5 @@ pub mod newton;
 mod semiring;
 pub mod strata;
 
-pub use equations::{EquationSystem, Monomial};
+pub use equations::{EquationSystem, Monomial, Solution};
 pub use semiring::{BoundedLattice, SemiLinearSemiring, Semiring};

@@ -24,6 +24,7 @@ use crate::verifier::{verify, Verification};
 use enumerative::{EnumerationResult, Enumerator};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use runner::Cancel;
 use std::time::{Duration, Instant};
 use sygus::{Example, ExampleSet, Problem, Term};
 
@@ -36,6 +37,9 @@ pub enum CegisOutcome {
     Solution(Term),
     /// The loop exhausted its iteration budget without a verdict.
     Unknown,
+    /// The loop observed a tripped [`Cancel`] token and stopped early
+    /// (portfolio racing: the other engine answered first).
+    Cancelled,
 }
 
 impl CegisOutcome {
@@ -138,15 +142,34 @@ impl Nay {
 
     /// Runs the CEGIS loop of Alg. 2 on the problem.
     pub fn run(&self, problem: &Problem) -> (CegisOutcome, CegisStats) {
+        self.run_cancellable(problem, &Cancel::never())
+    }
+
+    /// [`Nay::run`] with cooperative cancellation: the token is polled at
+    /// the top of every outer CEGIS iteration and before every inner
+    /// unrealizability check, so a trip is observed within one loop
+    /// iteration and the run returns [`CegisOutcome::Cancelled`].
+    pub fn run_cancellable(
+        &self,
+        problem: &Problem,
+        cancel: &Cancel,
+    ) -> (CegisOutcome, CegisStats) {
         let started = Instant::now();
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut stats = CegisStats::default();
+        let cancelled = |stats: &mut CegisStats| {
+            stats.total_time = started.elapsed();
+            (CegisOutcome::Cancelled, stats.clone())
+        };
 
         // line 1: initialise E with a random input example
         let mut examples = ExampleSet::new();
         examples.push(self.random_example(problem, &mut rng));
 
         for _ in 0..self.max_cegis_iterations {
+            if cancel.is_cancelled() {
+                return cancelled(&mut stats);
+            }
             stats.cegis_iterations += 1;
             stats.num_examples = examples.len();
 
@@ -154,6 +177,9 @@ impl Nay {
             let mut extended = examples.clone();
             let mut drew_random = 0usize;
             loop {
+                if cancel.is_cancelled() {
+                    return cancelled(&mut stats);
+                }
                 stats.gfa_checks += 1;
                 let outcome = check_unrealizable(problem, &extended, &self.mode);
                 stats.check_time += outcome.elapsed;
@@ -168,6 +194,9 @@ impl Nay {
                         // ① the synthesizer side works on the permanent E only
                         match self.enumerator.solve(problem, &examples) {
                             EnumerationResult::Found(candidate) => {
+                                if cancel.is_cancelled() {
+                                    return cancelled(&mut stats);
+                                }
                                 match verify(&candidate, problem.spec()) {
                                     Verification::Valid => {
                                         stats.total_time = started.elapsed();
@@ -316,6 +345,17 @@ mod tests {
             .with_enumerator(Enumerator::new().with_max_size(9));
         let (outcome, _) = nay.run(&problem);
         assert_eq!(outcome, CegisOutcome::Unknown);
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_before_any_work() {
+        let cancel = Cancel::new();
+        cancel.cancel();
+        let (outcome, stats) = Nay::new().run_cancellable(&section2_lia(), &cancel);
+        assert_eq!(outcome, CegisOutcome::Cancelled);
+        // Observed at the top of the first outer iteration: no checks ran.
+        assert_eq!(stats.cegis_iterations, 0);
+        assert_eq!(stats.gfa_checks, 0);
     }
 
     #[test]

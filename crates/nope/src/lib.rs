@@ -24,6 +24,7 @@ pub mod verify;
 pub use program::{Procedure, ProgExpr, Program};
 pub use verify::{NopeVerdict, ProgramVerifier};
 
+use runner::Cancel;
 use std::time::{Duration, Instant};
 use sygus::{ExampleSet, Problem};
 
@@ -63,11 +64,24 @@ impl NopeSolver {
 
     /// Checks unrealizability of `problem` restricted to `examples`.
     pub fn check(&self, problem: &Problem, examples: &ExampleSet) -> (NopeVerdict, NopeStats) {
+        self.check_cancellable(problem, examples, &Cancel::never())
+    }
+
+    /// [`NopeSolver::check`] with cooperative cancellation: the token is
+    /// threaded into the bounded search and the abstract-interpreter
+    /// fixpoint, which poll it once per loop iteration; a trip yields
+    /// [`NopeVerdict::Cancelled`].
+    pub fn check_cancellable(
+        &self,
+        problem: &Problem,
+        examples: &ExampleSet,
+        cancel: &Cancel,
+    ) -> (NopeVerdict, NopeStats) {
         let started = Instant::now();
         let program = Program::from_grammar(problem.grammar(), examples);
         let (verdict, abstract_iterations) =
             self.verifier
-                .check_counted(&program, examples, problem.spec());
+                .check_cancellable(&program, examples, problem.spec(), cancel);
         let stats = NopeStats {
             num_procedures: program.procedures.len(),
             num_branches: program.num_branches(),

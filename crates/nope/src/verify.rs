@@ -19,6 +19,7 @@
 use crate::program::{ProgExpr, Program};
 use chc::domain::{AbsBool, AbsInt, AbsValue};
 use logic::{Formula, LinearExpr, Solver, SolverResult, Var};
+use runner::Cancel;
 use std::collections::BTreeSet;
 use sygus::{ExampleSet, Spec};
 
@@ -33,19 +34,28 @@ pub enum NopeVerdict {
     RealizableOnExamples(Vec<i64>),
     /// Neither analysis was conclusive.
     Unknown,
+    /// The analysis observed a tripped [`Cancel`] token and stopped early
+    /// (portfolio racing: the other engine answered first).
+    Cancelled,
 }
 
 impl NopeVerdict {
     /// Stable lower-case name used by the benchmark report
-    /// (`unrealizable`, `realizable`, `unknown`).
+    /// (`unrealizable`, `realizable`, `unknown`, `cancelled`).
     pub fn name(&self) -> &'static str {
         match self {
             NopeVerdict::Unrealizable => "unrealizable",
             NopeVerdict::RealizableOnExamples(_) => "realizable",
             NopeVerdict::Unknown => "unknown",
+            NopeVerdict::Cancelled => "cancelled",
         }
     }
 }
+
+/// Marker for a bounded search that stopped because its [`Cancel`] token
+/// tripped (distinct from "no witness found within the depth").
+#[derive(Debug)]
+struct CancelledSearch;
 
 /// Configuration of the bounded/abstract program verifier.
 #[derive(Clone, Debug)]
@@ -91,15 +101,38 @@ impl ProgramVerifier {
         examples: &ExampleSet,
         spec: &Spec,
     ) -> (NopeVerdict, usize) {
+        self.check_cancellable(program, examples, spec, &Cancel::never())
+    }
+
+    /// [`ProgramVerifier::check_counted`] with cooperative cancellation:
+    /// the token is polled once per bounded-unrolling round and once per
+    /// abstract fixpoint iteration, so a trip is observed within one loop
+    /// iteration and the check returns [`NopeVerdict::Cancelled`].
+    pub fn check_cancellable(
+        &self,
+        program: &Program,
+        examples: &ExampleSet,
+        spec: &Spec,
+        cancel: &Cancel,
+    ) -> (NopeVerdict, usize) {
         if examples.is_empty() {
             return (NopeVerdict::Unknown, 0);
         }
         // 1. bounded concrete exploration: can we reach the bad location?
-        if let Some(witness) = self.bounded_search(program, examples, spec) {
-            return (NopeVerdict::RealizableOnExamples(witness), 0);
+        match self.bounded_search_cancellable(program, examples, spec, cancel) {
+            Ok(Some(witness)) => return (NopeVerdict::RealizableOnExamples(witness), 0),
+            Ok(None) => {}
+            Err(CancelledSearch) => return (NopeVerdict::Cancelled, 0),
         }
         // 2. abstract interpretation: is the bad location provably unreachable?
-        let (unreachable, iterations) = self.abstract_unreachable_counted(program, examples, spec);
+        if cancel.is_cancelled() {
+            return (NopeVerdict::Cancelled, 0);
+        }
+        let (unreachable, iterations) =
+            self.abstract_unreachable_cancellable(program, examples, spec, cancel);
+        if cancel.is_cancelled() && !unreachable {
+            return (NopeVerdict::Cancelled, iterations);
+        }
         if unreachable {
             (NopeVerdict::Unrealizable, iterations)
         } else {
@@ -116,9 +149,25 @@ impl ProgramVerifier {
         examples: &ExampleSet,
         spec: &Spec,
     ) -> Option<Vec<i64>> {
+        self.bounded_search_cancellable(program, examples, spec, &Cancel::never())
+            .expect("a never-tripped token cannot cancel")
+    }
+
+    /// [`ProgramVerifier::bounded_search`] polling a [`Cancel`] token once
+    /// per unrolling round; `Err(CancelledSearch)` reports an observed trip.
+    fn bounded_search_cancellable(
+        &self,
+        program: &Program,
+        examples: &ExampleSet,
+        spec: &Spec,
+        cancel: &Cancel,
+    ) -> Result<Option<Vec<i64>>, CancelledSearch> {
         let n = program.procedures.len();
         let mut reachable: Vec<BTreeSet<Vec<i64>>> = vec![BTreeSet::new(); n];
         for _ in 0..self.unroll_depth {
+            if cancel.is_cancelled() {
+                return Err(CancelledSearch);
+            }
             let mut changed = false;
             for (i, proc_) in program.procedures.iter().enumerate() {
                 let mut new_vectors: BTreeSet<Vec<i64>> = BTreeSet::new();
@@ -144,14 +193,14 @@ impl ProgramVerifier {
                     .enumerate()
                     .all(|(j, e)| spec.holds(e, v[j]));
                 if good {
-                    return Some(v.clone());
+                    return Ok(Some(v.clone()));
                 }
             }
             if !changed {
                 break;
             }
         }
-        None
+        Ok(None)
     }
 
     fn eval_bounded(
@@ -277,10 +326,28 @@ impl ProgramVerifier {
         examples: &ExampleSet,
         spec: &Spec,
     ) -> (bool, usize) {
+        self.abstract_unreachable_cancellable(program, examples, spec, &Cancel::never())
+    }
+
+    /// The abstract fixpoint with a [`Cancel`] token polled once per
+    /// iteration. On a trip the iteration stops where it is; the partial
+    /// result is only a *sound over-approximation so far*, so the caller
+    /// must treat a cancelled run's `false` as "no verdict", never as
+    /// "reachable".
+    fn abstract_unreachable_cancellable(
+        &self,
+        program: &Program,
+        examples: &ExampleSet,
+        spec: &Spec,
+        cancel: &Cancel,
+    ) -> (bool, usize) {
         let n = program.procedures.len();
         let mut values: Vec<AbsValue> = vec![AbsValue::Bottom; n];
         let mut iterations_run = 0;
         for iteration in 0..self.max_abstract_iterations {
+            if cancel.is_cancelled() {
+                return (false, iterations_run);
+            }
             iterations_run = iteration + 1;
             let mut changed = false;
             let mut next = values.clone();

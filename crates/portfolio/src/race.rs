@@ -1,0 +1,282 @@
+//! The racer: both engines on `runner`'s pool, first definitive verdict
+//! wins, the loser is cancelled cooperatively.
+
+use crate::engines::{solve_nay, solve_nope, NopeEngine, SolveVerdict};
+use nay::Nay;
+use runner::{measure, run_jobs, Cancel, Job, JobStatus, PoolConfig};
+use std::time::Duration;
+use sygus::{Problem, Term};
+
+/// What one engine did inside a race: its verdict plus the wall-clock view
+/// the pool measured for it.
+#[derive(Clone, Debug)]
+pub struct EngineReport {
+    /// Engine name (`nay` or `nope`).
+    pub engine: &'static str,
+    /// How the engine's pool job ended (a diverging engine that exceeds the
+    /// race timeout reports [`JobStatus::TimedOut`]).
+    pub status: JobStatus,
+    /// The engine's verdict ([`SolveVerdict::Cancelled`] when it lost and
+    /// aborted on the shared token).
+    pub verdict: SolveVerdict,
+    /// Engine iterations (CEGIS iterations for `nay`, abstract fixpoint
+    /// iterations for `nope`); 0 when the job did not complete.
+    pub iterations: u64,
+    /// The engine's own wall-clock milliseconds on the pool.
+    pub millis: f64,
+    /// `true` when the job shared the pool sweep with an abandoned
+    /// (timed-out) job thread, making `millis` untrustworthy (see
+    /// [`runner::JobResult::tainted`]).
+    pub tainted: bool,
+}
+
+impl EngineReport {
+    /// `true` when the engine aborted because the other engine won.
+    pub fn was_cancelled(&self) -> bool {
+        self.verdict == SolveVerdict::Cancelled
+    }
+}
+
+/// The outcome of racing both engines on one problem.
+#[derive(Clone, Debug)]
+pub struct RaceReport {
+    /// The portfolio's verdict: the winner's definitive verdict, or
+    /// `Unknown` when neither engine settled the problem.
+    pub verdict: SolveVerdict,
+    /// Which engine produced the definitive verdict first, if any.
+    pub winner: Option<&'static str>,
+    /// The `nay` side of the race.
+    pub nay: EngineReport,
+    /// The `nope` side of the race.
+    pub nope: EngineReport,
+    /// Wall-clock milliseconds of the whole race (both engines, from
+    /// submission to the last one stopping).
+    pub wall_millis: f64,
+    /// How long the losing engine kept running after the winner finished
+    /// before it observed the cancellation — the portfolio's overhead over
+    /// a hypothetical hard kill. `None` when there was no cancelled loser.
+    pub loser_cancel_millis: Option<f64>,
+    /// The verified solution term when the verdict is `Realizable`.
+    pub solution: Option<Term>,
+}
+
+/// The portfolio configuration: one `nay` and one `nope` engine plus an
+/// optional per-race wall-clock budget.
+#[derive(Clone, Debug, Default)]
+pub struct Portfolio {
+    nay: Nay,
+    nope: NopeEngine,
+    timeout: Option<Duration>,
+}
+
+impl Portfolio {
+    /// A portfolio with both engines at their default budgets.
+    pub fn new() -> Self {
+        Portfolio::default()
+    }
+
+    /// Replaces the `nay` engine configuration.
+    pub fn with_nay(mut self, nay: Nay) -> Self {
+        self.nay = nay;
+        self
+    }
+
+    /// Replaces the `nope` engine configuration.
+    pub fn with_nope(mut self, nope: NopeEngine) -> Self {
+        self.nope = nope;
+        self
+    }
+
+    /// Sets a wall-clock budget per engine job; an engine exceeding it is
+    /// abandoned by the pool and reported as timed out.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// Races both engines on the problem and returns the first definitive
+    /// verdict, with per-engine timing and the loser's cancellation
+    /// latency.
+    ///
+    /// Both engines run as jobs on `runner`'s work-stealing pool (two
+    /// workers, so they genuinely overlap). Each engine trips the shared
+    /// [`Cancel`] token the moment it reaches a definitive verdict; the
+    /// other engine polls the token once per loop iteration and aborts.
+    /// When an engine is inapplicable or out of budget it returns
+    /// `Unknown` and the race simply degrades to the other engine's
+    /// answer.
+    pub fn race(&self, problem: &Problem) -> RaceReport {
+        let cancel = Cancel::new();
+
+        let nay_job = {
+            let problem = problem.clone();
+            let cancel = cancel.clone();
+            let nay = self.nay.clone();
+            Job::new("nay", move || {
+                let outcome = solve_nay(&problem, &cancel, &nay);
+                if outcome.verdict.is_definitive() {
+                    cancel.cancel();
+                }
+                outcome
+            })
+        };
+        let nope_job = {
+            let problem = problem.clone();
+            let cancel = cancel.clone();
+            let nope = self.nope.clone();
+            Job::new("nope", move || {
+                let outcome = solve_nope(&problem, &cancel, &nope);
+                if outcome.verdict.is_definitive() {
+                    cancel.cancel();
+                }
+                outcome
+            })
+        };
+
+        let config = PoolConfig {
+            jobs: 2,
+            timeout: self.timeout,
+        };
+        let (results, wall) = measure(|| run_jobs(vec![nay_job, nope_job], &config));
+        // A timed-out engine's thread is abandoned, not killed; trip the
+        // token so it exits at its next poll instead of burning CPU for the
+        // rest of the process.
+        cancel.cancel();
+
+        let mut reports = results.into_iter().map(|result| {
+            let millis = result.elapsed.as_secs_f64() * 1000.0;
+            let (engine, verdict, iterations, solution) = match result.output {
+                Some(outcome) => (
+                    outcome.engine,
+                    outcome.verdict,
+                    outcome.iterations,
+                    outcome.solution,
+                ),
+                None => (
+                    if result.id == "nay" { "nay" } else { "nope" },
+                    SolveVerdict::Unknown,
+                    0,
+                    None,
+                ),
+            };
+            (
+                EngineReport {
+                    engine,
+                    status: result.status,
+                    verdict,
+                    iterations,
+                    millis,
+                    tainted: result.tainted,
+                },
+                solution,
+            )
+        });
+        let (nay_report, nay_solution) = reports.next().expect("two jobs, two results");
+        let (nope_report, _) = reports.next().expect("two jobs, two results");
+
+        let (verdict, winner) = pick_winner(&nay_report, &nope_report);
+        let loser_cancel_millis = match winner {
+            Some("nay") if nope_report.was_cancelled() => {
+                Some((nope_report.millis - nay_report.millis).max(0.0))
+            }
+            Some("nope") if nay_report.was_cancelled() => {
+                Some((nay_report.millis - nope_report.millis).max(0.0))
+            }
+            _ => None,
+        };
+        RaceReport {
+            verdict,
+            winner,
+            solution: if verdict == SolveVerdict::Realizable {
+                nay_solution
+            } else {
+                None
+            },
+            nay: nay_report,
+            nope: nope_report,
+            wall_millis: wall.as_secs_f64() * 1000.0,
+            loser_cancel_millis,
+        }
+    }
+}
+
+/// The winner policy: the definitive verdict whose engine finished first.
+/// Both engines are sound, so two definitive verdicts always agree and the
+/// tie-break by elapsed time is only about attribution, never about the
+/// answer.
+fn pick_winner(nay: &EngineReport, nope: &EngineReport) -> (SolveVerdict, Option<&'static str>) {
+    let definitive = |r: &EngineReport| r.status == JobStatus::Ok && r.verdict.is_definitive();
+    match (definitive(nay), definitive(nope)) {
+        (true, true) => {
+            if nay.millis <= nope.millis {
+                (nay.verdict, Some("nay"))
+            } else {
+                (nope.verdict, Some("nope"))
+            }
+        }
+        (true, false) => (nay.verdict, Some("nay")),
+        (false, true) => (nope.verdict, Some("nope")),
+        (false, false) => (SolveVerdict::Unknown, None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_problems::{realizable_xplus2, section2_lia};
+
+    #[test]
+    fn race_proves_unrealizability() {
+        let report = Portfolio::new().race(&section2_lia());
+        assert_eq!(report.verdict, SolveVerdict::Unrealizable);
+        assert!(report.winner.is_some());
+        assert!(report.wall_millis >= 0.0);
+        // the losing engine either also finished (fast problem) or was
+        // cancelled; either way both sides report a status
+        assert_eq!(report.nay.engine, "nay");
+        assert_eq!(report.nope.engine, "nope");
+    }
+
+    #[test]
+    fn race_finds_solutions_and_reports_the_winner() {
+        let report = Portfolio::new().race(&realizable_xplus2());
+        // only nay can prove realizability, so it must win
+        assert_eq!(report.verdict, SolveVerdict::Realizable);
+        assert_eq!(report.winner, Some("nay"));
+        assert!(report.solution.is_some());
+    }
+
+    #[test]
+    fn loser_latency_is_reported_when_the_loser_was_cancelled() {
+        let report = Portfolio::new().race(&section2_lia());
+        if let Some(latency) = report.loser_cancel_millis {
+            assert!(latency >= 0.0);
+            let loser = if report.winner == Some("nay") {
+                &report.nope
+            } else {
+                &report.nay
+            };
+            assert!(loser.was_cancelled());
+        }
+    }
+
+    #[test]
+    fn degrades_gracefully_when_neither_engine_answers() {
+        // Gconst (Ex. 3.8): unrealizable but beyond both engines — nay's
+        // CEGIS cannot converge and nope's domain cannot refute it. The
+        // race must settle on Unknown instead of hanging or panicking.
+        let problem = crate::test_problems::gconst();
+        let portfolio = Portfolio::new()
+            .with_nay(
+                Nay::new()
+                    .with_max_iterations(2)
+                    .with_random_range(-5, 5)
+                    .with_enumerator(enumerative::Enumerator::new().with_max_size(7)),
+            )
+            .with_nope(NopeEngine::new().with_max_rounds(2));
+        let report = portfolio.race(&problem);
+        assert_eq!(report.verdict, SolveVerdict::Unknown);
+        assert_eq!(report.winner, None);
+        assert_eq!(report.loser_cancel_millis, None);
+    }
+}

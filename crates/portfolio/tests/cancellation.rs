@@ -1,0 +1,99 @@
+//! Cancellation-latency tests: a token tripped *mid-run* is observed
+//! within one loop iteration by both engines, so the portfolio's loser
+//! aborts promptly instead of running to completion.
+
+use logic::{Formula, LinearExpr, Var};
+use nay::Nay;
+use portfolio::{solve_nay, solve_nope, Cancel, NopeEngine, SolveVerdict};
+use std::time::{Duration, Instant};
+use sygus::{GrammarBuilder, Problem, Sort, Spec, Symbol};
+
+fn var(name: &str) -> LinearExpr {
+    LinearExpr::var(Var::new(name))
+}
+
+/// `mpg_ite1` from the LimitedConst family: nay needs a long CEGIS run
+/// (hundreds of milliseconds in release, much more here) to prove it.
+fn slow_for_nay() -> Problem {
+    let grammar = GrammarBuilder::new("Start")
+        .nonterminal("Start", Sort::Int)
+        .nonterminal("Cond", Sort::Bool)
+        .production("Start", Symbol::Var("x".to_string()), &[])
+        .production("Start", Symbol::Var("y".to_string()), &[])
+        .production("Start", Symbol::Num(0), &[])
+        .production("Start", Symbol::Num(1), &[])
+        .production("Start", Symbol::IfThenElse, &["Cond", "Start", "Start"])
+        .production("Cond", Symbol::LessThan, &["Start", "Start"])
+        .production("Cond", Symbol::And, &["Cond", "Cond"])
+        .build()
+        .unwrap();
+    let below = Formula::lt(var("x"), LinearExpr::constant(0));
+    let formula = Formula::and(vec![
+        Formula::implies(
+            below.clone(),
+            Formula::eq(LinearExpr::var(Spec::output_var()), var("x")),
+        ),
+        Formula::implies(
+            Formula::not(below),
+            Formula::eq(
+                LinearExpr::var(Spec::output_var()),
+                var("x") + LinearExpr::constant(-3),
+            ),
+        ),
+    ]);
+    let spec = Spec::new(formula, vec!["x".to_string(), "y".to_string()], Sort::Int);
+    Problem::new("mpg_ite1", grammar, spec)
+}
+
+/// `Start ::= x | 1 | Start + Start` with `f(x) = x + 2`: realizable on
+/// every example set, so the nope example-growing loop keeps iterating
+/// until its round budget — a controllable long-runner.
+fn slow_for_nope() -> Problem {
+    let grammar = GrammarBuilder::new("Start")
+        .nonterminal("Start", Sort::Int)
+        .production("Start", Symbol::Var("x".to_string()), &[])
+        .production("Start", Symbol::Num(1), &[])
+        .production("Start", Symbol::Plus, &["Start", "Start"])
+        .build()
+        .unwrap();
+    let spec = Spec::output_equals(var("x") + LinearExpr::constant(2), vec!["x".to_string()]);
+    Problem::new("xplus2", grammar, spec)
+}
+
+/// Trips the token after `delay` on a helper thread.
+fn cancel_after(cancel: &Cancel, delay: Duration) -> std::thread::JoinHandle<()> {
+    let remote = cancel.clone();
+    std::thread::spawn(move || {
+        std::thread::sleep(delay);
+        remote.cancel();
+    })
+}
+
+#[test]
+fn nay_observes_a_mid_run_cancel() {
+    let cancel = Cancel::new();
+    let trip = cancel_after(&cancel, Duration::from_millis(2));
+    let started = Instant::now();
+    let outcome = solve_nay(&slow_for_nay(), &cancel, &Nay::new());
+    let elapsed = started.elapsed();
+    trip.join().unwrap();
+    assert_eq!(outcome.verdict, SolveVerdict::Cancelled);
+    // "promptly" means within one loop iteration, not a full run; one inner
+    // CEGIS round on this problem is far below this generous ceiling.
+    assert!(elapsed < Duration::from_secs(30), "took {elapsed:?}");
+}
+
+#[test]
+fn nope_observes_a_mid_run_cancel() {
+    let cancel = Cancel::new();
+    // 10k example-growing rounds would take far longer than the whole test
+    // suite; only a prompt cancellation can end this run.
+    let engine = NopeEngine::new().with_max_rounds(10_000);
+    let trip = cancel_after(&cancel, Duration::from_millis(2));
+    let started = Instant::now();
+    let outcome = solve_nope(&slow_for_nope(), &cancel, &engine);
+    let elapsed = started.elapsed();
+    trip.join().unwrap();
+    assert_eq!(outcome.verdict, SolveVerdict::Cancelled);
+    assert!(elapsed < Duration::from_secs(30), "took {elapsed:?}");
+}

@@ -1,0 +1,92 @@
+//! A cooperative cancellation token, std-only atomics.
+//!
+//! [`Cancel`] is the contract between the portfolio racer and the solver
+//! engines: the racer hands one token to every engine, the first engine to
+//! reach a definitive verdict trips it, and every long-running loop in the
+//! other engines polls [`Cancel::is_cancelled`] once per iteration and
+//! returns early. Cloning is cheap (an `Arc` bump) and cancellation is
+//! sticky: once tripped, a token stays tripped forever.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A cloneable, sticky cancellation flag shared between threads.
+///
+/// # Example
+/// ```
+/// use runner::Cancel;
+/// let cancel = Cancel::new();
+/// let observer = cancel.clone();
+/// assert!(!observer.is_cancelled());
+/// cancel.cancel();
+/// assert!(observer.is_cancelled());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Cancel {
+    flag: Arc<AtomicBool>,
+}
+
+impl Cancel {
+    /// Creates a fresh, untripped token.
+    pub fn new() -> Self {
+        Cancel::default()
+    }
+
+    /// A token that can never be cancelled by anyone else — the null object
+    /// handed to engines when no racer is watching.
+    pub fn never() -> Self {
+        Cancel::new()
+    }
+
+    /// Trips the token. Idempotent; every clone observes the trip.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// `true` once any clone of the token has been cancelled.
+    ///
+    /// Engine loops are expected to call this once per iteration; the load
+    /// is a single acquire on an `AtomicBool`, cheap enough for tight loops.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_tokens_are_untripped() {
+        assert!(!Cancel::new().is_cancelled());
+        assert!(!Cancel::never().is_cancelled());
+    }
+
+    #[test]
+    fn cancellation_is_sticky_and_shared() {
+        let a = Cancel::new();
+        let b = a.clone();
+        b.cancel();
+        assert!(a.is_cancelled());
+        b.cancel(); // idempotent
+        assert!(b.is_cancelled());
+    }
+
+    #[test]
+    fn clones_after_cancel_observe_the_trip() {
+        let a = Cancel::new();
+        a.cancel();
+        assert!(a.clone().is_cancelled());
+    }
+
+    #[test]
+    fn tokens_cross_threads() {
+        let cancel = Cancel::new();
+        let remote = cancel.clone();
+        let handle = std::thread::spawn(move || {
+            remote.cancel();
+        });
+        handle.join().unwrap();
+        assert!(cancel.is_cancelled());
+    }
+}

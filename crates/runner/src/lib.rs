@@ -21,11 +21,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cancel;
 pub mod json;
 pub mod pool;
 pub mod report;
 pub mod timing;
 
+pub use cancel::Cancel;
 pub use json::Json;
 pub use pool::{run_jobs, Job, JobResult, JobStatus, PoolConfig};
 pub use report::{

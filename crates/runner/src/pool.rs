@@ -16,6 +16,7 @@
 use crate::timing::measure;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, RecvTimeoutError};
 use std::sync::Mutex;
 use std::thread;
@@ -123,6 +124,12 @@ pub struct JobResult<T> {
     /// Wall-clock time: the job body's own time when it completed, the
     /// budget when it timed out.
     pub elapsed: Duration,
+    /// `true` when this job shared its sweep with an abandoned (timed-out)
+    /// job thread. An abandoned thread keeps consuming CPU until process
+    /// exit, so the wall-clock numbers of every job still running — or
+    /// started — after the abandonment are inflated and should not gate
+    /// slowdown comparisons.
+    pub tainted: bool,
 }
 
 /// Runs every job and returns the results in submission order.
@@ -145,11 +152,16 @@ pub fn run_jobs<T: Send + 'static>(jobs: Vec<Job<T>>, config: &PoolConfig) -> Ve
     }
 
     let slots: Vec<Mutex<Option<JobResult<T>>>> = (0..total).map(|_| Mutex::new(None)).collect();
+    // Set when any job of this batch is abandoned on timeout; jobs finishing
+    // afterwards are marked tainted (their timings overlapped a runaway
+    // thread).
+    let abandoned = AtomicBool::new(false);
 
     thread::scope(|scope| {
         for me in 0..workers {
             let queues = &queues;
             let slots = &slots;
+            let abandoned = &abandoned;
             let timeout = config.timeout;
             scope.spawn(move || loop {
                 // Own deque first (front), then steal from a sibling (back).
@@ -159,7 +171,7 @@ pub fn run_jobs<T: Send + 'static>(jobs: Vec<Job<T>>, config: &PoolConfig) -> Ve
                         .find_map(|victim| queues[victim].lock().unwrap().pop_back())
                 });
                 let Some((index, job)) = task else { break };
-                *slots[index].lock().unwrap() = Some(execute(job, timeout));
+                *slots[index].lock().unwrap() = Some(execute(job, timeout, abandoned));
             });
         }
     });
@@ -175,7 +187,13 @@ pub fn run_jobs<T: Send + 'static>(jobs: Vec<Job<T>>, config: &PoolConfig) -> Ve
 }
 
 /// Runs one job on its own thread, enforcing the timeout from the worker.
-fn execute<T: Send + 'static>(job: Job<T>, timeout: Option<Duration>) -> JobResult<T> {
+/// `abandoned` is the batch-wide flag recording that some job thread has
+/// been abandoned; a job finishing while it is set is marked tainted.
+fn execute<T: Send + 'static>(
+    job: Job<T>,
+    timeout: Option<Duration>,
+    abandoned: &AtomicBool,
+) -> JobResult<T> {
     let Job { id, run } = job;
     let (tx, rx) = channel();
     let started = Instant::now();
@@ -196,6 +214,7 @@ fn execute<T: Send + 'static>(job: Job<T>, timeout: Option<Duration>) -> JobResu
             status: JobStatus::Crashed,
             output: None,
             elapsed: started.elapsed(),
+            tainted: abandoned.load(Ordering::Acquire),
         };
     }
 
@@ -203,30 +222,39 @@ fn execute<T: Send + 'static>(job: Job<T>, timeout: Option<Duration>) -> JobResu
         Some(budget) => rx.recv_timeout(budget),
         None => rx.recv().map_err(|_| RecvTimeoutError::Disconnected),
     };
+    // Taint is assessed when the job *finishes*: any job still in flight —
+    // or started — after an abandonment shares CPU with the runaway thread.
     match received {
         Ok((Ok(output), elapsed)) => JobResult {
             id,
             status: JobStatus::Ok,
             output: Some(output),
             elapsed,
+            tainted: abandoned.load(Ordering::Acquire),
         },
         Ok((Err(_panic), elapsed)) => JobResult {
             id,
             status: JobStatus::Crashed,
             output: None,
             elapsed,
+            tainted: abandoned.load(Ordering::Acquire),
         },
-        Err(RecvTimeoutError::Timeout) => JobResult {
-            id,
-            status: JobStatus::TimedOut,
-            output: None,
-            elapsed: timeout.expect("timeout error implies a budget"),
-        },
+        Err(RecvTimeoutError::Timeout) => {
+            abandoned.store(true, Ordering::Release);
+            JobResult {
+                id,
+                status: JobStatus::TimedOut,
+                output: None,
+                elapsed: timeout.expect("timeout error implies a budget"),
+                tainted: true,
+            }
+        }
         Err(RecvTimeoutError::Disconnected) => JobResult {
             id,
             status: JobStatus::Crashed,
             output: None,
             elapsed: started.elapsed(),
+            tainted: abandoned.load(Ordering::Acquire),
         },
     }
 }

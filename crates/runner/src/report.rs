@@ -37,6 +37,10 @@ pub struct Entry {
     pub iterations: u64,
     /// Wall-clock milliseconds.
     pub millis: f64,
+    /// `true` when the job shared its sweep with an abandoned (timed-out)
+    /// job thread, making its wall-clock time untrustworthy. Absent in
+    /// reports written before this field existed; parsed as `false`.
+    pub tainted: bool,
 }
 
 impl Entry {
@@ -49,6 +53,7 @@ impl Entry {
             ("proved".into(), Json::Bool(self.proved)),
             ("iterations".into(), Json::Num(self.iterations as f64)),
             ("millis".into(), Json::Num(self.millis)),
+            ("tainted".into(), Json::Bool(self.tainted)),
         ])
     }
 
@@ -85,6 +90,13 @@ impl Entry {
             millis: field("millis")?
                 .as_f64()
                 .ok_or("`millis` is not a number")?,
+            // Additive field: reports written before taint tracking simply
+            // lack it, and their entries are treated as untainted.
+            tainted: value
+                .get("tainted")
+                .map(|t| t.as_bool().ok_or("`tainted` is not a boolean"))
+                .transpose()?
+                .unwrap_or(false),
         })
     }
 
@@ -285,12 +297,11 @@ impl fmt::Display for Regression {
 pub fn compare(old: &Report, new: &Report, config: &CompareConfig) -> Vec<Regression> {
     // A timed-out job's thread is abandoned, not killed (std has no thread
     // cancellation), so it keeps consuming CPU and inflates the measured
-    // time of every job that runs after it. When the new report contains
-    // any timed-out entry its wall-clock numbers are therefore suspect:
-    // slowdown comparisons are suppressed and only the machine-independent
-    // regressions (status changes, verdict flips, missing entries) gate —
-    // which already includes the timeout itself.
-    let timings_trustworthy = new.aggregates().timed_out == 0;
+    // time of every job that runs after it. The pool records exactly which
+    // jobs overlapped an abandoned thread (`Entry::tainted`); slowdown
+    // comparisons are suppressed for those entries only, while entries that
+    // finished before the first abandonment still gate. Entries from
+    // reports written before taint tracking parse as untainted.
     let mut regressions = Vec::new();
     for old_entry in &old.entries {
         let regression = |kind, detail| Regression {
@@ -329,7 +340,7 @@ pub fn compare(old: &Report, new: &Report, config: &CompareConfig) -> Vec<Regres
         }
         let above_floor = new_entry.millis >= config.min_millis;
         let budget = old_entry.millis * (1.0 + config.threshold_pct / 100.0);
-        if timings_trustworthy && both_ok && above_floor && new_entry.millis > budget {
+        if !new_entry.tainted && both_ok && above_floor && new_entry.millis > budget {
             regressions.push(regression(
                 RegressionKind::Slowdown,
                 format!(
@@ -355,6 +366,7 @@ mod tests {
             proved: true,
             iterations: 3,
             millis,
+            tainted: false,
         }
     }
 
@@ -369,6 +381,7 @@ mod tests {
                     verdict: "-".into(),
                     proved: false,
                     iterations: 0,
+                    tainted: true,
                     ..entry("plane1", "nayHorn", 5000.0)
                 },
             ],
@@ -463,25 +476,70 @@ mod tests {
     }
 
     #[test]
-    fn timeouts_in_the_new_report_suppress_slowdown_noise() {
-        // A timed-out job's abandoned thread keeps consuming CPU, so the
-        // other entries' timings are not comparable: the timeout itself
-        // gates (StatusChange), but no Slowdown findings pile on top.
+    fn tainted_entries_suppress_slowdown_noise() {
+        // An entry that shared its sweep with an abandoned job thread has an
+        // inflated wall clock: the timeout itself gates (StatusChange), but
+        // no Slowdown finding piles on top for the tainted entry.
         let mut old = all_ok();
         old.entries.push(entry("plane1", "nayHorn", 100.0));
         let mut new = all_ok();
         new.entries[1].millis = 9000.0; // would be a Slowdown on a clean run
+        new.entries[1].tainted = true; // overlapped the abandoned thread
         new.entries.push(Entry {
             status: JobStatus::TimedOut,
             verdict: "-".into(),
             proved: false,
             iterations: 0,
+            tainted: true,
             ..entry("plane1", "nayHorn", 5000.0)
         });
         let new = Report::new("quick", new.entries);
         let regressions = compare(&old, &new, &CompareConfig::default());
         assert_eq!(regressions.len(), 1);
         assert_eq!(regressions[0].kind, RegressionKind::StatusChange);
+    }
+
+    #[test]
+    fn untainted_entries_still_gate_despite_a_timeout_elsewhere() {
+        // The fix over the old behaviour: a slowdown on an entry that
+        // finished *before* any abandonment is a real regression even when
+        // some other entry in the same report timed out.
+        let mut old = all_ok();
+        old.entries.push(entry("plane1", "nayHorn", 100.0));
+        let mut new = all_ok();
+        new.entries[1].millis = 9000.0; // Slowdown, untainted
+        new.entries.push(Entry {
+            status: JobStatus::TimedOut,
+            verdict: "-".into(),
+            proved: false,
+            iterations: 0,
+            tainted: true,
+            ..entry("plane1", "nayHorn", 5000.0)
+        });
+        let new = Report::new("quick", new.entries);
+        let regressions = compare(&old, &new, &CompareConfig::default());
+        assert_eq!(regressions.len(), 2);
+        assert!(regressions
+            .iter()
+            .any(|r| r.kind == RegressionKind::Slowdown));
+        assert!(regressions
+            .iter()
+            .any(|r| r.kind == RegressionKind::StatusChange));
+    }
+
+    #[test]
+    fn reports_without_the_tainted_field_parse_as_untainted() {
+        let mut text = sample().to_json();
+        // Strip every "tainted" line, simulating a pre-taint-tracking report.
+        text = text
+            .lines()
+            .filter(|l| !l.contains("\"tainted\""))
+            .collect::<Vec<_>>()
+            .join("\n");
+        // The previous line now ends with a trailing comma before `}`.
+        text = text.replace(",\n    }", "\n    }");
+        let parsed = Report::from_json(&text).expect("parse legacy report");
+        assert!(parsed.entries.iter().all(|e| !e.tainted));
     }
 
     #[test]

@@ -459,6 +459,10 @@ pub fn parse_problem(input: &str, name: &str) -> Result<Problem, SygusError> {
     let sexps = parse_sexps(input)?;
     let mut synth_fun: Option<SynthFun> = None;
     let mut declared: BTreeMap<String, Sort> = BTreeMap::new();
+    // Declaration order, kept separately: the spec's input variables must
+    // come out in the order the file declares them, not sorted, so that
+    // printing a parsed problem reproduces the file.
+    let mut declared_order: Vec<String> = Vec::new();
     let mut constraints: Vec<Sexp> = Vec::new();
 
     for s in &sexps {
@@ -480,7 +484,9 @@ pub fn parse_problem(input: &str, name: &str) -> Result<Problem, SygusError> {
                 let sort = parse_sort(items.get(2).ok_or_else(|| {
                     SygusError::ParseError("declare-var needs a sort".to_string())
                 })?)?;
-                declared.insert(v.to_string(), sort);
+                if declared.insert(v.to_string(), sort).is_none() {
+                    declared_order.push(v.to_string());
+                }
             }
             "constraint" => constraints.push(items[1].clone()),
             other => {
@@ -502,20 +508,32 @@ pub fn parse_problem(input: &str, name: &str) -> Result<Problem, SygusError> {
     // Inputs of the spec: the synth-fun's parameters (constraints are assumed
     // single-invocation, i.e. the universally quantified variables coincide
     // with the function arguments).
-    let input_vars: Vec<String> = if declared.is_empty() {
+    let input_vars: Vec<String> = if declared_order.is_empty() {
         fun.params.iter().map(|(p, _)| p.clone()).collect()
     } else {
-        declared.keys().cloned().collect()
+        declared_order
     };
     let spec = Spec::new(formula, input_vars, fun.ret);
     Ok(Problem::new(name, fun.grammar, spec))
 }
 
 /// Prints a grammar in the grouped SyGuS-IF rule format.
+///
+/// The start nonterminal is printed first (the format identifies the start
+/// symbol positionally), so the output of this function parses back to the
+/// same grammar via [`parse_problem`].
 pub fn grammar_to_sygus(grammar: &Grammar) -> String {
     let mut out = String::new();
     let _ = write!(out, "(");
-    for (i, nt) in grammar.nonterminals().iter().enumerate() {
+    let start_first: Vec<_> = std::iter::once(grammar.start())
+        .chain(
+            grammar
+                .nonterminals()
+                .iter()
+                .filter(|n| *n != grammar.start()),
+        )
+        .collect();
+    for (i, nt) in start_first.into_iter().enumerate() {
         if i > 0 {
             let _ = write!(out, "\n ");
         }
@@ -542,6 +560,157 @@ pub fn grammar_to_sygus(grammar: &Grammar) -> String {
         let _ = write!(out, "{}))", rules.join(" "));
     }
     let _ = write!(out, ")");
+    out
+}
+
+/// Prints a linear expression as a constraint-side s-expression. `app` is
+/// the rendering of the synthesis-function application that stands in for
+/// the reserved output variable.
+fn linexpr_to_sygus(expr: &LinearExpr, app: &str) -> String {
+    let render_var = |v: &Var| {
+        if *v == Spec::output_var() {
+            app.to_string()
+        } else {
+            v.name().to_string()
+        }
+    };
+    let mut parts: Vec<String> = expr
+        .terms()
+        .map(|(v, c)| {
+            let name = render_var(v);
+            if c == 1 {
+                name
+            } else {
+                format!("(* {c} {name})")
+            }
+        })
+        .collect();
+    let constant = expr.constant_part();
+    if constant != 0 || parts.is_empty() {
+        parts.push(constant.to_string());
+    }
+    if parts.len() == 1 {
+        parts.pop().expect("len checked")
+    } else {
+        format!("(+ {})", parts.join(" "))
+    }
+}
+
+/// Prints a formula as a constraint-side s-expression (`Ne` atoms become
+/// `(not (= …))`, which [`parse_problem`] reads back as the equivalent
+/// negated equality).
+fn formula_to_sygus(formula: &Formula, app: &str) -> String {
+    use logic::Rel;
+    match formula {
+        Formula::True => "true".to_string(),
+        Formula::False => "false".to_string(),
+        Formula::Atom(atom) => {
+            let lhs = linexpr_to_sygus(&atom.lhs, app);
+            let rhs = linexpr_to_sygus(&atom.rhs, app);
+            match atom.rel {
+                Rel::Eq => format!("(= {lhs} {rhs})"),
+                Rel::Ne => format!("(not (= {lhs} {rhs}))"),
+                Rel::Le => format!("(<= {lhs} {rhs})"),
+                Rel::Lt => format!("(< {lhs} {rhs})"),
+                Rel::Ge => format!("(>= {lhs} {rhs})"),
+                Rel::Gt => format!("(> {lhs} {rhs})"),
+            }
+        }
+        // A negated atom prints as the atom with the negated relation (and
+        // `Ne` in turn as a negated equality): the printed form then
+        // re-parses to the same normalized shape, keeping print ∘ parse a
+        // fixpoint for double negations like `not (a ≠ b)`.
+        Formula::Not(inner) => match inner.as_ref() {
+            Formula::Atom(atom) => formula_to_sygus(&Formula::Atom(atom.negate()), app),
+            other => format!("(not {})", formula_to_sygus(other, app)),
+        },
+        Formula::And(parts) => format!(
+            "(and {})",
+            parts
+                .iter()
+                .map(|p| formula_to_sygus(p, app))
+                .collect::<Vec<_>>()
+                .join(" ")
+        ),
+        Formula::Or(parts) => format!(
+            "(or {})",
+            parts
+                .iter()
+                .map(|p| formula_to_sygus(p, app))
+                .collect::<Vec<_>>()
+                .join(" ")
+        ),
+    }
+}
+
+/// Prints a complete problem in the SyGuS-IF fragment that
+/// [`parse_problem`] reads, with `fun` as the synthesis-function name.
+///
+/// The output is a fixpoint of printing and parsing: for any problem in
+/// the supported fragment,
+/// `problem_to_sygus(&parse_problem(&problem_to_sygus(p, "f"), …), "f")`
+/// equals `problem_to_sygus(p, "f")` — chain productions come out resolved
+/// and `≠` atoms come out as negated equalities, exactly as the parser
+/// normalizes them.
+///
+/// # Example
+/// ```
+/// use sygus::parser::{parse_problem, problem_to_sygus};
+/// let src = r#"
+///   (set-logic LIA)
+///   (synth-fun f ((x Int)) Int ((Start Int ((+ Start Start) x 1))))
+///   (declare-var x Int)
+///   (constraint (= (f x) (+ x 2)))
+///   (check-synth)
+/// "#;
+/// let problem = parse_problem(src, "doc").unwrap();
+/// let printed = problem_to_sygus(&problem, "f");
+/// let reparsed = parse_problem(&printed, "doc").unwrap();
+/// assert_eq!(problem_to_sygus(&reparsed, "f"), printed);
+/// ```
+pub fn problem_to_sygus(problem: &Problem, fun: &str) -> String {
+    let grammar = problem.grammar();
+    let spec = problem.spec();
+    let mut out = String::new();
+    let logic = if grammar.is_lia() { "LIA" } else { "CLIA" };
+    let _ = writeln!(out, "(set-logic {logic})");
+
+    // The parameters are the spec's input variables plus any grammar
+    // variable the spec does not mention (some generated benchmarks use
+    // disjoint names); every parameter is also declared, so a reparse
+    // reproduces the same variable set in the same order.
+    let mut params: Vec<String> = spec.input_vars().to_vec();
+    for v in grammar.variables() {
+        if !params.contains(&v) {
+            params.push(v);
+        }
+    }
+    let param_decls: Vec<String> = params.iter().map(|x| format!("({x} Int)")).collect();
+    let _ = writeln!(
+        out,
+        "(synth-fun {fun} ({}) {}",
+        param_decls.join(" "),
+        spec.output_sort()
+    );
+    let grammar_text = grammar_to_sygus(grammar).replace('\n', "\n ");
+    let _ = writeln!(out, "  {grammar_text})");
+
+    for x in &params {
+        let _ = writeln!(out, "(declare-var {x} Int)");
+    }
+
+    let app = format!("({fun} {})", params.join(" "));
+    // A top-level conjunction prints as one constraint per conjunct, which
+    // is how SyGuS benchmarks are usually written; parse_problem conjoins
+    // them back.
+    let conjuncts: Vec<&Formula> = match spec.formula() {
+        Formula::And(parts) => parts.iter().collect(),
+        single => vec![single],
+    };
+    for c in conjuncts {
+        let _ = writeln!(out, "(constraint {})", formula_to_sygus(c, app.as_str()));
+    }
+    let _ = writeln!(out, "(check-synth)");
     out
 }
 
@@ -660,5 +829,80 @@ mod tests {
         let printed = grammar_to_sygus(p.grammar());
         assert!(printed.contains("(Start Int"));
         assert!(printed.contains("(+ S1 Start)"));
+    }
+
+    #[test]
+    fn problem_printer_is_a_parse_fixpoint() {
+        for src in [
+            SECTION2_LIA,
+            r#"
+              (set-logic CLIA)
+              (synth-fun f ((x Int) (y Int)) Int
+                ((Start Int) (B Bool))
+                ((Start Int (x y 0 1 (+ Start Start) (ite B Start Start)))
+                 (B Bool ((< Start Start) (and B B) (not B)))))
+              (declare-var x Int)
+              (declare-var y Int)
+              (constraint (>= (f x y) x))
+              (constraint (>= (f x y) y))
+              (constraint (or (= (f x y) x) (= (f x y) y)))
+              (check-synth)
+            "#,
+        ] {
+            let problem = parse_problem(src, "fixpoint").unwrap();
+            let printed = problem_to_sygus(&problem, "f");
+            let reparsed = parse_problem(&printed, "fixpoint").unwrap();
+            assert_eq!(problem_to_sygus(&reparsed, "f"), printed);
+        }
+    }
+
+    #[test]
+    fn printer_preserves_verdict_relevant_structure() {
+        let problem = parse_problem(SECTION2_LIA, "section2").unwrap();
+        let printed = problem_to_sygus(&problem, "f");
+        let reparsed = parse_problem(&printed, "section2").unwrap();
+        assert_eq!(
+            reparsed.grammar().num_nonterminals(),
+            problem.grammar().num_nonterminals()
+        );
+        assert_eq!(
+            reparsed.grammar().num_productions(),
+            problem.grammar().num_productions()
+        );
+        assert_eq!(reparsed.spec().input_vars(), problem.spec().input_vars());
+        let e = crate::Example::from_pairs([("x", 3)]);
+        for out in -10..=10 {
+            assert_eq!(
+                reparsed.spec().holds(&e, out),
+                problem.spec().holds(&e, out)
+            );
+        }
+    }
+
+    #[test]
+    fn declare_var_order_is_preserved() {
+        let src = r#"
+          (synth-fun f ((x1 Int) (k Int)) Int ((Start Int (x1 k 0))))
+          (declare-var x1 Int)
+          (declare-var k Int)
+          (constraint (= (f x1 k) x1))
+        "#;
+        let p = parse_problem(src, "order").unwrap();
+        assert_eq!(p.spec().input_vars(), ["x1".to_string(), "k".to_string()]);
+    }
+
+    #[test]
+    fn printer_handles_negative_coefficients_and_constants() {
+        let src = r#"
+          (synth-fun f ((x Int)) Int ((Start Int (x -3 (+ Start Start)))))
+          (declare-var x Int)
+          (constraint (= (f x) (- (* 2 x) 5)))
+        "#;
+        let problem = parse_problem(src, "neg").unwrap();
+        let printed = problem_to_sygus(&problem, "f");
+        let reparsed = parse_problem(&printed, "neg").unwrap();
+        assert_eq!(problem_to_sygus(&reparsed, "f"), printed);
+        let e = crate::Example::from_pairs([("x", 4)]);
+        assert!(reparsed.spec().holds(&e, 3));
     }
 }

@@ -1,0 +1,278 @@
+//! Regenerates the on-disk SyGuS-IF corpus under `corpus/`.
+//!
+//! The corpus is the file-based counterpart of the in-crate benchmark
+//! tables: a selection of the `benchmarks` family instances exported
+//! through `sygus::parser::problem_to_sygus`, plus hand-built variants
+//! (larger constants, deeper grammars, extra `ite` nesting, and realizable
+//! instances) that only exist on disk. Run it after changing the printer,
+//! the benchmark generators, or the corpus selection:
+//!
+//! ```text
+//! cargo run --release --example export_corpus
+//! ```
+//!
+//! The expected verdicts live in `corpus/MANIFEST`, which is *not*
+//! regenerated here: verify changed verdicts explicitly with
+//! `reproduce solve corpus/ --engine <nay|nope|race>` and update the
+//! MANIFEST by hand, so a verdict drift is a reviewed decision rather than
+//! a silent overwrite.
+
+use logic::{Formula, LinearExpr, Var};
+use sygus::parser::problem_to_sygus;
+use sygus::{GrammarBuilder, Problem, Sort, Spec, Symbol};
+
+fn var(name: &str) -> LinearExpr {
+    LinearExpr::var(Var::new(name))
+}
+
+fn out() -> LinearExpr {
+    LinearExpr::var(Spec::output_var())
+}
+
+/// §2, grammar G1 with spec `f(x) = 2x + 2` (unrealizable).
+fn section2_g1() -> Problem {
+    let grammar = GrammarBuilder::new("Start")
+        .nonterminal("Start", Sort::Int)
+        .nonterminal("S1", Sort::Int)
+        .nonterminal("S2", Sort::Int)
+        .nonterminal("S3", Sort::Int)
+        .production("Start", Symbol::Plus, &["S1", "Start"])
+        .production("Start", Symbol::Num(0), &[])
+        .production("S1", Symbol::Plus, &["S2", "S3"])
+        .production("S2", Symbol::Plus, &["S3", "S3"])
+        .production("S3", Symbol::Var("x".to_string()), &[])
+        .build()
+        .unwrap();
+    let spec = Spec::output_equals(
+        var("x").scale(2) + LinearExpr::constant(2),
+        vec!["x".into()],
+    );
+    Problem::new("section2_g1", grammar, spec)
+}
+
+/// A deeper plus-limited chain: at most 6 leaves, so `f(x) = 7x` is out of
+/// reach (unrealizable; exercises deep LIA grammars).
+fn deep_plus() -> Problem {
+    let mut builder = GrammarBuilder::new("S5");
+    for b in 0..=5 {
+        builder = builder.nonterminal(format!("S{b}"), Sort::Int);
+    }
+    builder = builder
+        .production("S0", Symbol::Var("x".to_string()), &[])
+        .production("S0", Symbol::Num(0), &[]);
+    for b in 1..=5usize {
+        let lhs = format!("S{b}");
+        for i in 0..b {
+            let j = b - 1 - i;
+            builder = builder.production(&lhs, Symbol::Plus, &[&format!("S{i}"), &format!("S{j}")]);
+        }
+        builder = builder.chain(&lhs, &format!("S{}", b - 1));
+    }
+    let spec = Spec::output_equals(var("x").scale(7), vec!["x".into()]);
+    Problem::new("deep_plus", builder.build().unwrap(), spec)
+}
+
+/// Constants restricted to {0, 1, 100}: `f(x) = x + 1000` needs a constant
+/// the grammar cannot build without `+` (unrealizable; larger constants
+/// than any in-crate table instance).
+fn const_large() -> Problem {
+    let grammar = GrammarBuilder::new("Start")
+        .nonterminal("Start", Sort::Int)
+        .nonterminal("Cond", Sort::Bool)
+        .production("Start", Symbol::Var("x".to_string()), &[])
+        .production("Start", Symbol::Num(0), &[])
+        .production("Start", Symbol::Num(1), &[])
+        .production("Start", Symbol::Num(100), &[])
+        .production("Start", Symbol::IfThenElse, &["Cond", "Start", "Start"])
+        .production("Cond", Symbol::LessThan, &["Start", "Start"])
+        .production("Cond", Symbol::And, &["Cond", "Cond"])
+        .build()
+        .unwrap();
+    let spec = Spec::output_equals(var("x") + LinearExpr::constant(1000), vec!["x".into()]);
+    Problem::new("const_large", grammar, spec)
+}
+
+/// Two levels of `ite` nesting over two variables, but `max3` needs one
+/// more conditional than the grammar grants (unrealizable; extra `ite`
+/// nesting beyond the table instances).
+fn ite_nested2() -> Problem {
+    let mut builder = GrammarBuilder::new("S2");
+    for b in 0..=2 {
+        builder = builder.nonterminal(format!("S{b}"), Sort::Int);
+        if b >= 1 {
+            builder = builder.nonterminal(format!("B{b}"), Sort::Bool);
+        }
+    }
+    for b in 0..=2usize {
+        let lhs = format!("S{b}");
+        for v in ["x1", "x2", "x3"] {
+            builder = builder.production(&lhs, Symbol::Var(v.to_string()), &[]);
+        }
+        builder = builder.production(&lhs, Symbol::Num(0), &[]);
+        if b >= 1 {
+            let guard = format!("B{b}");
+            let lower = format!("S{}", b - 1);
+            builder = builder.production(&lhs, Symbol::IfThenElse, &[&guard, &lower, &lower]);
+            builder = builder.production(&guard, Symbol::LessThan, &[&lower, &lower]);
+        }
+    }
+    let names: Vec<String> = vec!["x1".into(), "x2".into(), "x3".into()];
+    let mut conj: Vec<Formula> = names.iter().map(|x| Formula::ge(out(), var(x))).collect();
+    conj.push(Formula::or(
+        names.iter().map(|x| Formula::eq(out(), var(x))),
+    ));
+    // max over 4 "slots" cannot be asked with 3 vars; instead demand max3
+    // *plus one*: f = max(x1,x2,x3) + 1 is outside the grammar (no Plus at
+    // all), so even two ite levels cannot help.
+    let conj = vec![Formula::and(conj)];
+    let spec = Spec::new(
+        Formula::and(conj).substitute(
+            &Spec::output_var(),
+            &(LinearExpr::var(Spec::output_var()) + LinearExpr::constant(1)),
+        ),
+        names,
+        Sort::Int,
+    );
+    Problem::new("ite_nested2", builder.build().unwrap(), spec)
+}
+
+/// `Start ::= x | 1 | Start + Start` with `f(x) = x + 2`: realizable, and
+/// only the CEGIS engine can prove it.
+fn realizable_xplus2() -> Problem {
+    let grammar = GrammarBuilder::new("Start")
+        .nonterminal("Start", Sort::Int)
+        .production("Start", Symbol::Var("x".to_string()), &[])
+        .production("Start", Symbol::Num(1), &[])
+        .production("Start", Symbol::Plus, &["Start", "Start"])
+        .build()
+        .unwrap();
+    let spec = Spec::output_equals(var("x") + LinearExpr::constant(2), vec!["x".into()]);
+    Problem::new("realizable_xplus2", grammar, spec)
+}
+
+/// The CLIA `max2` grammar with a full conditional budget: realizable via
+/// `ite (< x y) y x`.
+fn realizable_max2() -> Problem {
+    let grammar = GrammarBuilder::new("Start")
+        .nonterminal("Start", Sort::Int)
+        .nonterminal("B", Sort::Bool)
+        .production("Start", Symbol::Var("x".to_string()), &[])
+        .production("Start", Symbol::Var("y".to_string()), &[])
+        .production("Start", Symbol::Num(0), &[])
+        .production("Start", Symbol::IfThenElse, &["B", "Start", "Start"])
+        .production("B", Symbol::LessThan, &["Start", "Start"])
+        .build()
+        .unwrap();
+    let names: Vec<String> = vec!["x".into(), "y".into()];
+    let conj = vec![
+        Formula::ge(out(), var("x")),
+        Formula::ge(out(), var("y")),
+        Formula::or(vec![
+            Formula::eq(out(), var("x")),
+            Formula::eq(out(), var("y")),
+        ]),
+    ];
+    let spec = Spec::new(Formula::and(conj), names, Sort::Int);
+    Problem::new("realizable_max2", grammar, spec)
+}
+
+/// A guarded target whose branches sit far outside anything the
+/// constant-restricted grammar can produce: both engines refute it with a
+/// single example, so it measures pure analysis cost (interval vs exact).
+/// The instances whose races beat the slower engine's solo time by ≥2× on
+/// multi-core hardware are `mpg_guard1`/`mpg_guard4`, where the exact
+/// analysis needs ~10 ms that nope's sub-millisecond interval refutation
+/// (plus the loser's one-iteration cancellation) makes redundant.
+fn gap_guard() -> Problem {
+    let grammar = GrammarBuilder::new("Start")
+        .nonterminal("Start", Sort::Int)
+        .nonterminal("Cond", Sort::Bool)
+        .production("Start", Symbol::Var("x".to_string()), &[])
+        .production("Start", Symbol::Var("y".to_string()), &[])
+        .production("Start", Symbol::Num(0), &[])
+        .production("Start", Symbol::Num(1), &[])
+        .production("Start", Symbol::IfThenElse, &["Cond", "Start", "Start"])
+        .production("Cond", Symbol::LessThan, &["Start", "Start"])
+        .production("Cond", Symbol::And, &["Cond", "Cond"])
+        .build()
+        .unwrap();
+    let below = Formula::lt(var("x"), LinearExpr::constant(0));
+    let formula = Formula::and(vec![
+        Formula::implies(
+            below.clone(),
+            Formula::eq(out(), var("x") + LinearExpr::constant(-200)),
+        ),
+        Formula::implies(
+            Formula::not(below),
+            Formula::eq(out(), var("y") + LinearExpr::constant(300)),
+        ),
+    ]);
+    let spec = Spec::new(formula, vec!["x".into(), "y".into()], Sort::Int);
+    Problem::new("gap_guard", grammar, spec)
+}
+
+/// A `Minus`-only grammar deriving even numbers with spec `f(x) = 3`:
+/// unrealizable, and exercises the `h(G)` Minus-elimination path.
+fn unreal_parity() -> Problem {
+    let grammar = GrammarBuilder::new("Start")
+        .nonterminal("Start", Sort::Int)
+        .production("Start", Symbol::Minus, &["Start", "Start"])
+        .production("Start", Symbol::Num(2), &[])
+        .build()
+        .unwrap();
+    let spec = Spec::output_equals(LinearExpr::constant(3), vec!["x".into()]);
+    Problem::new("unreal_parity", grammar, spec)
+}
+
+fn main() {
+    let corpus_dir = std::path::Path::new("corpus");
+    std::fs::create_dir_all(corpus_dir).expect("create corpus/");
+
+    // The table instances exported as-is from the in-crate generators.
+    let ported = [
+        "plus_plane1",
+        "plus_example2",
+        "if_max2",
+        "if_guard1",
+        "array_search_2",
+        "mpg_example1",
+        "mpg_guard1",
+        "mpg_guard4",
+        "mpg_ite1",
+        "mpg_plane2",
+    ];
+    let table: Vec<Problem> = benchmarks::all()
+        .into_iter()
+        .filter(|b| ported.contains(&b.name.as_str()))
+        .map(|b| b.problem)
+        .collect();
+    assert_eq!(table.len(), ported.len(), "a ported benchmark went missing");
+
+    let handmade = vec![
+        section2_g1(),
+        deep_plus(),
+        const_large(),
+        ite_nested2(),
+        gap_guard(),
+        realizable_xplus2(),
+        realizable_max2(),
+        unreal_parity(),
+    ];
+
+    let mut names = Vec::new();
+    for problem in table.into_iter().chain(handmade) {
+        let path = corpus_dir.join(format!("{}.sl", problem.name()));
+        let text = format!(
+            "; {} — exported by `cargo run --example export_corpus`\n{}",
+            problem.name(),
+            problem_to_sygus(&problem, "f")
+        );
+        // sanity: everything we write must parse back
+        sygus::parser::parse_problem(&text, problem.name())
+            .unwrap_or_else(|e| panic!("{} does not re-parse: {e:?}", problem.name()));
+        std::fs::write(&path, text).expect("write corpus file");
+        names.push(problem.name().to_string());
+    }
+    println!("wrote {} corpus files: {}", names.len(), names.join(", "));
+    println!("remember: corpus/MANIFEST is maintained by hand (see its header)");
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for the SyGuS-IF printer/parser pair: for randomly
+//! generated problems in the supported fragment, printing and parsing are
+//! mutually inverse — `parse → print → parse` is the identity, observed as
+//! a string fixpoint of `print ∘ parse` (the parser's only normalizations,
+//! chain-production resolution and `≠`-elimination, are already applied to
+//! everything the printer emits).
+
+use logic::{Formula, LinearExpr, Var};
+use proptest::prelude::*;
+use sygus::parser::{parse_problem, problem_to_sygus};
+use sygus::{GrammarBuilder, Problem, Sort, Spec, Symbol};
+
+// ---------------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------------
+
+/// A linear expression over `x`, `y`, and the reserved output variable.
+fn arb_linexpr() -> impl Strategy<Value = LinearExpr> {
+    (-5i64..=5, -3i64..=3, -3i64..=3, -2i64..=2).prop_map(|(constant, cx, cy, cout)| {
+        LinearExpr::from_terms(
+            [
+                (Var::new("x"), cx),
+                (Var::new("y"), cy),
+                (Spec::output_var(), cout),
+            ],
+            constant,
+        )
+    })
+}
+
+fn arb_atom() -> impl Strategy<Value = Formula> {
+    (arb_linexpr(), 0usize..6, arb_linexpr()).prop_map(|(lhs, rel, rhs)| match rel {
+        0 => Formula::eq(lhs, rhs),
+        1 => Formula::ne(lhs, rhs),
+        2 => Formula::le(lhs, rhs),
+        3 => Formula::lt(lhs, rhs),
+        4 => Formula::ge(lhs, rhs),
+        _ => Formula::gt(lhs, rhs),
+    })
+}
+
+fn arb_formula() -> impl Strategy<Value = Formula> {
+    arb_atom().prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(a, b, c)| Formula::and(vec![a, b, c])),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::or(vec![a, b])),
+            inner.clone().prop_map(Formula::not),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::implies(a, b)),
+        ]
+    })
+}
+
+/// A small well-sorted grammar over `x` and `y`: a `Plus`-closed integer
+/// layer with two random constants, optionally a second chained
+/// nonterminal, optionally a Boolean/`ite` layer.
+fn arb_grammar_problem() -> impl Strategy<Value = Problem> {
+    (
+        -9i64..=9,
+        -9i64..=9,
+        prop_oneof![Just(false), Just(true)],
+        prop_oneof![Just(false), Just(true)],
+        arb_formula(),
+    )
+        .prop_map(|(c1, c2, two_levels, with_ite, formula)| {
+            let mut builder = GrammarBuilder::new("Start")
+                .nonterminal("Start", Sort::Int)
+                .production("Start", Symbol::Var("x".to_string()), &[])
+                .production("Start", Symbol::Num(c1), &[])
+                .production("Start", Symbol::Plus, &["Start", "Start"]);
+            if two_levels {
+                builder = builder
+                    .nonterminal("Leaf", Sort::Int)
+                    .production("Leaf", Symbol::Var("y".to_string()), &[])
+                    .production("Leaf", Symbol::Num(c2), &[])
+                    .production("Start", Symbol::Plus, &["Leaf", "Start"]);
+            }
+            if with_ite {
+                builder = builder
+                    .nonterminal("Cond", Sort::Bool)
+                    .production("Start", Symbol::IfThenElse, &["Cond", "Start", "Start"])
+                    .production("Cond", Symbol::LessThan, &["Start", "Start"])
+                    .production("Cond", Symbol::And, &["Cond", "Cond"])
+                    .production("Cond", Symbol::Not, &["Cond"]);
+            }
+            let grammar = builder.build().expect("generated grammar is well-formed");
+            let spec = Spec::new(formula, vec!["x".to_string(), "y".to_string()], Sort::Int);
+            Problem::new("generated", grammar, spec)
+        })
+}
+
+// ---------------------------------------------------------------------------
+// Properties
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `print ∘ parse` is a fixpoint on everything the printer emits.
+    #[test]
+    fn print_parse_print_is_identity(problem in arb_grammar_problem()) {
+        let printed = problem_to_sygus(&problem, "f");
+        let reparsed = parse_problem(&printed, "generated")
+            .expect("printed problems parse back");
+        prop_assert_eq!(problem_to_sygus(&reparsed, "f"), printed);
+    }
+
+    /// Parsing preserves the grammar shape and the spec's semantics on
+    /// sampled inputs and outputs.
+    #[test]
+    fn reparsed_problems_are_semantically_equal(
+        problem in arb_grammar_problem(),
+        x in -7i64..=7,
+        y in -7i64..=7,
+        out in -9i64..=9,
+    ) {
+        let printed = problem_to_sygus(&problem, "f");
+        let reparsed = parse_problem(&printed, "generated").expect("parse back");
+        prop_assert_eq!(
+            reparsed.grammar().num_nonterminals(),
+            problem.grammar().num_nonterminals()
+        );
+        prop_assert_eq!(
+            reparsed.grammar().num_productions(),
+            problem.grammar().num_productions()
+        );
+        let example = sygus::Example::from_pairs([("x", x), ("y", y)]);
+        prop_assert_eq!(
+            reparsed.spec().holds(&example, out),
+            problem.spec().holds(&example, out)
+        );
+    }
+}

@@ -4,8 +4,9 @@
 //! The build environment has no access to crates.io, so this vendored crate
 //! implements the API surface the workspace's property tests need:
 //!
-//! * the [`Strategy`] trait with `prop_map` / `prop_recursive` / `boxed`,
-//! * integer-range, [`Just`], tuple, and `prop_oneof!` strategies,
+//! * the [`strategy::Strategy`] trait with `prop_map` / `prop_recursive` /
+//!   `boxed`,
+//! * integer-range, [`strategy::Just`], tuple, and `prop_oneof!` strategies,
 //! * `prop::collection::vec`,
 //! * `any::<T>()` via a minimal [`Arbitrary`],
 //! * the [`proptest!`], [`prop_assert!`], [`prop_assert_eq!`] and
@@ -66,7 +67,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     #[derive(Clone, Debug)]
     pub struct VecStrategy<S> {
         element: S,
