@@ -5,6 +5,8 @@
 //! cargo run --release -p bench --bin reproduce -- [EXPERIMENT] [OPTIONS]
 //! cargo run --release -p bench --bin reproduce -- compare OLD.json NEW.json [OPTIONS]
 //! cargo run --release -p bench --bin reproduce -- solve FILE|DIR [OPTIONS]
+//! cargo run --release -p bench --bin reproduce -- gen --out DIR [OPTIONS]
+//! cargo run --release -p bench --bin reproduce -- fuzz [OPTIONS]
 //!
 //! EXPERIMENT: all | table1-plus | table1-if | table1 | table2 | fig2 | fig3 |
 //!             fig4 | fig5 | summary          (default: all)
@@ -23,13 +25,34 @@
 //!   --engine nay|nope|race   which engine to drive (default: race)
 //!   --timeout-ms MS          per-engine wall-clock budget (default: 600000)
 //!   --json PATH              write the runner-schema JSON report to PATH
+//!
+//! gen OPTIONS:
+//!   --out DIR           output directory (required)
+//!   --count N           instances to generate (default: 100)
+//!   --seed S            base seed (default: 42); output is byte-identical
+//!                       for a fixed (seed, count, families)
+//!   --families a,b      restrict to these families (default: all)
+//!   --list-families     print the family catalogue and exit
+//!
+//! fuzz OPTIONS:
+//!   --count N                      instances to generate (default: 200)
+//!   --seed S                       base seed (default: 7)
+//!   --engine both|race|nay|nope    engines to drive (default: both)
+//!   --jobs N                       pool workers for both/solo (default: 1)
+//!   --timeout-ms MS                per-engine budget (default: 10000; a
+//!                                  timeout is an `unknown` claim, never a
+//!                                  violation)
+//!   --json PATH                    write the aggregate JSON report to PATH
+//!   --families a,b                 restrict to these families
 //! ```
 //!
 //! `compare` exits 0 when the new report has no regressions against the old
 //! one, 1 when it does, and 2 on usage or parse errors. `solve` exits 0
 //! when every file parses, every engine completes, and (when the corpus
 //! has a `MANIFEST`) every verdict matches the expectation; 1 on any
-//! corpus failure; 2 on usage errors.
+//! corpus failure; 2 on usage errors. `fuzz` exits 0 on a clean sweep, 1
+//! when any oracle (differential, expectation, witness, or print→parse
+//! round-trip) is violated, and 2 on usage errors.
 
 use runner::{compare, CompareConfig, PoolConfig, Report};
 use std::path::Path;
@@ -202,6 +225,128 @@ fn run_solve(args: &[String]) -> ! {
     std::process::exit(0);
 }
 
+/// Parses a comma-separated `--families` value.
+fn parse_families(value: Option<&String>) -> Vec<gen::Family> {
+    let Some(text) = value else {
+        usage_error("`--families` needs a comma-separated value");
+    };
+    text.split(',')
+        .map(|name| {
+            gen::Family::parse(name.trim()).unwrap_or_else(|| {
+                usage_error(&format!(
+                    "unknown family `{name}` (known: {})",
+                    gen::Family::ALL
+                        .iter()
+                        .map(|f| f.name())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ))
+            })
+        })
+        .collect()
+}
+
+fn run_gen(args: &[String]) -> ! {
+    let mut config = bench::FuzzConfig {
+        count: 100,
+        seed: 42,
+        ..bench::FuzzConfig::default()
+    };
+    let mut out_dir: Option<String> = None;
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--count" => config.count = parse_value(arg, iter.next()),
+            "--seed" => config.seed = parse_value(arg, iter.next()),
+            "--out" => out_dir = Some(parse_value::<String>(arg, iter.next())),
+            "--families" => config.families = Some(parse_families(iter.next())),
+            "--list-families" => {
+                for family in gen::Family::ALL {
+                    println!("{:<16} {}", family.name(), family.description());
+                }
+                std::process::exit(0);
+            }
+            other => usage_error(&format!("unknown gen option `{other}`")),
+        }
+    }
+    let Some(out_dir) = out_dir else {
+        usage_error("gen needs `--out DIR`");
+    };
+    match bench::run_gen(Path::new(&out_dir), &config) {
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+        Ok(counts) => {
+            let written: usize = counts.values().sum();
+            if written < config.count {
+                eprintln!(
+                    "note: instance space exhausted after {written} of {} requested",
+                    config.count
+                );
+            }
+            println!(
+                "wrote {written} instances to {out_dir} (seed {}):",
+                config.seed
+            );
+            for (family, count) in counts {
+                println!("  {family:<16} {count}");
+            }
+            std::process::exit(0);
+        }
+    }
+}
+
+fn run_fuzz(args: &[String]) -> ! {
+    let mut config = bench::FuzzConfig::default();
+    let mut json_path: Option<String> = None;
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--count" => config.count = parse_value(arg, iter.next()),
+            "--seed" => config.seed = parse_value(arg, iter.next()),
+            "--jobs" => config.jobs = parse_value(arg, iter.next()),
+            "--timeout-ms" => config.timeout = Duration::from_millis(parse_value(arg, iter.next())),
+            "--json" => json_path = Some(parse_value::<String>(arg, iter.next())),
+            "--families" => config.families = Some(parse_families(iter.next())),
+            "--engine" => {
+                let name: String = parse_value(arg, iter.next());
+                config.engine = bench::FuzzEngine::parse(&name).unwrap_or_else(|| {
+                    usage_error(&format!(
+                        "unknown fuzz engine `{name}` (expected both, race, nay, or nope)"
+                    ))
+                });
+            }
+            other => usage_error(&format!("unknown fuzz option `{other}`")),
+        }
+    }
+    let outcome = bench::run_fuzz(&config);
+    // Violations first: they are the sweep's whole point, and must reach
+    // the user even when the JSON report cannot be written.
+    println!("{}", bench::render_fuzz(&outcome, &config));
+    if !outcome.violations.is_empty() {
+        for violation in &outcome.violations {
+            eprintln!("{violation}");
+        }
+        eprintln!(
+            "{} oracle violation(s) — the solver stack is unsound on the instances above",
+            outcome.violations.len()
+        );
+    }
+    if let Some(path) = &json_path {
+        if let Err(e) = std::fs::write(path, outcome.report.to_json()) {
+            eprintln!("error: cannot write `{path}`: {e}");
+            std::process::exit(2);
+        }
+        eprintln!(
+            "wrote {} aggregate entries to {path} (suite: {})",
+            outcome.report.entries.len(),
+            outcome.report.suite
+        );
+    }
+    std::process::exit(if outcome.violations.is_empty() { 0 } else { 1 });
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("compare") {
@@ -209,6 +354,12 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("solve") {
         run_solve(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("gen") {
+        run_gen(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("fuzz") {
+        run_fuzz(&args[1..]);
     }
 
     let mut quick = true;

@@ -1,0 +1,533 @@
+//! The `reproduce gen` / `reproduce fuzz` front-ends: corpus-scale
+//! workload production and the differential fuzzing sweep.
+//!
+//! `run_gen` materializes a deterministic generated corpus on disk;
+//! `run_fuzz` streams generated problems straight through the solving
+//! engines and aggregates the outcome 1BRC-style — a single pass, one
+//! small accumulator per (family, tool) pair, nothing per-instance
+//! retained — into the same schema-versioned [`Report`] the rest of the
+//! harness speaks. Every instance is also pushed through the three
+//! soundness oracles of [`gen::oracle`] plus the print→parse round-trip
+//! gate; any violation fails the sweep loudly with the reproducing seed
+//! and the offending `.sl` text.
+
+use gen::{
+    check_instance, roundtrip_violation, Claim, EngineClaim, Family, GenConfig, GeneratedInstance,
+    ProblemStream, Violation,
+};
+use portfolio::{
+    solve_nay, solve_nope, Cancel, EngineOutcome, NopeEngine, Portfolio, SolveVerdict,
+};
+use runner::{run_jobs, Entry, Job, JobStatus, PoolConfig, Report};
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::time::Duration;
+
+/// Which engines a fuzz sweep drives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FuzzEngine {
+    /// Both engines, independently to completion (the strongest
+    /// differential signal: neither engine is cancelled).
+    Both,
+    /// The portfolio race (first definitive verdict wins; the loser's
+    /// claim is opportunistic — `cancelled` maps to no claim).
+    Race,
+    /// Only the exact engine.
+    Nay,
+    /// Only the approximate engine.
+    Nope,
+}
+
+impl FuzzEngine {
+    /// The CLI name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FuzzEngine::Both => "both",
+            FuzzEngine::Race => "race",
+            FuzzEngine::Nay => "nay",
+            FuzzEngine::Nope => "nope",
+        }
+    }
+
+    /// Inverse of [`FuzzEngine::name`].
+    pub fn parse(s: &str) -> Option<FuzzEngine> {
+        match s {
+            "both" => Some(FuzzEngine::Both),
+            "race" => Some(FuzzEngine::Race),
+            "nay" => Some(FuzzEngine::Nay),
+            "nope" => Some(FuzzEngine::Nope),
+            _ => None,
+        }
+    }
+}
+
+/// Configuration of a `gen` or `fuzz` run.
+#[derive(Clone, Debug)]
+pub struct FuzzConfig {
+    /// How many (deduplicated) instances to generate.
+    pub count: usize,
+    /// The base seed; fixes the whole workload byte-for-byte.
+    pub seed: u64,
+    /// Which engines to drive (`fuzz` only).
+    pub engine: FuzzEngine,
+    /// Worker threads for the engine pool (`fuzz` with `both`/solo).
+    pub jobs: usize,
+    /// Per-engine wall-clock budget.
+    pub timeout: Duration,
+    /// Restrict generation to these families (`None` = the full
+    /// catalogue).
+    pub families: Option<Vec<Family>>,
+}
+
+/// The default per-engine budget of a fuzz sweep. Deliberately much
+/// tighter than [`crate::DEFAULT_SOLVE_TIMEOUT`]: fuzzing is a throughput
+/// tool, a handful of adversarial instances (the generator *does* produce
+/// CLIA instances whose exact-engine cost explodes with the example
+/// count) must cost seconds, not minutes, and a timeout is just an
+/// `unknown` claim — never an oracle violation.
+pub const DEFAULT_FUZZ_TIMEOUT: Duration = Duration::from_secs(10);
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig {
+            count: 200,
+            seed: 7,
+            engine: FuzzEngine::Both,
+            jobs: 1,
+            timeout: DEFAULT_FUZZ_TIMEOUT,
+            families: None,
+        }
+    }
+}
+
+impl FuzzConfig {
+    fn gen_config(&self) -> GenConfig {
+        let config = GenConfig::new(self.seed);
+        match &self.families {
+            Some(families) => config.with_families(families.clone()),
+            None => config,
+        }
+    }
+}
+
+/// Writes `count` generated instances into `dir` (see
+/// [`gen::write_corpus`]) and returns the per-family emission counts.
+///
+/// # Errors
+/// Propagates I/O errors.
+pub fn run_gen(dir: &Path, config: &FuzzConfig) -> Result<BTreeMap<&'static str, usize>, String> {
+    let instances = gen::write_corpus(dir, config.count, config.gen_config())?;
+    let mut counts: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for instance in &instances {
+        *counts.entry(instance.family.name()).or_insert(0) += 1;
+    }
+    Ok(counts)
+}
+
+/// The 1BRC-style accumulator: one per (family, tool), folded as results
+/// stream out of the pool.
+#[derive(Clone, Debug, Default)]
+struct FamilyAgg {
+    instances: u64,
+    verdicts: BTreeMap<String, u64>,
+    worst_status: Option<JobStatus>,
+    iterations: u64,
+    millis: f64,
+    tainted: bool,
+}
+
+impl FamilyAgg {
+    fn fold(
+        &mut self,
+        status: JobStatus,
+        verdict: &str,
+        iterations: u64,
+        millis: f64,
+        tainted: bool,
+    ) {
+        self.instances += 1;
+        *self.verdicts.entry(verdict.to_string()).or_insert(0) += 1;
+        self.worst_status = Some(self.worst_status.map_or(status, |w| w.worst(status)));
+        self.iterations += iterations;
+        self.millis += millis;
+        self.tainted |= tainted;
+    }
+
+    /// The verdict-distribution string, e.g.
+    /// `realizable=12;unknown=3;unrealizable=85` (sorted by verdict name).
+    /// Deterministic for a fixed seed only while every job stays within
+    /// the wall-clock budget: timed-out and crashed jobs land in buckets
+    /// named after their status, which depends on the machine's speed —
+    /// so fuzz reports from different machines are not byte-comparable.
+    fn verdict_distribution(&self) -> String {
+        self.verdicts
+            .iter()
+            .map(|(v, n)| format!("{v}={n}"))
+            .collect::<Vec<_>>()
+            .join(";")
+    }
+
+    fn entry(&self, family: &str, tool: &str) -> Entry {
+        let definitive: u64 = self
+            .verdicts
+            .iter()
+            .filter(|(v, _)| v.as_str() == "unrealizable" || v.as_str() == "realizable")
+            .map(|(_, n)| n)
+            .sum();
+        Entry {
+            benchmark: format!("gen/{family}"),
+            tool: tool.to_string(),
+            status: self.worst_status.unwrap_or(JobStatus::Ok),
+            verdict: self.verdict_distribution(),
+            // For an aggregate row, "proved" means fully classified: every
+            // instance of the family got a definitive verdict.
+            proved: definitive == self.instances,
+            iterations: self.iterations,
+            millis: self.millis,
+            tainted: self.tainted,
+            family: family.to_string(),
+        }
+    }
+}
+
+/// One row of the human-readable fuzz table.
+#[derive(Clone, Debug)]
+pub struct FuzzRow {
+    /// Family name.
+    pub family: &'static str,
+    /// Tool (engine) name.
+    pub tool: String,
+    /// Instances attacked.
+    pub instances: u64,
+    /// Verdict distribution string.
+    pub verdicts: String,
+    /// Total engine milliseconds.
+    pub millis: f64,
+}
+
+/// What a fuzz sweep produced: the aggregate report, the human-readable
+/// rows, and every oracle violation found.
+#[derive(Clone, Debug)]
+pub struct FuzzOutcome {
+    /// Per-(family, tool) aggregate report (suite `fuzz-<engine>`).
+    pub report: Report,
+    /// The table rows, in report order.
+    pub rows: Vec<FuzzRow>,
+    /// All violations; an empty list is a clean sweep.
+    pub violations: Vec<Violation>,
+    /// Total instances generated and attacked (may fall short of the
+    /// requested count when a restricted family's distinct-instance space
+    /// is exhausted).
+    pub instances: usize,
+}
+
+fn claim_of(verdict: SolveVerdict) -> Claim {
+    match verdict {
+        SolveVerdict::Unrealizable => Claim::Unrealizable,
+        SolveVerdict::Realizable => Claim::Realizable,
+        SolveVerdict::Unknown | SolveVerdict::Cancelled => Claim::Unknown,
+    }
+}
+
+/// Runs the differential fuzzing sweep. See the module docs; this is the
+/// engine behind `reproduce fuzz`.
+pub fn run_fuzz(config: &FuzzConfig) -> FuzzOutcome {
+    let mut aggs: BTreeMap<(&'static str, String), FamilyAgg> = BTreeMap::new();
+    let mut violations: Vec<Violation> = Vec::new();
+    let mut stream = ProblemStream::new(config.gen_config());
+    let mut remaining = config.count;
+
+    // Stream in pool-sized batches: per batch the pool runs (instance ×
+    // engine) jobs, the results fold into the accumulators, and the batch
+    // is dropped — memory stays bounded by the batch size, not the sweep.
+    let batch_size = (config.jobs.max(1) * 8).max(16);
+    let mut attacked = 0usize;
+    while remaining > 0 {
+        let batch: Vec<GeneratedInstance> =
+            stream.by_ref().take(remaining.min(batch_size)).collect();
+        if batch.is_empty() {
+            break; // the configured families' instance space is exhausted
+        }
+        remaining -= batch.len();
+        attacked += batch.len();
+
+        // Round-trip gate: generated text must parse back to identical
+        // content before we spend engine time on it.
+        for instance in &batch {
+            if let Some(violation) = roundtrip_violation(instance) {
+                violations.push(violation);
+            }
+        }
+
+        match config.engine {
+            FuzzEngine::Race => {
+                // The portfolio brings its own two-worker pool per race.
+                let portfolio = Portfolio::new().with_timeout(config.timeout);
+                for instance in &batch {
+                    let race = portfolio.race(&instance.problem);
+                    let claims = vec![
+                        EngineClaim::new(
+                            "race/nay",
+                            if race.nay.status == JobStatus::Ok {
+                                claim_of(race.nay.verdict)
+                            } else {
+                                Claim::Unknown
+                            },
+                            (race.nay.verdict == SolveVerdict::Realizable)
+                                .then(|| race.solution.clone())
+                                .flatten(),
+                        ),
+                        EngineClaim::new(
+                            "race/nope",
+                            if race.nope.status == JobStatus::Ok {
+                                claim_of(race.nope.verdict)
+                            } else {
+                                Claim::Unknown
+                            },
+                            None,
+                        ),
+                    ];
+                    violations.extend(check_instance(instance, &claims));
+                    let family = instance.family.name();
+                    let race_status = race.nay.status.worst(race.nope.status);
+                    aggs.entry((family, "race".into())).or_default().fold(
+                        race_status,
+                        race.verdict.name(),
+                        race.nay.iterations + race.nope.iterations,
+                        race.wall_millis,
+                        race.nay.tainted || race.nope.tainted,
+                    );
+                    for side in [&race.nay, &race.nope] {
+                        aggs.entry((family, format!("race/{}", side.engine)))
+                            .or_default()
+                            .fold(
+                                side.status,
+                                side.verdict.name(),
+                                side.iterations,
+                                side.millis,
+                                side.tainted,
+                            );
+                    }
+                }
+            }
+            FuzzEngine::Both | FuzzEngine::Nay | FuzzEngine::Nope => {
+                let tools: &[&str] = match config.engine {
+                    FuzzEngine::Both => &["nay", "nope"],
+                    FuzzEngine::Nay => &["nay"],
+                    _ => &["nope"],
+                };
+                // One cancel token per batch: a job that exceeds the
+                // budget is abandoned (not killed) by the pool, so the
+                // token is tripped once the batch returns and the
+                // abandoned engine exits at its next iteration poll
+                // instead of burning CPU under the rest of the sweep.
+                let cancel = Cancel::new();
+                let pairs: Vec<(&GeneratedInstance, &str)> = batch
+                    .iter()
+                    .flat_map(|i| tools.iter().map(move |&t| (i, t)))
+                    .collect();
+                let jobs: Vec<Job<EngineOutcome>> = pairs
+                    .iter()
+                    .map(|(instance, tool)| {
+                        let problem = instance.problem.clone();
+                        let tool = *tool;
+                        let cancel = cancel.clone();
+                        Job::new(format!("{}::{tool}", instance.name()), move || match tool {
+                            "nay" => solve_nay(&problem, &cancel, &nay::Nay::default()),
+                            _ => solve_nope(&problem, &cancel, &NopeEngine::default()),
+                        })
+                    })
+                    .collect();
+                let pool = PoolConfig {
+                    jobs: config.jobs.max(1),
+                    timeout: Some(config.timeout),
+                };
+                let results = run_jobs(jobs, &pool);
+                cancel.cancel();
+
+                // Fold results and assemble per-instance claims (results
+                // come back in input order: `tools.len()` consecutive
+                // results per instance).
+                for (instance, chunk) in batch.iter().zip(results.chunks(tools.len())) {
+                    let mut claims = Vec::new();
+                    for (tool, result) in tools.iter().zip(chunk) {
+                        let millis = result.elapsed.as_secs_f64() * 1000.0;
+                        let (claim, verdict_name, iterations, witness) = match &result.output {
+                            Some(outcome) if result.status == JobStatus::Ok => (
+                                claim_of(outcome.verdict),
+                                outcome.verdict.name(),
+                                outcome.iterations,
+                                outcome.solution.clone(),
+                            ),
+                            // Timed-out/crashed jobs claim nothing and
+                            // land in a bucket named after their status.
+                            _ => (Claim::Unknown, result.status.as_str(), 0, None),
+                        };
+                        claims.push(EngineClaim::new(*tool, claim, witness));
+                        aggs.entry((instance.family.name(), tool.to_string()))
+                            .or_default()
+                            .fold(
+                                result.status,
+                                verdict_name,
+                                iterations,
+                                millis,
+                                result.tainted,
+                            );
+                    }
+                    violations.extend(check_instance(instance, &claims));
+                }
+            }
+        }
+    }
+
+    // The aggs map iterates in (family, tool) order, which matches the
+    // report's canonical (benchmark, tool) order because every benchmark
+    // name is `gen/<family>`.
+    let entries: Vec<Entry> = aggs
+        .iter()
+        .map(|((family, tool), agg)| agg.entry(family, tool))
+        .collect();
+    let rows = aggs
+        .iter()
+        .map(|((family, tool), agg)| FuzzRow {
+            family,
+            tool: tool.clone(),
+            instances: agg.instances,
+            verdicts: agg.verdict_distribution(),
+            millis: agg.millis,
+        })
+        .collect();
+    let report = Report::new(format!("fuzz-{}", config.engine.name()), entries);
+    FuzzOutcome {
+        report,
+        rows,
+        violations,
+        instances: attacked,
+    }
+}
+
+/// Renders the human-readable fuzz table.
+pub fn render_fuzz(outcome: &FuzzOutcome, config: &FuzzConfig) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# fuzz — engine: {}, count: {}, seed: {}",
+        config.engine.name(),
+        config.count,
+        config.seed
+    );
+    let _ = writeln!(
+        out,
+        "{:<16} {:<10} {:>6} {:>12}  verdicts",
+        "family", "tool", "n", "millis"
+    );
+    for row in &outcome.rows {
+        let _ = writeln!(
+            out,
+            "{:<16} {:<10} {:>6} {:>12.1}  {}",
+            row.family, row.tool, row.instances, row.millis, row.verdicts
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{} instance(s), {} oracle violation(s)",
+        outcome.instances,
+        outcome.violations.len()
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config(engine: FuzzEngine) -> FuzzConfig {
+        FuzzConfig {
+            count: 12,
+            seed: 7,
+            engine,
+            jobs: 1,
+            timeout: Duration::from_secs(120),
+            families: None,
+        }
+    }
+
+    #[test]
+    fn both_engine_sweep_is_clean_and_aggregates_per_family() {
+        let config = quick_config(FuzzEngine::Both);
+        let outcome = run_fuzz(&config);
+        assert!(
+            outcome.violations.is_empty(),
+            "soundness violations: {:#?}",
+            outcome.violations
+        );
+        // 12 instances round-robin over 5 families: every family appears,
+        // with one entry per engine.
+        let families = outcome.report.family_aggregates();
+        assert_eq!(families.len(), Family::ALL.len());
+        for entry in &outcome.report.entries {
+            assert!(entry.benchmark.starts_with("gen/"));
+            assert!(!entry.family.is_empty());
+            assert!(entry.tool == "nay" || entry.tool == "nope");
+        }
+        let total_instances: u64 = outcome.rows.iter().map(|r| r.instances).sum();
+        assert_eq!(total_instances, 12 * 2, "one row fold per engine run");
+        // The sweep is deterministic: same config, same canonical report.
+        let again = run_fuzz(&config);
+        assert_eq!(
+            again.report.canonicalized().to_json(),
+            outcome.report.canonicalized().to_json()
+        );
+    }
+
+    #[test]
+    fn race_engine_sweep_is_clean() {
+        let outcome = run_fuzz(&quick_config(FuzzEngine::Race));
+        assert!(
+            outcome.violations.is_empty(),
+            "soundness violations: {:#?}",
+            outcome.violations
+        );
+        let tools: std::collections::BTreeSet<&str> = outcome
+            .report
+            .entries
+            .iter()
+            .map(|e| e.tool.as_str())
+            .collect();
+        assert!(tools.contains("race"));
+        assert!(tools.contains("race/nay"));
+        assert!(tools.contains("race/nope"));
+    }
+
+    #[test]
+    fn family_restriction_and_solo_engines_work() {
+        let config = FuzzConfig {
+            families: Some(vec![Family::ConstSum]),
+            ..quick_config(FuzzEngine::Nope)
+        };
+        let outcome = run_fuzz(&config);
+        assert!(outcome.violations.is_empty(), "{:#?}", outcome.violations);
+        assert!(outcome
+            .report
+            .entries
+            .iter()
+            .all(|e| e.family == "const_sum" && e.tool == "nope"));
+        let rendered = render_fuzz(&outcome, &config);
+        assert!(rendered.contains("const_sum"));
+        assert!(rendered.contains("0 oracle violation(s)"));
+    }
+
+    #[test]
+    fn fuzz_engine_names_round_trip() {
+        for engine in [
+            FuzzEngine::Both,
+            FuzzEngine::Race,
+            FuzzEngine::Nay,
+            FuzzEngine::Nope,
+        ] {
+            assert_eq!(FuzzEngine::parse(engine.name()), Some(engine));
+        }
+        assert_eq!(FuzzEngine::parse("cvc5"), None);
+    }
+}

@@ -14,7 +14,9 @@
 //! perf-regression gate diffs against the committed `BENCH_quick.json`
 //! baseline. The [`run_solve`] front-end drives the same machinery over
 //! on-disk SyGuS-IF corpora, racing [`portfolio::Portfolio`] or a single
-//! engine per file.
+//! engine per file, and the [`run_fuzz`] front-end streams `crates/gen`'s
+//! seeded problem generator straight through the engines with the
+//! differential-soundness oracles armed.
 //!
 //! Absolute times differ from the paper (different machine, different SMT
 //! substrate); what is expected to match is the *shape*: which tool solves
@@ -24,9 +26,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod fuzz;
 mod solve;
 mod suite;
 
+pub use fuzz::{render_fuzz, run_fuzz, run_gen, FuzzConfig, FuzzEngine, FuzzOutcome, FuzzRow};
 pub use solve::{
     check_manifest, collect_sl_files, load_problem, problem_name, render_solve, run_solve, Engine,
     Manifest, SolveRow, DEFAULT_SOLVE_TIMEOUT,

@@ -146,17 +146,7 @@ pub fn run_solve(
                 // verdict — the corpus gate must fail on either (a loser
                 // that observes the cancel exits Ok with verdict
                 // `cancelled`, so healthy races are unaffected).
-                let race_status = if report.nay.status == JobStatus::Crashed
-                    || report.nope.status == JobStatus::Crashed
-                {
-                    JobStatus::Crashed
-                } else if report.nay.status == JobStatus::TimedOut
-                    || report.nope.status == JobStatus::TimedOut
-                {
-                    JobStatus::TimedOut
-                } else {
-                    JobStatus::Ok
-                };
+                let race_status = report.nay.status.worst(report.nope.status);
                 entries.push(Entry {
                     benchmark: name.clone(),
                     tool: "race".into(),
@@ -166,6 +156,7 @@ pub fn run_solve(
                     iterations: report.nay.iterations + report.nope.iterations,
                     millis: report.wall_millis,
                     tainted: report.nay.tainted || report.nope.tainted,
+                    family: String::new(),
                 });
                 for side in [&report.nay, &report.nope] {
                     entries.push(Entry {
@@ -177,6 +168,7 @@ pub fn run_solve(
                         iterations: side.iterations,
                         millis: side.millis,
                         tainted: side.tainted,
+                        family: String::new(),
                     });
                 }
                 rows.push(SolveRow {
@@ -214,6 +206,7 @@ pub fn run_solve(
                     iterations,
                     millis,
                     tainted: result.tainted,
+                    family: String::new(),
                 });
                 rows.push(SolveRow {
                     name,
@@ -436,6 +429,7 @@ mod tests {
                     iterations: 1,
                     millis: 1.0,
                     tainted: false,
+                    family: String::new(),
                 },
                 Entry {
                     benchmark: "b".into(),
@@ -446,6 +440,7 @@ mod tests {
                     iterations: 1,
                     millis: 1.0,
                     tainted: false,
+                    family: String::new(),
                 },
                 Entry {
                     benchmark: "d".into(), // not in manifest
@@ -456,6 +451,7 @@ mod tests {
                     iterations: 1,
                     millis: 1.0,
                     tainted: false,
+                    family: String::new(),
                 },
             ],
         );

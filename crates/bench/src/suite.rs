@@ -60,6 +60,7 @@ fn entry_from(benchmark: String, tool: String, result: JobResult<Evaluation>) ->
             iterations: eval.iterations as u64,
             millis,
             tainted: result.tainted,
+            family: String::new(),
         },
         (status, _) => Entry {
             benchmark,
@@ -70,6 +71,7 @@ fn entry_from(benchmark: String, tool: String, result: JobResult<Evaluation>) ->
             iterations: 0,
             millis,
             tainted: result.tainted,
+            family: String::new(),
         },
     }
 }

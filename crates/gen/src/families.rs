@@ -1,0 +1,177 @@
+//! The family catalogue: which kinds of SyGuS problems the generator
+//! emits, and the knobs that scale them.
+//!
+//! Every family is *verdict-transparent*: the builder knows, by
+//! construction, whether each emitted instance is realizable or
+//! unrealizable (see [`Expectation`]), which turns every generated
+//! instance into a free soundness test for the solving engines — an
+//! engine reporting the forbidden verdict is a bug, full stop.
+
+use std::fmt;
+
+/// Which verdict class an instance belongs to, known by construction.
+///
+/// The expectation is a *soundness bound*, not a completeness demand: an
+/// engine may always answer `unknown`, but it must never report the
+/// verdict the construction rules out.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Expectation {
+    /// A witness term exists (the builder produces one); no engine may
+    /// report `unrealizable`.
+    Realizable,
+    /// No solution exists (a finite argument rules every term out); no
+    /// engine may report `realizable`.
+    Unrealizable,
+}
+
+impl Expectation {
+    /// Stable lower-case name (`realizable` / `unrealizable`), used in the
+    /// generated `.sl` header comments and the oracle's failure reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Expectation::Realizable => "realizable",
+            Expectation::Unrealizable => "unrealizable",
+        }
+    }
+}
+
+impl fmt::Display for Expectation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A parameterized problem family.
+///
+/// Each variant scales along different knobs of [`Scale`]; the per-family
+/// construction (and the by-construction verdict argument) lives in
+/// [`crate::builder`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Family {
+    /// `Start ::= S₁ + Start | 0`, `Sᵢ ::= Sᵢ₊₁ + Sᵢ₊₁`, `S_d ::= x` — the
+    /// §2 chain shape. The grammar generates exactly `{m·2^(d−1)·x : m ≥ 0}`;
+    /// the spec asks for `c·x + r`. Scales with grammar **depth** `d`.
+    PlusMod,
+    /// `Start ::= c | Start + Start` (no variables): sums `{m·c : m ≥ 1}`
+    /// against a constant target. Scales with **constant magnitude**.
+    ConstSum,
+    /// Piecewise-constant CLIA: constants under `ite` with `x < g` guards,
+    /// point-wise spec `x = aⱼ ⇒ f = vⱼ`. Scales with **guard nesting**
+    /// and **point count**.
+    GuardedConst,
+    /// Programming-by-example over `Start ::= x | 0 [| 1] | Start + Start`:
+    /// point constraints from a hidden affine target (or a deliberately
+    /// inconsistent perturbation). Scales with **example count**.
+    PbePoints,
+    /// The max-with-offset CLIA shape: `f = max(x, y) + g` over a grammar
+    /// whose only constant is `0` — realizable exactly when `g = 0`.
+    /// Scales with **guard nesting**.
+    MaxGap,
+}
+
+impl Family {
+    /// Every family, in catalogue order (the round-robin order of the
+    /// stream).
+    pub const ALL: [Family; 5] = [
+        Family::PlusMod,
+        Family::ConstSum,
+        Family::GuardedConst,
+        Family::PbePoints,
+        Family::MaxGap,
+    ];
+
+    /// Stable snake_case name, used in instance names, report families,
+    /// and the `--families` CLI flag.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Family::PlusMod => "plus_mod",
+            Family::ConstSum => "const_sum",
+            Family::GuardedConst => "guarded_const",
+            Family::PbePoints => "pbe_points",
+            Family::MaxGap => "max_gap",
+        }
+    }
+
+    /// Inverse of [`Family::name`].
+    pub fn parse(s: &str) -> Option<Family> {
+        Family::ALL.into_iter().find(|f| f.name() == s)
+    }
+
+    /// One-line description for the CLI family catalogue.
+    pub fn description(&self) -> &'static str {
+        match self {
+            Family::PlusMod => "multiples-of-2^(d-1)·x chain grammar vs an affine target",
+            Family::ConstSum => "constant-sum grammar {m·c} vs a constant target",
+            Family::GuardedConst => "piecewise-constant ite grammar vs point constraints",
+            Family::PbePoints => "affine PBE: point constraints from a hidden (or broken) target",
+            Family::MaxGap => "max(x,y)+g over a constant-free CLIA grammar",
+        }
+    }
+}
+
+impl fmt::Display for Family {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The scaling knobs, applied per instance: each instance draws its own
+/// depth/magnitude/point-count/nesting uniformly up to these caps, and is
+/// realizable with probability `realizable_percent`.
+///
+/// The defaults keep instances small enough that the exact engine's
+/// enumerator can *find* the realizable witnesses (term size ≤ its default
+/// search budget), so a fuzz sweep exercises both verdict paths.
+#[derive(Clone, Copy, Debug)]
+pub struct Scale {
+    /// Maximal chain depth `d` of [`Family::PlusMod`] grammars (≥ 1).
+    pub max_depth: usize,
+    /// Maximal absolute value of generated constants (≥ 1).
+    pub max_magnitude: i64,
+    /// Maximal number of spec points for the point-wise families (≥ 2).
+    pub max_points: usize,
+    /// Maximal guard-nesting tier: 1 = plain `x < g` / `a < b` guards,
+    /// 2 = adds `and`/`not` guard productions.
+    pub max_nesting: usize,
+    /// Probability (percent) that an instance is realizable by
+    /// construction.
+    pub realizable_percent: u32,
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale {
+            max_depth: 3,
+            max_magnitude: 9,
+            max_points: 3,
+            max_nesting: 2,
+            realizable_percent: 40,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_names_round_trip() {
+        for family in Family::ALL {
+            assert_eq!(Family::parse(family.name()), Some(family));
+            assert!(!family.description().is_empty());
+        }
+        assert_eq!(Family::parse("nope_family"), None);
+    }
+
+    #[test]
+    fn catalogue_has_no_duplicate_names() {
+        let names: std::collections::BTreeSet<_> = Family::ALL.iter().map(|f| f.name()).collect();
+        assert_eq!(names.len(), Family::ALL.len());
+    }
+
+    #[test]
+    fn expectation_names_are_stable() {
+        assert_eq!(Expectation::Realizable.name(), "realizable");
+        assert_eq!(Expectation::Unrealizable.name(), "unrealizable");
+    }
+}

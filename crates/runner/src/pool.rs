@@ -101,6 +101,17 @@ impl JobStatus {
         }
     }
 
+    /// The more severe of two statuses (`Crashed` > `TimedOut` > `Ok`):
+    /// the roll-up used when one entry reports on several jobs, e.g. a
+    /// race's two engines or a family aggregate.
+    pub fn worst(self, other: JobStatus) -> JobStatus {
+        match (self, other) {
+            (JobStatus::Crashed, _) | (_, JobStatus::Crashed) => JobStatus::Crashed,
+            (JobStatus::TimedOut, _) | (_, JobStatus::TimedOut) => JobStatus::TimedOut,
+            (JobStatus::Ok, JobStatus::Ok) => JobStatus::Ok,
+        }
+    }
+
     /// Inverse of [`JobStatus::as_str`].
     pub fn parse(s: &str) -> Option<JobStatus> {
         match s {

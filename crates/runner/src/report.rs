@@ -41,11 +41,18 @@ pub struct Entry {
     /// job thread, making its wall-clock time untrustworthy. Absent in
     /// reports written before this field existed; parsed as `false`.
     pub tainted: bool,
+    /// The workload family the benchmark belongs to (e.g. a generated-
+    /// instance family like `plus_mod`), or empty for standalone
+    /// benchmarks. Families group entries in the per-family aggregates
+    /// ([`Report::family_aggregates`]) and scope the missing-entry gate of
+    /// [`compare`]: a family present in only one report never trips it.
+    /// Additive field — absent in older reports, parsed as empty.
+    pub family: String,
 }
 
 impl Entry {
     fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut fields = vec![
             ("benchmark".into(), Json::Str(self.benchmark.clone())),
             ("tool".into(), Json::Str(self.tool.clone())),
             ("status".into(), Json::Str(self.status.as_str().into())),
@@ -54,7 +61,13 @@ impl Entry {
             ("iterations".into(), Json::Num(self.iterations as f64)),
             ("millis".into(), Json::Num(self.millis)),
             ("tainted".into(), Json::Bool(self.tainted)),
-        ])
+        ];
+        // Family is additive and only serialized when set, so family-less
+        // reports keep their pre-family byte layout.
+        if !self.family.is_empty() {
+            fields.push(("family".into(), Json::Str(self.family.clone())));
+        }
+        Json::Obj(fields)
     }
 
     fn from_json(value: &Json) -> Result<Entry, String> {
@@ -97,6 +110,14 @@ impl Entry {
                 .map(|t| t.as_bool().ok_or("`tainted` is not a boolean"))
                 .transpose()?
                 .unwrap_or(false),
+            // Additive field: reports written before family tracking lack
+            // it, and their entries are family-less.
+            family: value
+                .get("family")
+                .map(|t| t.as_str().ok_or("`family` is not a string"))
+                .transpose()?
+                .unwrap_or("")
+                .to_string(),
         })
     }
 
@@ -171,6 +192,37 @@ impl Report {
         self.entries.iter().find(|e| e.key() == (benchmark, tool))
     }
 
+    /// Per-family aggregates over the entries that carry a family, in
+    /// family order (single pass; family-less entries are not grouped).
+    pub fn family_aggregates(&self) -> std::collections::BTreeMap<String, Aggregates> {
+        let mut families: std::collections::BTreeMap<String, Aggregates> =
+            std::collections::BTreeMap::new();
+        for entry in self.entries.iter().filter(|e| !e.family.is_empty()) {
+            let agg = families.entry(entry.family.clone()).or_insert(Aggregates {
+                total: 0,
+                ok: 0,
+                timed_out: 0,
+                crashed: 0,
+                proved: 0,
+                total_millis: 0.0,
+            });
+            agg.total += 1;
+            match entry.status {
+                JobStatus::Ok => agg.ok += 1,
+                JobStatus::TimedOut => agg.timed_out += 1,
+                JobStatus::Crashed => agg.crashed += 1,
+            }
+            agg.proved += usize::from(entry.proved);
+            agg.total_millis += entry.millis;
+        }
+        families
+    }
+
+    /// `true` when some entry belongs to the given family.
+    pub fn has_family(&self, family: &str) -> bool {
+        self.entries.iter().any(|e| e.family == family)
+    }
+
     /// The report with every wall-clock field zeroed: what is left is
     /// exactly the machine- and scheduling-independent content, so two runs
     /// with identical verdicts canonicalize to byte-identical JSON.
@@ -185,29 +237,43 @@ impl Report {
     /// Serializes to pretty-printed JSON (deterministic byte output).
     pub fn to_json(&self) -> String {
         let agg = self.aggregates();
-        Json::Obj(vec![
+        let agg_json = |agg: &Aggregates| {
+            Json::Obj(vec![
+                ("total".into(), Json::Num(agg.total as f64)),
+                ("ok".into(), Json::Num(agg.ok as f64)),
+                ("timed_out".into(), Json::Num(agg.timed_out as f64)),
+                ("crashed".into(), Json::Num(agg.crashed as f64)),
+                ("proved".into(), Json::Num(agg.proved as f64)),
+                ("total_millis".into(), Json::Num(agg.total_millis)),
+            ])
+        };
+        let mut fields = vec![
             (
                 "schema_version".into(),
                 Json::Num(self.schema_version as f64),
             ),
             ("suite".into(), Json::Str(self.suite.clone())),
-            (
-                "aggregates".into(),
-                Json::Obj(vec![
-                    ("total".into(), Json::Num(agg.total as f64)),
-                    ("ok".into(), Json::Num(agg.ok as f64)),
-                    ("timed_out".into(), Json::Num(agg.timed_out as f64)),
-                    ("crashed".into(), Json::Num(agg.crashed as f64)),
-                    ("proved".into(), Json::Num(agg.proved as f64)),
-                    ("total_millis".into(), Json::Num(agg.total_millis)),
-                ]),
-            ),
-            (
-                "benchmarks".into(),
-                Json::Arr(self.entries.iter().map(Entry::to_json).collect()),
-            ),
-        ])
-        .to_string_pretty()
+            ("aggregates".into(), agg_json(&agg)),
+        ];
+        // Per-family rollups, present only for reports that track families
+        // (additive, like Entry::family; parsing ignores and recomputes).
+        let families = self.family_aggregates();
+        if !families.is_empty() {
+            fields.push((
+                "families".into(),
+                Json::Obj(
+                    families
+                        .iter()
+                        .map(|(name, agg)| (name.clone(), agg_json(agg)))
+                        .collect(),
+                ),
+            ));
+        }
+        fields.push((
+            "benchmarks".into(),
+            Json::Arr(self.entries.iter().map(Entry::to_json).collect()),
+        ));
+        Json::Obj(fields).to_string_pretty()
     }
 
     /// Parses a report, validating the schema version. The stored
@@ -311,10 +377,18 @@ pub fn compare(old: &Report, new: &Report, config: &CompareConfig) -> Vec<Regres
             detail,
         };
         let Some(new_entry) = new.entry(&old_entry.benchmark, &old_entry.tool) else {
-            regressions.push(regression(
-                RegressionKind::Missing,
-                "entry missing from the new report".into(),
-            ));
+            // Family-scoped missing gate: entries of a family the other
+            // report does not cover at all are *additive* differences
+            // (e.g. a generator family added to — or not yet in — one
+            // side's catalogue), not vanished benchmarks. Only an entry
+            // whose family both reports know, or a family-less entry, can
+            // go missing.
+            if old_entry.family.is_empty() || new.has_family(&old_entry.family) {
+                regressions.push(regression(
+                    RegressionKind::Missing,
+                    "entry missing from the new report".into(),
+                ));
+            }
             continue;
         };
         // Status first: an entry that stops completing is a StatusChange,
@@ -367,6 +441,14 @@ mod tests {
             iterations: 3,
             millis,
             tainted: false,
+            family: String::new(),
+        }
+    }
+
+    fn family_entry(benchmark: &str, tool: &str, family: &str) -> Entry {
+        Entry {
+            family: family.into(),
+            ..entry(benchmark, tool, 10.0)
         }
     }
 
@@ -609,6 +691,94 @@ mod tests {
         let regressions = compare(&old, &new, &CompareConfig::default());
         assert_eq!(regressions.len(), 1);
         assert_eq!(regressions[0].kind, RegressionKind::StatusChange);
+    }
+
+    #[test]
+    fn reports_without_the_family_field_parse_as_family_less() {
+        // The committed pre-family baseline has no `family` keys; its
+        // entries parse family-less and its byte layout is preserved when
+        // re-serialized (family is only emitted when set).
+        let report = sample();
+        let text = report.to_json();
+        assert!(
+            !text.contains("\"family\""),
+            "family-less stays family-less"
+        );
+        let parsed = Report::from_json(&text).expect("parse");
+        assert!(parsed.entries.iter().all(|e| e.family.is_empty()));
+    }
+
+    #[test]
+    fn family_fields_and_aggregates_round_trip() {
+        let report = Report::new(
+            "fuzz-race",
+            vec![
+                family_entry("gen/plus_mod", "race", "plus_mod"),
+                family_entry("gen/const_sum", "race", "const_sum"),
+                entry("standalone", "race", 5.0),
+            ],
+        );
+        let text = report.to_json();
+        assert!(text.contains("\"families\""));
+        assert!(text.contains("\"family\": \"plus_mod\""));
+        let parsed = Report::from_json(&text).expect("parse back");
+        assert_eq!(parsed, report);
+        let families = parsed.family_aggregates();
+        assert_eq!(families.len(), 2, "family-less entries are not grouped");
+        assert_eq!(families["plus_mod"].total, 1);
+        assert_eq!(families["const_sum"].proved, 1);
+    }
+
+    #[test]
+    fn additive_families_do_not_trip_the_missing_entry_gate() {
+        // The regression scenario: one report covers a workload family the
+        // other does not (the family was added to — or is not yet in — the
+        // generator catalogue). The per-entry Missing gate must not fire
+        // for the uncovered family, in either comparison direction.
+        let with_family = Report::new(
+            "fuzz-race",
+            vec![
+                family_entry("gen/plus_mod", "race", "plus_mod"),
+                family_entry("gen/shiny_new", "race", "shiny_new"),
+            ],
+        );
+        let without = Report::new(
+            "fuzz-race",
+            vec![family_entry("gen/plus_mod", "race", "plus_mod")],
+        );
+        assert!(
+            compare(&with_family, &without, &CompareConfig::default()).is_empty(),
+            "a family absent from the new report must not report Missing"
+        );
+        assert!(
+            compare(&without, &with_family, &CompareConfig::default()).is_empty(),
+            "a family absent from the old report must not report Missing"
+        );
+    }
+
+    #[test]
+    fn missing_entries_within_a_shared_family_still_gate() {
+        let old = Report::new(
+            "fuzz-race",
+            vec![
+                family_entry("gen/plus_mod", "race", "plus_mod"),
+                family_entry("gen/plus_mod_deep", "race", "plus_mod"),
+            ],
+        );
+        let new = Report::new(
+            "fuzz-race",
+            vec![family_entry("gen/plus_mod", "race", "plus_mod")],
+        );
+        let regressions = compare(&old, &new, &CompareConfig::default());
+        assert_eq!(regressions.len(), 1, "{regressions:?}");
+        assert_eq!(regressions[0].kind, RegressionKind::Missing);
+        // Family-less entries keep the strict behaviour.
+        let old_plain = Report::new("quick", vec![entry("plain", "naySL", 10.0)]);
+        let new_plain = Report::new("quick", vec![]);
+        assert_eq!(
+            compare(&old_plain, &new_plain, &CompareConfig::default()).len(),
+            1
+        );
     }
 
     #[test]

@@ -78,6 +78,28 @@ impl Problem {
         self
     }
 
+    /// A stable 64-bit fingerprint of the problem's *content*: an FNV-1a
+    /// hash over the canonical SyGuS-IF printed form
+    /// ([`crate::parser::problem_to_sygus`] with a fixed function name).
+    ///
+    /// Two problems fingerprint equal iff they print identically, so the
+    /// fingerprint ignores the benchmark [`name`](Problem::name) and all
+    /// parser-normalized detail (chain productions, `≠` atoms) — exactly
+    /// the equivalence a generated-instance deduplicator wants. The value
+    /// is stable across processes and platforms (no pointer or `HashMap`
+    /// order dependence: the printer walks declaration-ordered data).
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let text = crate::parser::problem_to_sygus(self, "f");
+        let mut hash = FNV_OFFSET;
+        for byte in text.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+        hash
+    }
+
     /// `true` iff the candidate term satisfies the specification on every
     /// example of `E`, i.e. whether the term is a solution of `sy_E`
     /// (Def. 3.4).
@@ -179,6 +201,43 @@ mod tests {
         assert_eq!(p.grammar().num_nonterminals(), 4);
         let renamed = p.clone().with_name("other");
         assert_eq!(renamed.name(), "other");
+    }
+
+    #[test]
+    fn fingerprint_ignores_the_name_but_not_the_content() {
+        let p = problem();
+        let renamed = p.clone().with_name("something-else");
+        assert_eq!(p.fingerprint(), renamed.fingerprint());
+
+        // Changing the spec changes the fingerprint.
+        let other_spec = Spec::output_equals(
+            LinearExpr::var(Var::new("x")).scale(3),
+            vec!["x".to_string()],
+        );
+        let different = Problem::new("section2-lia", p.grammar().clone(), other_spec);
+        assert_ne!(p.fingerprint(), different.fingerprint());
+
+        // Changing the grammar changes the fingerprint.
+        let smaller = GrammarBuilder::new("Start")
+            .nonterminal("Start", Sort::Int)
+            .production("Start", Symbol::Num(0), &[])
+            .build()
+            .unwrap();
+        let trimmed = p.clone().with_grammar(smaller);
+        assert_ne!(p.fingerprint(), trimmed.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_is_stable_across_calls_and_clones() {
+        let p = problem();
+        let first = p.fingerprint();
+        assert_eq!(first, p.fingerprint());
+        assert_eq!(first, p.clone().fingerprint());
+        // The fingerprint is a function of the printed form only: a
+        // problem rebuilt from its own printed text fingerprints equal.
+        let printed = crate::parser::problem_to_sygus(&p, "f");
+        let reparsed = crate::parser::parse_problem(&printed, "reparsed").unwrap();
+        assert_eq!(first, reparsed.fingerprint());
     }
 
     #[test]

@@ -1,0 +1,62 @@
+//! Collision sanity for [`sygus::Problem::fingerprint`] over the real
+//! on-disk corpus: every checked-in `.sl` instance must fingerprint
+//! distinctly (they are all semantically different problems), and the
+//! fingerprint must be invariant under a print → parse round trip.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../corpus")
+}
+
+fn corpus_problems() -> Vec<(String, sygus::Problem)> {
+    let dir = corpus_dir();
+    assert!(
+        dir.is_dir(),
+        "corpus directory missing at {}",
+        dir.display()
+    );
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("readable corpus directory")
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "sl"))
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "corpus has no .sl files");
+    files
+        .into_iter()
+        .map(|path| {
+            let name = path.file_stem().unwrap().to_string_lossy().into_owned();
+            let text = std::fs::read_to_string(&path).expect("readable .sl file");
+            let problem =
+                sygus::parser::parse_problem(&text, &name).expect("corpus instance parses");
+            (name, problem)
+        })
+        .collect()
+}
+
+#[test]
+fn corpus_fingerprints_are_pairwise_distinct() {
+    let mut seen: BTreeMap<u64, String> = BTreeMap::new();
+    for (name, problem) in corpus_problems() {
+        if let Some(clash) = seen.insert(problem.fingerprint(), name.clone()) {
+            panic!("fingerprint collision between corpus instances `{clash}` and `{name}`");
+        }
+    }
+    assert!(seen.len() >= 18, "expected the full corpus, got {seen:?}");
+}
+
+#[test]
+fn corpus_fingerprints_survive_a_print_parse_round_trip() {
+    for (name, problem) in corpus_problems() {
+        let printed = sygus::parser::problem_to_sygus(&problem, "f");
+        let reparsed =
+            sygus::parser::parse_problem(&printed, &name).expect("printed corpus instance parses");
+        assert_eq!(
+            problem.fingerprint(),
+            reparsed.fingerprint(),
+            "fingerprint of `{name}` changed across print → parse"
+        );
+    }
+}

@@ -4,6 +4,11 @@
 //! a string fixpoint of `print ∘ parse` (the parser's only normalizations,
 //! chain-production resolution and `≠`-elimination, are already applied to
 //! everything the printer emits).
+//!
+//! Two generators feed the properties: the hand-rolled AST strategy below,
+//! and the `gen` crate's seeded problem generator — every family of the
+//! fuzzing catalogue must round-trip, which is what lets `reproduce fuzz`
+//! treat a round-trip failure as a hard error.
 
 use logic::{Formula, LinearExpr, Var};
 use proptest::prelude::*;
@@ -89,6 +94,19 @@ fn arb_grammar_problem() -> impl Strategy<Value = Problem> {
         })
 }
 
+/// A problem drawn from the `gen` crate's family catalogue: any family,
+/// any instance seed — the same construction path `reproduce fuzz`
+/// streams through the engines.
+fn arb_generated_problem() -> impl Strategy<Value = (Problem, String)> {
+    (0u64..u64::MAX, 0usize..gen::Family::ALL.len()).prop_map(|(seed, family_index)| {
+        let family = gen::Family::ALL[family_index];
+        let mut rng = gen::GenRng::from_seed(seed);
+        let built = gen::build(family, &mut rng, &gen::Scale::default());
+        let label = format!("{family} seed {seed}");
+        (built.problem, label)
+    })
+}
+
 // ---------------------------------------------------------------------------
 // Properties
 // ---------------------------------------------------------------------------
@@ -128,6 +146,28 @@ proptest! {
         prop_assert_eq!(
             reparsed.spec().holds(&example, out),
             problem.spec().holds(&example, out)
+        );
+    }
+
+    /// Every problem the fuzzing generator can emit round-trips: the
+    /// printed form parses back, `print ∘ parse` is a fixpoint, and the
+    /// content fingerprint is preserved.
+    #[test]
+    fn generated_problems_round_trip((problem, label) in arb_generated_problem()) {
+        let printed = problem_to_sygus(&problem, "f");
+        let reparsed = parse_problem(&printed, "generated")
+            .map_err(|e| TestCaseError::fail(format!("{label}: printed problem does not parse: {e}")))?;
+        prop_assert_eq!(
+            problem_to_sygus(&reparsed, "f"),
+            printed,
+            "print ∘ parse not a fixpoint for {}",
+            label
+        );
+        prop_assert_eq!(
+            reparsed.fingerprint(),
+            problem.fingerprint(),
+            "fingerprint changed across the round trip for {}",
+            label
         );
     }
 }
