@@ -1,0 +1,179 @@
+//! Criterion bench: enumeration throughput at a fixed size bound.
+//!
+//! Measures the enumerative solver's hot path on a CLIA grammar with a
+//! deliberately unsatisfiable spec, so both contenders sweep the *whole*
+//! observational-equivalence search space up to the bound:
+//!
+//! * `interned` — the production [`enumerative::Enumerator`] on the
+//!   hash-consing [`sygus::TermArena`] (ids + memoized `⟦·⟧_E`);
+//! * `baseline_term_clone` — a faithful replica of the pre-arena
+//!   algorithm: owned [`Term`] trees, subtree `clone()`s on every combo,
+//!   full `eval_on` per candidate, including the per-start-class spec
+//!   check the production accept path performs.
+//!
+//! Comparability: the interned run is asserted (per iteration) to end in
+//! `NotFound { size_bound: MAX_SIZE, exhausted: false }` — no early exit,
+//! no `max_terms` cap hit, every size 1..=MAX_SIZE processed — and the
+//! baseline unconditionally sweeps the same size range over the same
+//! grammar and examples, so both enumerate the identical class sequence
+//! and mean-time ÷ class-count is directly comparable as terms/sec.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use enumerative::{EnumerationResult, Enumerator};
+use logic::LinearExpr;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use sygus::{ExampleSet, Grammar, GrammarBuilder, NonTerminal, Problem, Sort, Spec, Symbol, Term};
+
+const MAX_SIZE: usize = 9;
+
+/// A max2-style CLIA grammar: ints, comparisons and ite — the shape of the
+/// paper's Table 1 `LimitedIf` instances.
+fn clia_grammar() -> Grammar {
+    GrammarBuilder::new("Start")
+        .nonterminal("Start", Sort::Int)
+        .nonterminal("B", Sort::Bool)
+        .production("Start", Symbol::Var("x".to_string()), &[])
+        .production("Start", Symbol::Var("y".to_string()), &[])
+        .production("Start", Symbol::Num(0), &[])
+        .production("Start", Symbol::Plus, &["Start", "Start"])
+        .production("Start", Symbol::IfThenElse, &["B", "Start", "Start"])
+        .production("B", Symbol::LessThan, &["Start", "Start"])
+        .build()
+        .expect("bench grammar is well-formed")
+}
+
+fn workload() -> (Problem, ExampleSet) {
+    // Unsatisfiable target: forces a full sweep to the size bound.
+    let spec = Spec::output_equals(
+        LinearExpr::constant(1_000_000),
+        vec!["x".to_string(), "y".to_string()],
+    );
+    let problem = Problem::new("throughput", clia_grammar(), spec);
+    let examples = ExampleSet::from_examples([
+        sygus::Example::from_pairs([("x", 1), ("y", 5)]),
+        sygus::Example::from_pairs([("x", 4), ("y", 2)]),
+        sygus::Example::from_pairs([("x", -3), ("y", 0)]),
+    ]);
+    (problem, examples)
+}
+
+/// The pre-arena enumeration loop, kept verbatim as the perf baseline:
+/// owned trees in the per-size tables, `clone()` per combo element, a
+/// from-scratch `eval_on` per candidate, and the production accept path's
+/// spec check on every new start-symbol class. Returns the number of
+/// observational-equivalence classes enumerated.
+fn baseline_enumerate(
+    grammar: &Grammar,
+    examples: &ExampleSet,
+    spec: &Spec,
+    max_size: usize,
+) -> usize {
+    let mut signatures: HashMap<NonTerminal, HashSet<Vec<i64>>> = HashMap::new();
+    let mut by_size: BTreeMap<(NonTerminal, usize), Vec<Term>> = BTreeMap::new();
+    let mut total_terms = 0usize;
+    for size in 1..=max_size {
+        for nt in grammar.nonterminals() {
+            let mut new_terms: Vec<Term> = Vec::new();
+            for p in grammar.productions_of(nt) {
+                if p.args.is_empty() {
+                    if size == 1 {
+                        new_terms.push(Term::leaf(p.symbol.clone()));
+                    }
+                    continue;
+                }
+                if size < p.args.len() + 1 {
+                    continue;
+                }
+                let budget = size - 1;
+                let mut combos: Vec<(usize, Vec<Term>)> = vec![(0, Vec::new())];
+                for (arg_index, arg) in p.args.iter().enumerate() {
+                    let remaining_args = p.args.len() - arg_index - 1;
+                    let mut next = Vec::new();
+                    for (used, terms) in &combos {
+                        let max_here = budget - used - remaining_args;
+                        for arg_size in 1..=max_here {
+                            if let Some(candidates) = by_size.get(&(arg.clone(), arg_size)) {
+                                for c in candidates {
+                                    let mut terms2 = terms.clone();
+                                    terms2.push(c.clone());
+                                    next.push((used + arg_size, terms2));
+                                }
+                            }
+                        }
+                    }
+                    combos = next;
+                }
+                for (used, args) in combos {
+                    if used != budget {
+                        continue;
+                    }
+                    if let Ok(t) = Term::apply(p.symbol.clone(), args) {
+                        new_terms.push(t);
+                    }
+                }
+            }
+            for t in new_terms {
+                let Ok(out) = t.eval_on(examples) else {
+                    continue;
+                };
+                let sig: Vec<i64> = (0..out.len()).map(|j| out.as_i64(j)).collect();
+                if signatures.entry(nt.clone()).or_default().insert(sig) {
+                    if nt == grammar.start() {
+                        let accepted = examples
+                            .iter()
+                            .enumerate()
+                            .all(|(j, e)| spec.holds(e, out.as_i64(j)));
+                        assert!(!accepted, "the workload spec must be unsatisfiable");
+                    }
+                    by_size.entry((nt.clone(), size)).or_default().push(t);
+                    total_terms += 1;
+                }
+            }
+        }
+    }
+    total_terms
+}
+
+fn bench_enumeration(c: &mut Criterion) {
+    let (problem, examples) = workload();
+    let classes = baseline_enumerate(problem.grammar(), &examples, problem.spec(), MAX_SIZE);
+    assert!(classes > 0, "the workload must enumerate something");
+    println!(
+        "enumeration_throughput: {classes} observational classes at size bound {MAX_SIZE} \
+         (terms/sec = classes / mean seconds per iteration)"
+    );
+
+    let mut group = c.benchmark_group("enumeration_throughput");
+    group.sample_size(10);
+    group.bench_function("baseline_term_clone", |b| {
+        b.iter(|| {
+            criterion::black_box(baseline_enumerate(
+                problem.grammar(),
+                &examples,
+                problem.spec(),
+                MAX_SIZE,
+            ))
+        })
+    });
+    group.bench_function("interned", |b| {
+        b.iter(|| {
+            let result = Enumerator::new()
+                .with_max_size(MAX_SIZE)
+                .solve(&problem, &examples);
+            // full sweep: no solution, no saturation early-exit, no
+            // max_terms cap — the same work the baseline performs
+            assert_eq!(
+                result,
+                EnumerationResult::NotFound {
+                    size_bound: MAX_SIZE,
+                    exhausted: false
+                }
+            );
+            criterion::black_box(result)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_enumeration);
+criterion_main!(benches);

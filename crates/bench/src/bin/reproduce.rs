@@ -159,7 +159,7 @@ fn run_solve(args: &[String]) -> ! {
         std::process::exit(2);
     });
 
-    let (rows, report) = bench::run_solve(&files, engine, timeout).unwrap_or_else(|e| {
+    let (rows, report, totals) = bench::run_solve(&files, engine, timeout).unwrap_or_else(|e| {
         eprintln!("error: {e}");
         std::process::exit(1);
     });
@@ -174,7 +174,7 @@ fn run_solve(args: &[String]) -> ! {
             report.suite
         );
     }
-    println!("{}", bench::render_solve(&rows, engine));
+    println!("{}", bench::render_solve(&rows, engine, &totals));
 
     // Gate against the corpus MANIFEST when one is present next to the
     // problems (the directory itself, or the file's parent directory).

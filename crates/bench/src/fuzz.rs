@@ -21,7 +21,7 @@ use portfolio::{
 use runner::{run_jobs, Entry, Job, JobStatus, PoolConfig, Report};
 use std::collections::BTreeMap;
 use std::path::Path;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Which engines a fuzz sweep drives.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -134,6 +134,7 @@ struct FamilyAgg {
     iterations: u64,
     millis: f64,
     tainted: bool,
+    peak_arena: usize,
 }
 
 impl FamilyAgg {
@@ -144,6 +145,7 @@ impl FamilyAgg {
         iterations: u64,
         millis: f64,
         tainted: bool,
+        arena_terms: usize,
     ) {
         self.instances += 1;
         *self.verdicts.entry(verdict.to_string()).or_insert(0) += 1;
@@ -151,6 +153,7 @@ impl FamilyAgg {
         self.iterations += iterations;
         self.millis += millis;
         self.tainted |= tainted;
+        self.peak_arena = self.peak_arena.max(arena_terms);
     }
 
     /// The verdict-distribution string, e.g.
@@ -203,6 +206,8 @@ pub struct FuzzRow {
     pub verdicts: String,
     /// Total engine milliseconds.
     pub millis: f64,
+    /// Largest per-instance term-arena size seen for this (family, tool).
+    pub peak_arena: usize,
 }
 
 /// What a fuzz sweep produced: the aggregate report, the human-readable
@@ -219,6 +224,9 @@ pub struct FuzzOutcome {
     /// requested count when a restricted family's distinct-instance space
     /// is exhausted).
     pub instances: usize,
+    /// Wall-clock milliseconds of the whole sweep (generation, solving
+    /// and oracle checks).
+    pub wall_millis: f64,
 }
 
 fn claim_of(verdict: SolveVerdict) -> Claim {
@@ -232,6 +240,7 @@ fn claim_of(verdict: SolveVerdict) -> Claim {
 /// Runs the differential fuzzing sweep. See the module docs; this is the
 /// engine behind `reproduce fuzz`.
 pub fn run_fuzz(config: &FuzzConfig) -> FuzzOutcome {
+    let sweep_started = Instant::now();
     let mut aggs: BTreeMap<(&'static str, String), FamilyAgg> = BTreeMap::new();
     let mut violations: Vec<Violation> = Vec::new();
     let mut stream = ProblemStream::new(config.gen_config());
@@ -296,6 +305,7 @@ pub fn run_fuzz(config: &FuzzConfig) -> FuzzOutcome {
                         race.nay.iterations + race.nope.iterations,
                         race.wall_millis,
                         race.nay.tainted || race.nope.tainted,
+                        race.nay.arena_terms.max(race.nope.arena_terms),
                     );
                     for side in [&race.nay, &race.nope] {
                         aggs.entry((family, format!("race/{}", side.engine)))
@@ -306,6 +316,7 @@ pub fn run_fuzz(config: &FuzzConfig) -> FuzzOutcome {
                                 side.iterations,
                                 side.millis,
                                 side.tainted,
+                                side.arena_terms,
                             );
                     }
                 }
@@ -352,17 +363,19 @@ pub fn run_fuzz(config: &FuzzConfig) -> FuzzOutcome {
                     let mut claims = Vec::new();
                     for (tool, result) in tools.iter().zip(chunk) {
                         let millis = result.elapsed.as_secs_f64() * 1000.0;
-                        let (claim, verdict_name, iterations, witness) = match &result.output {
-                            Some(outcome) if result.status == JobStatus::Ok => (
-                                claim_of(outcome.verdict),
-                                outcome.verdict.name(),
-                                outcome.iterations,
-                                outcome.solution.clone(),
-                            ),
-                            // Timed-out/crashed jobs claim nothing and
-                            // land in a bucket named after their status.
-                            _ => (Claim::Unknown, result.status.as_str(), 0, None),
-                        };
+                        let (claim, verdict_name, iterations, arena_terms, witness) =
+                            match &result.output {
+                                Some(outcome) if result.status == JobStatus::Ok => (
+                                    claim_of(outcome.verdict),
+                                    outcome.verdict.name(),
+                                    outcome.iterations,
+                                    outcome.arena_terms,
+                                    outcome.solution.clone(),
+                                ),
+                                // Timed-out/crashed jobs claim nothing and
+                                // land in a bucket named after their status.
+                                _ => (Claim::Unknown, result.status.as_str(), 0, 0, None),
+                            };
                         claims.push(EngineClaim::new(*tool, claim, witness));
                         aggs.entry((instance.family.name(), tool.to_string()))
                             .or_default()
@@ -372,6 +385,7 @@ pub fn run_fuzz(config: &FuzzConfig) -> FuzzOutcome {
                                 iterations,
                                 millis,
                                 result.tainted,
+                                arena_terms,
                             );
                     }
                     violations.extend(check_instance(instance, &claims));
@@ -387,7 +401,7 @@ pub fn run_fuzz(config: &FuzzConfig) -> FuzzOutcome {
         .iter()
         .map(|((family, tool), agg)| agg.entry(family, tool))
         .collect();
-    let rows = aggs
+    let rows: Vec<FuzzRow> = aggs
         .iter()
         .map(|((family, tool), agg)| FuzzRow {
             family,
@@ -395,6 +409,7 @@ pub fn run_fuzz(config: &FuzzConfig) -> FuzzOutcome {
             instances: agg.instances,
             verdicts: agg.verdict_distribution(),
             millis: agg.millis,
+            peak_arena: agg.peak_arena,
         })
         .collect();
     let report = Report::new(format!("fuzz-{}", config.engine.name()), entries);
@@ -403,10 +418,13 @@ pub fn run_fuzz(config: &FuzzConfig) -> FuzzOutcome {
         rows,
         violations,
         instances: attacked,
+        wall_millis: sweep_started.elapsed().as_secs_f64() * 1000.0,
     }
 }
 
-/// Renders the human-readable fuzz table.
+/// Renders the human-readable fuzz table, ending with a summary line
+/// carrying the sweep's total wall clock and the peak term-arena size per
+/// family (maximum across that family's tools).
 pub fn render_fuzz(outcome: &FuzzOutcome, config: &FuzzConfig) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
@@ -419,21 +437,37 @@ pub fn render_fuzz(outcome: &FuzzOutcome, config: &FuzzConfig) -> String {
     );
     let _ = writeln!(
         out,
-        "{:<16} {:<10} {:>6} {:>12}  verdicts",
-        "family", "tool", "n", "millis"
+        "{:<16} {:<10} {:>6} {:>12} {:>11}  verdicts",
+        "family", "tool", "n", "millis", "peak-arena"
     );
     for row in &outcome.rows {
         let _ = writeln!(
             out,
-            "{:<16} {:<10} {:>6} {:>12.1}  {}",
-            row.family, row.tool, row.instances, row.millis, row.verdicts
+            "{:<16} {:<10} {:>6} {:>12.1} {:>11}  {}",
+            row.family, row.tool, row.instances, row.millis, row.peak_arena, row.verdicts
         );
     }
+    let mut family_peaks: BTreeMap<&str, usize> = BTreeMap::new();
+    for row in &outcome.rows {
+        let peak = family_peaks.entry(row.family).or_insert(0);
+        *peak = (*peak).max(row.peak_arena);
+    }
+    let peaks = family_peaks
+        .iter()
+        .map(|(family, peak)| format!("{family}={peak}"))
+        .collect::<Vec<_>>()
+        .join(" ");
     let _ = writeln!(
         out,
-        "{} instance(s), {} oracle violation(s)",
+        "{} instance(s), {} oracle violation(s); wall-clock {:.1} ms; peak term-arena: {}",
         outcome.instances,
-        outcome.violations.len()
+        outcome.violations.len(),
+        outcome.wall_millis,
+        if peaks.is_empty() {
+            "-".to_string()
+        } else {
+            peaks
+        }
     );
     out
 }

@@ -33,7 +33,7 @@ mod suite;
 pub use fuzz::{render_fuzz, run_fuzz, run_gen, FuzzConfig, FuzzEngine, FuzzOutcome, FuzzRow};
 pub use solve::{
     check_manifest, collect_sl_files, load_problem, problem_name, render_solve, run_solve, Engine,
-    Manifest, SolveRow, DEFAULT_SOLVE_TIMEOUT,
+    Manifest, SolveRow, SolveTotals, DEFAULT_SOLVE_TIMEOUT,
 };
 pub use suite::{
     render_family_table, render_summary, run_benches, run_family, run_suite, FAMILIES, TOOLS,

@@ -10,7 +10,7 @@ use portfolio::{solve_nay, solve_nope, Cancel, NopeEngine, Portfolio, SolveVerdi
 use runner::{run_jobs, Entry, Job, JobStatus, PoolConfig, Report};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// The per-engine wall-clock budget `run_solve` applies when the caller
 /// does not pass one (solo and race alike): generous enough for any sane
@@ -109,6 +109,17 @@ pub struct SolveRow {
     pub millis: f64,
     /// The losing engine's cancellation latency, when racing.
     pub loser_cancel_millis: Option<f64>,
+    /// Peak term-arena size of the run (the larger side for `race`).
+    pub arena_terms: usize,
+}
+
+/// Run-level totals of a solve sweep, printed in the summary line.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SolveTotals {
+    /// Wall-clock milliseconds of the whole sweep (parsing included).
+    pub wall_millis: f64,
+    /// Largest per-run term-arena size across the sweep.
+    pub peak_arena_terms: usize,
 }
 
 /// Runs the chosen engine over the files and returns the human-readable
@@ -130,7 +141,8 @@ pub fn run_solve(
     files: &[PathBuf],
     engine: Engine,
     timeout: Option<Duration>,
-) -> Result<(Vec<SolveRow>, Report), String> {
+) -> Result<(Vec<SolveRow>, Report, SolveTotals), String> {
+    let sweep_started = Instant::now();
     let timeout = timeout.unwrap_or(DEFAULT_SOLVE_TIMEOUT);
     let mut entries: Vec<Entry> = Vec::new();
     let mut rows: Vec<SolveRow> = Vec::new();
@@ -177,6 +189,7 @@ pub fn run_solve(
                     winner: report.winner,
                     millis: report.wall_millis,
                     loser_cancel_millis: report.loser_cancel_millis,
+                    arena_terms: report.nay.arena_terms.max(report.nope.arena_terms),
                 });
             }
             Engine::Nay | Engine::Nope => {
@@ -193,9 +206,13 @@ pub fn run_solve(
                     .pop()
                     .expect("one job, one result");
                 let millis = result.elapsed.as_secs_f64() * 1000.0;
-                let (verdict, iterations) = match &result.output {
-                    Some(outcome) => (outcome.verdict.name().to_string(), outcome.iterations),
-                    None => ("-".to_string(), 0),
+                let (verdict, iterations, arena_terms) = match &result.output {
+                    Some(outcome) => (
+                        outcome.verdict.name().to_string(),
+                        outcome.iterations,
+                        outcome.arena_terms,
+                    ),
+                    None => ("-".to_string(), 0, 0),
                 };
                 entries.push(Entry {
                     benchmark: name.clone(),
@@ -214,28 +231,34 @@ pub fn run_solve(
                     winner: None,
                     millis,
                     loser_cancel_millis: None,
+                    arena_terms,
                 });
             }
         }
     }
     let report = Report::new(format!("solve-{}", engine.name()), entries);
-    Ok((rows, report))
+    let totals = SolveTotals {
+        wall_millis: sweep_started.elapsed().as_secs_f64() * 1000.0,
+        peak_arena_terms: rows.iter().map(|r| r.arena_terms).max().unwrap_or(0),
+    };
+    Ok((rows, report, totals))
 }
 
-/// Renders the human-readable solve table.
-pub fn render_solve(rows: &[SolveRow], engine: Engine) -> String {
+/// Renders the human-readable solve table, ending with a summary line
+/// carrying the sweep's total wall clock and peak term-arena size.
+pub fn render_solve(rows: &[SolveRow], engine: Engine, totals: &SolveTotals) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
     let _ = writeln!(out, "# solve — engine: {}", engine.name());
     let _ = writeln!(
         out,
-        "{:<22} {:>12} {:>8} {:>12} {:>14}",
-        "benchmark", "verdict", "winner", "millis", "loser-abort-ms"
+        "{:<22} {:>12} {:>8} {:>12} {:>14} {:>12}",
+        "benchmark", "verdict", "winner", "millis", "loser-abort-ms", "arena-terms"
     );
     for row in rows {
         let _ = writeln!(
             out,
-            "{:<22} {:>12} {:>8} {:>12.1} {:>14}",
+            "{:<22} {:>12} {:>8} {:>12.1} {:>14} {:>12}",
             row.name,
             row.verdict,
             row.winner.unwrap_or("-"),
@@ -243,8 +266,16 @@ pub fn render_solve(rows: &[SolveRow], engine: Engine) -> String {
             row.loser_cancel_millis
                 .map(|l| format!("{l:.1}"))
                 .unwrap_or_else(|| "-".to_string()),
+            row.arena_terms,
         );
     }
+    let _ = writeln!(
+        out,
+        "{} benchmark(s); total wall-clock {:.1} ms; peak term-arena {} terms",
+        rows.len(),
+        totals.wall_millis,
+        totals.peak_arena_terms
+    );
     out
 }
 

@@ -11,14 +11,23 @@
 //! output vector on `E` are interchangeable in any context, so only the first
 //! one found is kept. This is the standard technique used by enumerative
 //! SyGuS solvers.
+//!
+//! Since the hash-consing refactor the whole search runs on
+//! [`sygus::TermArena`] ids: candidate terms are `Copy`-able [`TermId`]s,
+//! compound candidates are built by interning (one hash probe) instead of
+//! deep-cloning subtrees, and `⟦·⟧_E` is memoized per distinct subterm, so
+//! a size-`n` candidate costs `O(arity · |E|)` to evaluate instead of
+//! `O(n · |E|)`. The owned [`Term`] tree is materialized only at the
+//! found-solution boundary ([`EnumerationResult::Found`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::collections::{BTreeMap, HashMap, HashSet};
-use sygus::{ExampleSet, Grammar, NonTerminal, Output, Problem, Term};
+use sygus::{ExampleSet, Grammar, NonTerminal, Output, Problem, Term, TermArena, TermId};
 
-/// The outcome of an enumerative search.
+/// The outcome of an enumerative search, with the found term extracted to
+/// the owned-tree boundary type.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum EnumerationResult {
     /// A term of `L(G)` satisfying the specification on every example.
@@ -43,6 +52,24 @@ impl EnumerationResult {
             EnumerationResult::NotFound { .. } => None,
         }
     }
+}
+
+/// The outcome of an enumerative search on an arena the caller owns: the
+/// found term stays an interned [`TermId`] (extract it with
+/// [`TermArena::extract`] when an owned tree is needed).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IdEnumerationResult {
+    /// An interned term of `L(G)` satisfying the specification on every
+    /// example.
+    Found(TermId),
+    /// No term of size up to the bound satisfies the specification; see
+    /// [`EnumerationResult::NotFound`].
+    NotFound {
+        /// The size bound that was reached.
+        size_bound: usize,
+        /// Whether the whole (quotiented) search space was covered.
+        exhausted: bool,
+    },
 }
 
 /// Configuration of the enumerator.
@@ -87,30 +114,85 @@ impl Enumerator {
     /// specification, so the smallest derivable term is returned (if the
     /// grammar derives any term at all).
     pub fn solve(&self, problem: &Problem, examples: &ExampleSet) -> EnumerationResult {
-        self.solve_grammar(problem.grammar(), examples, |term| {
-            problem
-                .satisfied_on_examples(term, examples)
-                .unwrap_or(false)
+        let mut arena = TermArena::new();
+        let outcome = self.solve_with_arena(&mut arena, problem, examples);
+        self.extract_result(&arena, outcome)
+    }
+
+    /// [`Enumerator::solve`] on a caller-owned arena: every candidate built
+    /// during the search stays interned, so a CEGIS driver that calls this
+    /// repeatedly (with growing example sets) reuses the interned subterm
+    /// structure across iterations instead of rebuilding it. The found
+    /// candidate is returned as an id — the owned [`Term`] is only
+    /// materialized where the caller needs it (the witness boundary).
+    pub fn solve_with_arena(
+        &self,
+        arena: &mut TermArena,
+        problem: &Problem,
+        examples: &ExampleSet,
+    ) -> IdEnumerationResult {
+        let spec = problem.spec();
+        self.enumerate_ids(arena, problem.grammar(), examples, |_, _, out| {
+            examples
+                .iter()
+                .enumerate()
+                .all(|(j, e)| spec.holds(e, out.as_i64(j)))
         })
     }
 
     /// Generic driver: enumerate `grammar` terms (modulo observational
     /// equivalence on `examples`) and return the first term derivable from
-    /// the start symbol for which `accept` holds.
+    /// the start symbol for which `accept` holds. The accept callback sees
+    /// the extracted owned tree; id-level callers should use
+    /// [`Enumerator::solve_with_arena`] to avoid the materialization.
     pub fn solve_grammar(
         &self,
         grammar: &Grammar,
         examples: &ExampleSet,
         accept: impl Fn(&Term) -> bool,
     ) -> EnumerationResult {
+        let mut arena = TermArena::new();
+        let outcome = self.enumerate_ids(&mut arena, grammar, examples, |arena, id, _| {
+            accept(&arena.extract(id))
+        });
+        self.extract_result(&arena, outcome)
+    }
+
+    fn extract_result(&self, arena: &TermArena, outcome: IdEnumerationResult) -> EnumerationResult {
+        match outcome {
+            IdEnumerationResult::Found(id) => EnumerationResult::Found(arena.extract(id)),
+            IdEnumerationResult::NotFound {
+                size_bound,
+                exhausted,
+            } => EnumerationResult::NotFound {
+                size_bound,
+                exhausted,
+            },
+        }
+    }
+
+    /// The size-by-size enumeration loop on interned ids. `accept` is
+    /// called (with the arena and the candidate's output vector) only for
+    /// candidates derivable from the start symbol that open a new
+    /// observational-equivalence class.
+    fn enumerate_ids(
+        &self,
+        arena: &mut TermArena,
+        grammar: &Grammar,
+        examples: &ExampleSet,
+        mut accept: impl FnMut(&mut TermArena, TermId, &Output) -> bool,
+    ) -> IdEnumerationResult {
         // signature tables: nonterminal → set of output signatures seen
-        let mut signatures: HashMap<NonTerminal, HashSet<Vec<i64>>> = HashMap::new();
-        // terms by (nonterminal, size): representatives only
-        let mut by_size: BTreeMap<(NonTerminal, usize), Vec<Term>> = BTreeMap::new();
+        let mut signatures: HashMap<&NonTerminal, HashSet<Vec<i64>>> = HashMap::new();
+        // representatives by nonterminal and size (id-keyed: no subtree
+        // clones, a representative is 4 bytes)
+        let mut by_size: HashMap<&NonTerminal, BTreeMap<usize, Vec<TermId>>> = grammar
+            .nonterminals()
+            .iter()
+            .map(|nt| (nt, BTreeMap::new()))
+            .collect();
         let mut total_terms = 0usize;
 
-        let signature =
-            |out: &Output| -> Vec<i64> { (0..out.len()).map(|j| out.as_i64(j)).collect() };
         let max_arity = grammar
             .productions()
             .iter()
@@ -123,11 +205,12 @@ impl Enumerator {
         for size in 1..=self.max_size {
             let mut added_any = false;
             for nt in grammar.nonterminals() {
-                let mut new_terms: Vec<Term> = Vec::new();
+                let mut new_terms: Vec<TermId> = Vec::new();
                 for p in grammar.productions_of(nt) {
+                    let op = arena.op_from_symbol(&p.symbol);
                     if p.args.is_empty() {
                         if size == 1 {
-                            new_terms.push(Term::leaf(p.symbol.clone()));
+                            new_terms.push(arena.intern(op, &[]));
                         }
                         continue;
                     }
@@ -136,19 +219,23 @@ impl Enumerator {
                     }
                     // enumerate argument size splits summing to size-1
                     let budget = size - 1;
-                    let mut combos: Vec<(usize, Vec<Term>)> = vec![(0, Vec::new())];
+                    let mut combos: Vec<(usize, Vec<TermId>)> = vec![(0, Vec::new())];
                     for (arg_index, arg) in p.args.iter().enumerate() {
                         let remaining_args = p.args.len() - arg_index - 1;
                         let mut next = Vec::new();
-                        for (used, terms) in &combos {
+                        for (used, ids) in &combos {
                             let max_here = budget - used - remaining_args;
                             for arg_size in 1..=max_here {
-                                if let Some(candidates) = by_size.get(&(arg.clone(), arg_size)) {
-                                    for c in candidates {
-                                        let mut terms2 = terms.clone();
-                                        terms2.push(c.clone());
-                                        next.push((used + arg_size, terms2));
-                                    }
+                                let candidates = by_size
+                                    .get(arg)
+                                    .and_then(|per_size| per_size.get(&arg_size));
+                                let Some(candidates) = candidates else {
+                                    continue;
+                                };
+                                for &c in candidates {
+                                    let mut ids2 = ids.clone();
+                                    ids2.push(c);
+                                    next.push((used + arg_size, ids2));
                                 }
                             }
                         }
@@ -158,7 +245,7 @@ impl Enumerator {
                         if used != budget {
                             continue;
                         }
-                        if let Ok(t) = Term::apply(p.symbol.clone(), args) {
+                        if let Ok(t) = arena.try_intern(op, &args) {
                             new_terms.push(t);
                         }
                     }
@@ -166,20 +253,25 @@ impl Enumerator {
 
                 // observational-equivalence pruning + acceptance check
                 for t in new_terms {
-                    let Ok(out) = t.eval_on(examples) else {
+                    let Ok(out) = arena.eval_id(t, examples) else {
                         continue;
                     };
-                    let sig = signature(&out);
-                    let entry = signatures.entry(nt.clone()).or_default();
+                    let sig: Vec<i64> = (0..out.len()).map(|j| out.as_i64(j)).collect();
+                    let entry = signatures.entry(nt).or_default();
                     if examples.is_empty() || entry.insert(sig) {
-                        if nt == grammar.start() && accept(&t) {
-                            return EnumerationResult::Found(t);
+                        if nt == grammar.start() && accept(arena, t, &out) {
+                            return IdEnumerationResult::Found(t);
                         }
-                        by_size.entry((nt.clone(), size)).or_default().push(t);
+                        by_size
+                            .get_mut(nt)
+                            .expect("every nonterminal is pre-registered")
+                            .entry(size)
+                            .or_default()
+                            .push(t);
                         added_any = true;
                         total_terms += 1;
                         if total_terms >= self.max_terms {
-                            return EnumerationResult::NotFound {
+                            return IdEnumerationResult::NotFound {
                                 size_bound: size,
                                 exhausted: false,
                             };
@@ -196,13 +288,13 @@ impl Enumerator {
                 // have now been processed without discovering a new
                 // observational class. The (quotiented) search space is
                 // exhausted.
-                return EnumerationResult::NotFound {
+                return IdEnumerationResult::NotFound {
                     size_bound: size,
                     exhausted: !examples.is_empty(),
                 };
             }
         }
-        EnumerationResult::NotFound {
+        IdEnumerationResult::NotFound {
             size_bound: self.max_size,
             exhausted: false,
         }
@@ -258,6 +350,58 @@ mod tests {
                 assert!(problem.grammar().contains_term(&t));
             }
             other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn id_and_tree_front_ends_agree() {
+        let grammar = GrammarBuilder::new("Start")
+            .nonterminal("Start", Sort::Int)
+            .production("Start", Symbol::Plus, &["Start", "Start"])
+            .production("Start", Symbol::Num(1), &[])
+            .production("Start", Symbol::Var("x".to_string()), &[])
+            .build()
+            .unwrap();
+        let spec = Spec::output_equals(
+            LinearExpr::var(Var::new("x")) + LinearExpr::constant(2),
+            vec!["x".to_string()],
+        );
+        let problem = Problem::new("xplus2", grammar, spec);
+        let examples = ExampleSet::for_single_var("x", [0, 5]);
+        let mut arena = TermArena::new();
+        let enumerator = Enumerator::new();
+        let by_id = enumerator.solve_with_arena(&mut arena, &problem, &examples);
+        let IdEnumerationResult::Found(id) = by_id else {
+            panic!("unexpected {by_id:?}");
+        };
+        match enumerator.solve(&problem, &examples) {
+            EnumerationResult::Found(t) => assert_eq!(arena.extract(id), t),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(!arena.is_empty(), "the search interned its candidates");
+    }
+
+    #[test]
+    fn arena_reuse_across_example_sets_is_consistent() {
+        // the CEGIS pattern: one arena, successive solve calls with growing
+        // example sets — each call must behave exactly like a fresh solve
+        let problem = g1_problem();
+        let enumerator = Enumerator::new().with_max_size(8);
+        let mut shared = TermArena::new();
+        for examples in [
+            ExampleSet::for_single_var("x", [1]),
+            ExampleSet::for_single_var("x", [1, 2]),
+            ExampleSet::for_single_var("x", [1, 2, -3]),
+        ] {
+            let mut fresh = TermArena::new();
+            let reused = enumerator.solve_with_arena(&mut shared, &problem, &examples);
+            let isolated = enumerator.solve_with_arena(&mut fresh, &problem, &examples);
+            match (reused, isolated) {
+                (IdEnumerationResult::Found(a), IdEnumerationResult::Found(b)) => {
+                    assert_eq!(shared.extract(a), fresh.extract(b));
+                }
+                (a, b) => assert_eq!(a, b),
+            }
         }
     }
 

@@ -10,7 +10,7 @@
 use crate::families::{Expectation, Family, Scale};
 use crate::rng::GenRng;
 use logic::{Formula, LinearExpr, Var};
-use sygus::{GrammarBuilder, Problem, Sort, Spec, Symbol, Term};
+use sygus::{GrammarBuilder, Problem, Sort, Spec, Symbol, Term, TermArena};
 
 /// A freshly built instance: the problem, its by-construction verdict
 /// class, and (when realizable) a witness term derivable from the
@@ -152,19 +152,22 @@ fn build_plus_mod(rng: &mut GenRng, scale: &Scale) -> Built {
 
 /// The witness `m·2^(d−1)·x` as a `Start` derivation: `m` copies of the
 /// full `S₁` tree folded over `Start ::= S₁ + Start | 0`.
+///
+/// Built through a [`TermArena`]: the full binary `S₁` tree is a `d`-node
+/// DAG (each level shares its two identical children), interned in `O(d)`
+/// instead of the `O(2^d)` node allocations the owned tree needs — the
+/// tree is only materialized once, at the `Built::witness` boundary.
 fn plus_mod_witness(depth: usize, m: usize) -> Term {
-    fn s1_tree(levels: usize) -> Term {
-        if levels <= 1 {
-            Term::var("x")
-        } else {
-            Term::plus(s1_tree(levels - 1), s1_tree(levels - 1))
-        }
+    let mut arena = TermArena::new();
+    let mut level = arena.var_leaf("x");
+    for _ in 1..depth {
+        level = arena.plus2(level, level);
     }
-    let mut term = Term::num(0);
+    let mut term = arena.num(0);
     for _ in 0..m {
-        term = Term::plus(s1_tree(depth), term);
+        term = arena.plus2(level, term);
     }
-    term
+    arena.extract(term)
 }
 
 // ---------------------------------------------------------------------------
@@ -189,11 +192,13 @@ fn build_const_sum(rng: &mut GenRng, scale: &Scale) -> Built {
     let realizable = rng.chance(scale.realizable_percent);
     let (target, witness) = if realizable {
         let m = rng.range_i64(1, 4);
-        let mut term = Term::num(constant);
+        let mut arena = TermArena::new();
+        let leaf = arena.num(constant);
+        let mut term = leaf;
         for _ in 1..m {
-            term = Term::plus(Term::num(constant), term);
+            term = arena.plus2(leaf, term);
         }
-        (m * constant, Some(term))
+        (m * constant, Some(arena.extract(term)))
     } else {
         // Draw until the target is *not* a positive multiple of c.
         loop {
@@ -291,17 +296,16 @@ fn build_guarded_const(rng: &mut GenRng, scale: &Scale) -> Built {
     let witness = realizable.then(|| {
         // ite(x < a₂, v₁, ite(x < a₃, v₂, … v_k)) — the thresholds are the
         // *next* point, so each vⱼ is selected exactly on its point.
-        let mut term = Term::num(assignments.last().unwrap().1);
+        let mut arena = TermArena::new();
+        let x = arena.var_leaf("x");
+        let mut term = arena.num(assignments.last().unwrap().1);
         for j in (0..assignments.len() - 1).rev() {
-            let next_point = assignments[j + 1].0;
-            term = Term::ite(
-                Term::less_than(Term::var("x"), Term::num(next_point)),
-                Term::num(assignments[j].1),
-                term,
-            )
-            .expect("witness ite is well-sorted");
+            let next_point = arena.num(assignments[j + 1].0);
+            let guard = arena.less_than2(x, next_point);
+            let value = arena.num(assignments[j].1);
+            term = arena.ite3(guard, value, term);
         }
-        term
+        arena.extract(term)
     });
     Built {
         problem: Problem::new("guarded_const", grammar, pointwise_spec(&assignments)),
@@ -347,14 +351,15 @@ fn build_pbe_points(rng: &mut GenRng, scale: &Scale) -> Built {
         let points = distinct_points(rng, k, -10, 10);
         let assignments: Vec<(i64, i64)> =
             points.iter().map(|&a| (a, a_star * a + b_star)).collect();
-        let mut parts: Vec<Term> = Vec::new();
-        parts.extend((0..a_star).map(|_| Term::var("x")));
-        parts.extend((0..b_star).map(|_| Term::num(1)));
+        let mut arena = TermArena::new();
+        let mut parts: Vec<sygus::TermId> = Vec::new();
+        parts.extend((0..a_star).map(|_| arena.var_leaf("x")));
+        parts.extend((0..b_star).map(|_| arena.num(1)));
         let witness = match parts.pop() {
-            None => Term::num(0),
-            Some(first) => parts.into_iter().fold(first, |acc, t| Term::plus(t, acc)),
+            None => arena.num(0),
+            Some(first) => parts.into_iter().fold(first, |acc, t| arena.plus2(t, acc)),
         };
-        (assignments, Some(witness))
+        (assignments, Some(arena.extract(witness)))
     } else {
         // Points 1 and 2 with v₂ ≠ 2·v₁ rule out every a·x; the remaining
         // points add noise but cannot restore realizability.
@@ -431,12 +436,11 @@ fn build_max_gap(rng: &mut GenRng, scale: &Scale) -> Built {
     ]);
     let spec = Spec::new(formula, vec!["x".to_string(), "y".to_string()], Sort::Int);
     let witness = realizable.then(|| {
-        Term::ite(
-            Term::less_than(Term::var("x"), Term::var("y")),
-            Term::var("y"),
-            Term::var("x"),
-        )
-        .expect("max witness is well-sorted")
+        let mut arena = TermArena::new();
+        let (x, y) = (arena.var_leaf("x"), arena.var_leaf("y"));
+        let guard = arena.less_than2(x, y);
+        let max = arena.ite3(guard, y, x);
+        arena.extract(max)
     });
     Built {
         problem: Problem::new("max_gap", grammar, spec),

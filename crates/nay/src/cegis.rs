@@ -21,12 +21,12 @@
 use crate::check::{check_unrealizable, Verdict};
 use crate::modes::Mode;
 use crate::verifier::{verify, Verification};
-use enumerative::{EnumerationResult, Enumerator};
+use enumerative::{Enumerator, IdEnumerationResult};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use runner::Cancel;
 use std::time::{Duration, Instant};
-use sygus::{Example, ExampleSet, Problem, Term};
+use sygus::{Example, ExampleSet, Problem, Term, TermArena};
 
 /// The final outcome of the CEGIS loop.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -68,6 +68,10 @@ pub struct CegisStats {
     pub total_time: Duration,
     /// Size of the final abstraction of the start symbol.
     pub final_abstraction_size: usize,
+    /// Number of distinct terms interned in the run's [`TermArena`] when
+    /// the loop stopped — the enumerator's candidate pool, shared across
+    /// all CEGIS iterations (the arena only grows, so this is the peak).
+    pub arena_terms: usize,
 }
 
 /// The CEGIS driver (the `nay` tool of §7).
@@ -157,8 +161,14 @@ impl Nay {
         let started = Instant::now();
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut stats = CegisStats::default();
-        let cancelled = |stats: &mut CegisStats| {
+        // One hash-consing arena for the whole run: candidates live as
+        // `TermId`s across CEGIS iterations, so re-enumeration after a
+        // counterexample reuses every subterm interned before instead of
+        // rebuilding (and re-cloning) the trees.
+        let mut arena = TermArena::new();
+        let cancelled = |stats: &mut CegisStats, arena: &TermArena| {
             stats.total_time = started.elapsed();
+            stats.arena_terms = arena.len();
             (CegisOutcome::Cancelled, stats.clone())
         };
 
@@ -168,7 +178,7 @@ impl Nay {
 
         for _ in 0..self.max_cegis_iterations {
             if cancel.is_cancelled() {
-                return cancelled(&mut stats);
+                return cancelled(&mut stats, &arena);
             }
             stats.cegis_iterations += 1;
             stats.num_examples = examples.len();
@@ -178,7 +188,7 @@ impl Nay {
             let mut drew_random = 0usize;
             loop {
                 if cancel.is_cancelled() {
-                    return cancelled(&mut stats);
+                    return cancelled(&mut stats, &arena);
                 }
                 stats.gfa_checks += 1;
                 let outcome = check_unrealizable(problem, &extended, &self.mode);
@@ -188,18 +198,27 @@ impl Nay {
                     Verdict::Unrealizable => {
                         stats.num_examples = extended.len();
                         stats.total_time = started.elapsed();
+                        stats.arena_terms = arena.len();
                         return (CegisOutcome::Unrealizable, stats);
                     }
                     Verdict::Realizable | Verdict::Unknown => {
-                        // ① the synthesizer side works on the permanent E only
-                        match self.enumerator.solve(problem, &examples) {
-                            EnumerationResult::Found(candidate) => {
+                        // ① the synthesizer side works on the permanent E
+                        // only; the candidate stays an interned id — the
+                        // owned tree is materialized at the witness boundary
+                        // (verification) below.
+                        match self
+                            .enumerator
+                            .solve_with_arena(&mut arena, problem, &examples)
+                        {
+                            IdEnumerationResult::Found(candidate_id) => {
                                 if cancel.is_cancelled() {
-                                    return cancelled(&mut stats);
+                                    return cancelled(&mut stats, &arena);
                                 }
+                                let candidate = arena.extract(candidate_id);
                                 match verify(&candidate, problem.spec()) {
                                     Verification::Valid => {
                                         stats.total_time = started.elapsed();
+                                        stats.arena_terms = arena.len();
                                         return (CegisOutcome::Solution(candidate), stats);
                                     }
                                     Verification::CounterExample(cex) => {
@@ -214,23 +233,26 @@ impl Nay {
                                     }
                                     Verification::Unknown => {
                                         stats.total_time = started.elapsed();
+                                        stats.arena_terms = arena.len();
                                         return (CegisOutcome::Unknown, stats);
                                     }
                                 }
                             }
-                            EnumerationResult::NotFound {
+                            IdEnumerationResult::NotFound {
                                 exhausted: true, ..
                             } => {
                                 // the quotiented search space was exhausted:
                                 // sy_E itself is unrealizable
                                 stats.total_time = started.elapsed();
+                                stats.arena_terms = arena.len();
                                 return (CegisOutcome::Unrealizable, stats);
                             }
-                            EnumerationResult::NotFound {
+                            IdEnumerationResult::NotFound {
                                 exhausted: false, ..
                             } => {
                                 if drew_random >= self.max_random_examples {
                                     stats.total_time = started.elapsed();
+                                    stats.arena_terms = arena.len();
                                     return (CegisOutcome::Unknown, stats);
                                 }
                                 drew_random += 1;
@@ -244,6 +266,7 @@ impl Nay {
             }
         }
         stats.total_time = started.elapsed();
+        stats.arena_terms = arena.len();
         (CegisOutcome::Unknown, stats)
     }
 }
@@ -309,6 +332,27 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn candidate_pool_size_is_reported() {
+        // a realizable problem forces at least one enumeration pass, so the
+        // run's shared arena must have interned candidates
+        let grammar = GrammarBuilder::new("Start")
+            .nonterminal("Start", Sort::Int)
+            .production("Start", Symbol::Var("x".to_string()), &[])
+            .production("Start", Symbol::Num(1), &[])
+            .production("Start", Symbol::Plus, &["Start", "Start"])
+            .build()
+            .unwrap();
+        let spec = Spec::output_equals(
+            LinearExpr::var(Var::new("x")) + LinearExpr::constant(2),
+            vec!["x".to_string()],
+        );
+        let problem = Problem::new("xplus2", grammar, spec);
+        let (outcome, stats) = Nay::new().run(&problem);
+        assert!(matches!(outcome, CegisOutcome::Solution(_)));
+        assert!(stats.arena_terms > 0, "{stats:?}");
     }
 
     #[test]

@@ -22,7 +22,7 @@ pub mod program;
 pub mod verify;
 
 pub use program::{Procedure, ProgExpr, Program};
-pub use verify::{NopeVerdict, ProgramVerifier};
+pub use verify::{CheckOutcome, NopeVerdict, ProgramVerifier};
 
 use runner::Cancel;
 use std::time::{Duration, Instant};
@@ -40,6 +40,9 @@ pub struct NopeStats {
     /// Fixed-point iterations performed by the abstract interpreter
     /// (0 when the bounded search already decided the verdict).
     pub abstract_iterations: usize,
+    /// Peak size of the bounded search's term arena (distinct terms
+    /// interned while exploring reachable vectors).
+    pub arena_terms: usize,
     /// Wall-clock time of the check.
     pub elapsed: Duration,
 }
@@ -79,17 +82,18 @@ impl NopeSolver {
     ) -> (NopeVerdict, NopeStats) {
         let started = Instant::now();
         let program = Program::from_grammar(problem.grammar(), examples);
-        let (verdict, abstract_iterations) =
-            self.verifier
-                .check_cancellable(&program, examples, problem.spec(), cancel);
+        let outcome = self
+            .verifier
+            .check_instrumented(&program, examples, problem.spec(), cancel);
         let stats = NopeStats {
             num_procedures: program.procedures.len(),
             num_branches: program.num_branches(),
             num_call_sites: program.num_call_sites(),
-            abstract_iterations,
+            abstract_iterations: outcome.abstract_iterations,
+            arena_terms: outcome.arena_terms,
             elapsed: started.elapsed(),
         };
-        (verdict, stats)
+        (outcome.verdict, stats)
     }
 }
 

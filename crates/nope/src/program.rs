@@ -20,8 +20,11 @@ use sygus::{ExampleSet, Grammar, NonTerminal, Symbol};
 /// results use 0/1.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ProgExpr {
-    /// A constant vector (from `Num`, `Var` or `NegVar` leaves).
-    Const(Vec<i64>),
+    /// A constant vector (from `Num`, `Var` or `NegVar` leaves), together
+    /// with the originating leaf symbol so the bounded search can rebuild
+    /// witness *terms* (through the term arena) and not just witness
+    /// vectors.
+    Const(Vec<i64>, Symbol),
     /// A call to another procedure (non-deterministically picks one of its
     /// branches).
     Call(usize),
@@ -48,7 +51,7 @@ impl ProgExpr {
     /// encoding, reported by the benchmark harness).
     pub fn num_calls(&self) -> usize {
         match self {
-            ProgExpr::Const(_) => 0,
+            ProgExpr::Const(..) => 0,
             ProgExpr::Call(_) => 1,
             ProgExpr::Add(xs) => xs.iter().map(|x| x.num_calls()).sum(),
             ProgExpr::Sub(a, b) => a.num_calls() + b.num_calls(),
@@ -112,10 +115,11 @@ impl Program {
         for p in grammar.productions() {
             let call = |k: usize| ProgExpr::Call(index[&p.args[k]]);
             let branch = match &p.symbol {
-                Symbol::Num(c) => ProgExpr::Const(vec![*c; dim]),
-                Symbol::Var(x) => {
-                    ProgExpr::Const(examples.projection(x).expect("example binds the variable"))
-                }
+                Symbol::Num(c) => ProgExpr::Const(vec![*c; dim], p.symbol.clone()),
+                Symbol::Var(x) => ProgExpr::Const(
+                    examples.projection(x).expect("example binds the variable"),
+                    p.symbol.clone(),
+                ),
                 Symbol::NegVar(x) => ProgExpr::Const(
                     examples
                         .projection(x)
@@ -123,6 +127,7 @@ impl Program {
                         .into_iter()
                         .map(|v| -v)
                         .collect(),
+                    p.symbol.clone(),
                 ),
                 Symbol::Plus => ProgExpr::Add((0..p.args.len()).map(call).collect()),
                 Symbol::Minus => ProgExpr::Sub(Box::new(call(0)), Box::new(call(1))),
@@ -202,9 +207,12 @@ mod tests {
         assert_eq!(program.num_branches(), 5);
         assert_eq!(program.dim, 2);
         assert_eq!(program.procedures[program.entry].name, "Start");
-        // the leaf branch carries μ_E(x) = (1, 2)
+        // the leaf branch carries μ_E(x) = (1, 2) plus its leaf symbol
         let leaf = &program.procedures[3].branches[0];
-        assert_eq!(leaf, &ProgExpr::Const(vec![1, 2]));
+        assert_eq!(
+            leaf,
+            &ProgExpr::Const(vec![1, 2], Symbol::Var("x".to_string()))
+        );
     }
 
     #[test]

@@ -20,8 +20,8 @@ use crate::program::{ProgExpr, Program};
 use chc::domain::{AbsBool, AbsInt, AbsValue};
 use logic::{Formula, LinearExpr, Solver, SolverResult, Var};
 use runner::Cancel;
-use std::collections::BTreeSet;
-use sygus::{ExampleSet, Spec};
+use std::collections::BTreeMap;
+use sygus::{ExampleSet, Op, Spec, Term, TermArena, TermId};
 
 /// The verdict of the nope-style reachability analysis.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -56,6 +56,68 @@ impl NopeVerdict {
 /// tripped (distinct from "no witness found within the depth").
 #[derive(Debug)]
 struct CancelledSearch;
+
+/// Everything [`ProgramVerifier::check_instrumented`] reports alongside
+/// the verdict.
+#[derive(Clone, Debug)]
+pub struct CheckOutcome {
+    /// The combined verdict of both analyses.
+    pub verdict: NopeVerdict,
+    /// Fixed-point iterations performed by the abstract interpreter
+    /// (0 when the bounded search already decided the verdict).
+    pub abstract_iterations: usize,
+    /// Number of distinct terms the bounded search interned into its
+    /// [`TermArena`] while exploring reachable vectors (its peak size —
+    /// the arena only grows).
+    pub arena_terms: usize,
+    /// The witness *term* behind a
+    /// [`NopeVerdict::RealizableOnExamples`] verdict: a term of `L(G)`
+    /// whose output vector satisfies the specification on every example.
+    pub witness: Option<Term>,
+}
+
+/// The sentinel "empty list" head of the [`LazyWitness::Plus`] trail.
+const NIL: u32 = u32::MAX;
+
+/// A witness the expression evaluator has not interned yet. Candidate
+/// vectors are produced far faster than they survive dedup, so the
+/// per-combination fast path only records *how* a vector was built (a few
+/// words, no allocation); hash-consing into the arena happens once per
+/// vector that actually enters a reachable set.
+#[derive(Clone, Copy)]
+enum LazyWitness {
+    /// Already interned: leaves and procedure-call results.
+    Ready(TermId),
+    /// An n-ary `Plus` whose child list is the trail chain at this head.
+    Plus(u32),
+    /// A unary node over an interned child.
+    Un(Op, TermId),
+    /// A binary node over interned children.
+    Bin(Op, TermId, TermId),
+    /// A ternary node over interned children.
+    Tri(Op, TermId, TermId, TermId),
+}
+
+/// Interns a lazy witness. `trail` is the cons-list pool `Plus` heads
+/// index into.
+fn force_witness(arena: &mut TermArena, trail: &[(u32, TermId)], witness: LazyWitness) -> TermId {
+    match witness {
+        LazyWitness::Ready(id) => id,
+        LazyWitness::Un(op, a) => arena.intern(op, &[a]),
+        LazyWitness::Bin(op, a, b) => arena.intern(op, &[a, b]),
+        LazyWitness::Tri(op, a, b, c) => arena.intern(op, &[a, b, c]),
+        LazyWitness::Plus(mut head) => {
+            let mut children: Vec<TermId> = Vec::new();
+            while head != NIL {
+                let (prev, id) = trail[head as usize];
+                children.push(id);
+                head = prev;
+            }
+            children.reverse();
+            arena.intern(Op::Plus, &children)
+        }
+    }
+}
 
 /// Configuration of the bounded/abstract program verifier.
 #[derive(Clone, Debug)]
@@ -115,28 +177,59 @@ impl ProgramVerifier {
         spec: &Spec,
         cancel: &Cancel,
     ) -> (NopeVerdict, usize) {
+        let outcome = self.check_instrumented(program, examples, spec, cancel);
+        (outcome.verdict, outcome.abstract_iterations)
+    }
+
+    /// [`ProgramVerifier::check_cancellable`] returning the full
+    /// [`CheckOutcome`]: the verdict, the fixpoint iteration count, the
+    /// bounded search's term-arena size, and (for realizable-on-examples
+    /// verdicts) the witness term the arena reconstructed.
+    pub fn check_instrumented(
+        &self,
+        program: &Program,
+        examples: &ExampleSet,
+        spec: &Spec,
+        cancel: &Cancel,
+    ) -> CheckOutcome {
+        let done = |verdict, abstract_iterations, arena_terms, witness| CheckOutcome {
+            verdict,
+            abstract_iterations,
+            arena_terms,
+            witness,
+        };
         if examples.is_empty() {
-            return (NopeVerdict::Unknown, 0);
+            return done(NopeVerdict::Unknown, 0, 0, None);
         }
         // 1. bounded concrete exploration: can we reach the bad location?
-        match self.bounded_search_cancellable(program, examples, spec, cancel) {
-            Ok(Some(witness)) => return (NopeVerdict::RealizableOnExamples(witness), 0),
+        let mut arena = TermArena::new();
+        match self.bounded_search_cancellable(program, examples, spec, cancel, &mut arena) {
+            Ok(Some((witness_vector, witness_id))) => {
+                let witness = arena.extract(witness_id);
+                return done(
+                    NopeVerdict::RealizableOnExamples(witness_vector),
+                    0,
+                    arena.len(),
+                    Some(witness),
+                );
+            }
             Ok(None) => {}
-            Err(CancelledSearch) => return (NopeVerdict::Cancelled, 0),
+            Err(CancelledSearch) => return done(NopeVerdict::Cancelled, 0, arena.len(), None),
         }
+        let arena_terms = arena.len();
         // 2. abstract interpretation: is the bad location provably unreachable?
         if cancel.is_cancelled() {
-            return (NopeVerdict::Cancelled, 0);
+            return done(NopeVerdict::Cancelled, 0, arena_terms, None);
         }
         let (unreachable, iterations) =
             self.abstract_unreachable_cancellable(program, examples, spec, cancel);
         if cancel.is_cancelled() && !unreachable {
-            return (NopeVerdict::Cancelled, iterations);
+            return done(NopeVerdict::Cancelled, iterations, arena_terms, None);
         }
         if unreachable {
-            (NopeVerdict::Unrealizable, iterations)
+            done(NopeVerdict::Unrealizable, iterations, arena_terms, None)
         } else {
-            (NopeVerdict::Unknown, iterations)
+            done(NopeVerdict::Unknown, iterations, arena_terms, None)
         }
     }
 
@@ -149,51 +242,82 @@ impl ProgramVerifier {
         examples: &ExampleSet,
         spec: &Spec,
     ) -> Option<Vec<i64>> {
-        self.bounded_search_cancellable(program, examples, spec, &Cancel::never())
+        self.bounded_search_with_term(program, examples, spec)
+            .map(|(vector, _)| vector)
+    }
+
+    /// [`ProgramVerifier::bounded_search`], additionally reconstructing
+    /// the witness *term* (a member of `L(G)` realizing the good vector)
+    /// from the ids the search threads through its exploration.
+    pub fn bounded_search_with_term(
+        &self,
+        program: &Program,
+        examples: &ExampleSet,
+        spec: &Spec,
+    ) -> Option<(Vec<i64>, Term)> {
+        let mut arena = TermArena::new();
+        self.bounded_search_cancellable(program, examples, spec, &Cancel::never(), &mut arena)
             .expect("a never-tripped token cannot cancel")
+            .map(|(vector, id)| (vector, arena.extract(id)))
     }
 
     /// [`ProgramVerifier::bounded_search`] polling a [`Cancel`] token once
-    /// per unrolling round; `Err(CancelledSearch)` reports an observed trip.
+    /// per unrolling round; `Err(CancelledSearch)` reports an observed
+    /// trip. Every reachable vector carries the [`TermId`] of the first
+    /// term found producing it — witnesses stay [`LazyWitness`]es on the
+    /// per-combination fast path and are interned into `arena` only when
+    /// their vector survives dedup, so the vector sets (and with them
+    /// every verdict) are exactly the pre-arena ones.
     fn bounded_search_cancellable(
         &self,
         program: &Program,
         examples: &ExampleSet,
         spec: &Spec,
         cancel: &Cancel,
-    ) -> Result<Option<Vec<i64>>, CancelledSearch> {
+        arena: &mut TermArena,
+    ) -> Result<Option<(Vec<i64>, TermId)>, CancelledSearch> {
         let n = program.procedures.len();
-        let mut reachable: Vec<BTreeSet<Vec<i64>>> = vec![BTreeSet::new(); n];
+        let mut reachable: Vec<BTreeMap<Vec<i64>, TermId>> = vec![BTreeMap::new(); n];
+        let mut trail: Vec<(u32, TermId)> = Vec::new();
         for _ in 0..self.unroll_depth {
             if cancel.is_cancelled() {
                 return Err(CancelledSearch);
             }
             let mut changed = false;
             for (i, proc_) in program.procedures.iter().enumerate() {
-                let mut new_vectors: BTreeSet<Vec<i64>> = BTreeSet::new();
+                let mut new_vectors: BTreeMap<Vec<i64>, TermId> = BTreeMap::new();
                 for branch in &proc_.branches {
-                    self.eval_bounded(branch, &reachable, program.dim, &mut new_vectors);
+                    self.eval_bounded(
+                        branch,
+                        &reachable,
+                        program.dim,
+                        arena,
+                        &mut trail,
+                        &mut new_vectors,
+                    );
                     if new_vectors.len() > self.max_vectors {
                         break;
                     }
                 }
-                for v in new_vectors {
+                for (v, w) in new_vectors {
                     if reachable[i].len() >= self.max_vectors {
                         break;
                     }
-                    if reachable[i].insert(v) {
+                    if let std::collections::btree_map::Entry::Vacant(slot) = reachable[i].entry(v)
+                    {
+                        slot.insert(w);
                         changed = true;
                     }
                 }
             }
             // check the assertion on the entry procedure's vectors
-            for v in &reachable[program.entry] {
+            for (v, w) in &reachable[program.entry] {
                 let good = examples
                     .iter()
                     .enumerate()
                     .all(|(j, e)| spec.holds(e, v[j]));
                 if good {
-                    return Ok(Some(v.clone()));
+                    return Ok(Some((v.clone(), *w)));
                 }
             }
             if !changed {
@@ -206,31 +330,59 @@ impl ProgramVerifier {
     fn eval_bounded(
         &self,
         expr: &ProgExpr,
-        reachable: &[BTreeSet<Vec<i64>>],
+        reachable: &[BTreeMap<Vec<i64>, TermId>],
         dim: usize,
-        out: &mut BTreeSet<Vec<i64>>,
+        arena: &mut TermArena,
+        trail: &mut Vec<(u32, TermId)>,
+        out: &mut BTreeMap<Vec<i64>, TermId>,
     ) {
-        let vectors = self.eval_expr(expr, reachable, dim);
-        for v in vectors {
+        trail.clear();
+        let entries = self.eval_expr(expr, reachable, dim, arena, trail);
+        for (v, w) in entries {
             if out.len() >= self.max_vectors {
                 return;
             }
-            out.insert(v);
+            if let std::collections::btree_map::Entry::Vacant(slot) = out.entry(v) {
+                slot.insert(force_witness(arena, trail, w));
+            }
         }
     }
 
+    /// Resolves every entry's witness to an interned id (used where lazy
+    /// witnesses become children of another node).
+    fn forced(
+        arena: &mut TermArena,
+        trail: &[(u32, TermId)],
+        entries: Vec<(Vec<i64>, LazyWitness)>,
+    ) -> Vec<(Vec<i64>, TermId)> {
+        entries
+            .into_iter()
+            .map(|(v, w)| (v, force_witness(arena, trail, w)))
+            .collect()
+    }
+
+    /// Evaluates one branch expression to the vectors it can produce, each
+    /// paired with a lazy witness. The enumeration (and capping) order is
+    /// exactly the pre-arena one.
     fn eval_expr(
         &self,
         expr: &ProgExpr,
-        reachable: &[BTreeSet<Vec<i64>>],
+        reachable: &[BTreeMap<Vec<i64>, TermId>],
         dim: usize,
-    ) -> Vec<Vec<i64>> {
+        arena: &mut TermArena,
+        trail: &mut Vec<(u32, TermId)>,
+    ) -> Vec<(Vec<i64>, LazyWitness)> {
+        type Valued = Vec<(Vec<i64>, LazyWitness)>;
         let cap = self.max_vectors;
-        let combine2 = |a: Vec<Vec<i64>>, b: Vec<Vec<i64>>, f: &dyn Fn(i64, i64) -> i64| {
-            let mut out = Vec::new();
-            'outer: for x in &a {
-                for y in &b {
-                    out.push((0..dim).map(|j| f(x[j], y[j])).collect());
+        let combine2 = |a: Vec<(Vec<i64>, TermId)>,
+                        b: Vec<(Vec<i64>, TermId)>,
+                        f: &dyn Fn(i64, i64) -> i64,
+                        op: Op| {
+            let mut out: Valued = Vec::new();
+            'outer: for (xv, xw) in &a {
+                for (yv, yw) in &b {
+                    let vector = (0..dim).map(|j| f(xv[j], yv[j])).collect();
+                    out.push((vector, LazyWitness::Bin(op, *xw, *yw)));
                     if out.len() >= cap {
                         break 'outer;
                     }
@@ -238,63 +390,86 @@ impl ProgramVerifier {
             }
             out
         };
+        // Evaluates a child expression with every witness forced (children
+        // of compound nodes must be interned ids; in the programs
+        // `from_grammar` builds, children are `Call`/`Const` and forcing
+        // is a no-op).
+        macro_rules! child {
+            ($e:expr) => {{
+                let entries = self.eval_expr($e, reachable, dim, arena, trail);
+                Self::forced(arena, trail, entries)
+            }};
+        }
         match expr {
-            ProgExpr::Const(v) => vec![v.clone()],
-            ProgExpr::Call(p) => reachable[*p].iter().cloned().collect(),
+            ProgExpr::Const(v, symbol) => {
+                let op = arena.op_from_symbol(symbol);
+                vec![(v.clone(), LazyWitness::Ready(arena.intern(op, &[])))]
+            }
+            ProgExpr::Call(p) => reachable[*p]
+                .iter()
+                .map(|(v, w)| (v.clone(), LazyWitness::Ready(*w)))
+                .collect(),
             ProgExpr::Add(xs) => {
-                let mut acc = vec![vec![0i64; dim]];
+                // n-ary: witnesses accumulate as cons-list heads into the
+                // trail (one O(1) push per combination), and the one Plus
+                // node with the production's arity is only built for
+                // vectors that survive dedup.
+                let mut acc: Vec<(Vec<i64>, u32)> = vec![(vec![0i64; dim], NIL)];
                 for x in xs {
-                    let vals = self.eval_expr(x, reachable, dim);
-                    acc = combine2(acc, vals, &|a, b| a + b);
+                    let vals = child!(x);
+                    let mut next = Vec::new();
+                    'outer: for (av, ahead) in &acc {
+                        for (bv, bw) in &vals {
+                            trail.push((*ahead, *bw));
+                            let head = (trail.len() - 1) as u32;
+                            next.push((
+                                (0..dim).map(|j| av[j] + bv[j]).collect::<Vec<i64>>(),
+                                head,
+                            ));
+                            if next.len() >= cap {
+                                break 'outer;
+                            }
+                        }
+                    }
+                    acc = next;
                     if acc.is_empty() {
                         return Vec::new();
                     }
                 }
-                acc
+                acc.into_iter()
+                    .map(|(v, head)| (v, LazyWitness::Plus(head)))
+                    .collect()
             }
-            ProgExpr::Sub(a, b) => combine2(
-                self.eval_expr(a, reachable, dim),
-                self.eval_expr(b, reachable, dim),
-                &|x, y| x - y,
-            ),
-            ProgExpr::Less(a, b) => combine2(
-                self.eval_expr(a, reachable, dim),
-                self.eval_expr(b, reachable, dim),
-                &|x, y| i64::from(x < y),
-            ),
-            ProgExpr::Equal(a, b) => combine2(
-                self.eval_expr(a, reachable, dim),
-                self.eval_expr(b, reachable, dim),
-                &|x, y| i64::from(x == y),
-            ),
-            ProgExpr::And(a, b) => combine2(
-                self.eval_expr(a, reachable, dim),
-                self.eval_expr(b, reachable, dim),
-                &|x, y| x & y,
-            ),
-            ProgExpr::Or(a, b) => combine2(
-                self.eval_expr(a, reachable, dim),
-                self.eval_expr(b, reachable, dim),
-                &|x, y| x | y,
-            ),
-            ProgExpr::Not(a) => self
-                .eval_expr(a, reachable, dim)
+            ProgExpr::Sub(a, b) => combine2(child!(a), child!(b), &|x, y| x - y, Op::Minus),
+            ProgExpr::Less(a, b) => {
+                combine2(child!(a), child!(b), &|x, y| i64::from(x < y), Op::LessThan)
+            }
+            ProgExpr::Equal(a, b) => {
+                combine2(child!(a), child!(b), &|x, y| i64::from(x == y), Op::Equal)
+            }
+            ProgExpr::And(a, b) => combine2(child!(a), child!(b), &|x, y| x & y, Op::And),
+            ProgExpr::Or(a, b) => combine2(child!(a), child!(b), &|x, y| x | y, Op::Or),
+            ProgExpr::Not(a) => child!(a)
                 .into_iter()
-                .map(|v| v.into_iter().map(|x| 1 - x).collect())
+                .map(|(v, w)| {
+                    (
+                        v.into_iter().map(|x| 1 - x).collect(),
+                        LazyWitness::Un(Op::Not, w),
+                    )
+                })
                 .collect(),
             ProgExpr::Ite(c, t, e) => {
-                let guards = self.eval_expr(c, reachable, dim);
-                let thens = self.eval_expr(t, reachable, dim);
-                let elses = self.eval_expr(e, reachable, dim);
-                let mut out = Vec::new();
-                'outer: for g in &guards {
-                    for tv in &thens {
-                        for ev in &elses {
-                            out.push(
-                                (0..dim)
-                                    .map(|j| if g[j] == 1 { tv[j] } else { ev[j] })
-                                    .collect(),
-                            );
+                let guards = child!(c);
+                let thens = child!(t);
+                let elses = child!(e);
+                let mut out: Valued = Vec::new();
+                'outer: for (gv, gw) in &guards {
+                    for (tv, tw) in &thens {
+                        for (ev, ew) in &elses {
+                            let vector = (0..dim)
+                                .map(|j| if gv[j] == 1 { tv[j] } else { ev[j] })
+                                .collect();
+                            out.push((vector, LazyWitness::Tri(Op::IfThenElse, *gw, *tw, *ew)));
                             if out.len() >= cap {
                                 break 'outer;
                             }
@@ -445,7 +620,9 @@ impl ProgramVerifier {
             }
         };
         match expr {
-            ProgExpr::Const(v) => AbsValue::Int(v.iter().map(|&c| AbsInt::constant(c)).collect()),
+            ProgExpr::Const(v, _) => {
+                AbsValue::Int(v.iter().map(|&c| AbsInt::constant(c)).collect())
+            }
             ProgExpr::Call(p) => values[*p].clone(),
             ProgExpr::Add(xs) => {
                 let mut acc = vec![AbsInt::constant(0); dim];
@@ -592,6 +769,61 @@ mod tests {
             NopeVerdict::RealizableOnExamples(witness) => assert_eq!(witness, vec![6]),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn bounded_search_reconstructs_a_derivable_witness_term() {
+        // The lazy witnesses threaded through the exploration must denote a
+        // real grammar term whose outputs are the good vector.
+        let grammar = g1();
+        let examples = ExampleSet::for_single_var("x", [2]);
+        let program = Program::from_grammar(&grammar, &examples);
+        let (vector, term) = ProgramVerifier::new()
+            .bounded_search_with_term(&program, &examples, &spec_2x_plus_2())
+            .expect("x = 2 has the good run 3·2 = 6");
+        assert_eq!(vector, vec![6]);
+        assert!(
+            grammar.contains_term(&term),
+            "witness {term} must be in L(G)"
+        );
+        let out = term.eval_on(&examples).unwrap();
+        assert_eq!(out, sygus::Output::Int(vector));
+        // the instrumented check agrees and reports the same witness
+        let outcome = ProgramVerifier::new().check_instrumented(
+            &program,
+            &examples,
+            &spec_2x_plus_2(),
+            &Cancel::never(),
+        );
+        assert!(matches!(
+            outcome.verdict,
+            NopeVerdict::RealizableOnExamples(_)
+        ));
+        assert_eq!(outcome.witness.as_ref(), Some(&term));
+        assert!(outcome.arena_terms > 0);
+    }
+
+    #[test]
+    fn ite_and_boolean_witnesses_are_derivable() {
+        // A CLIA grammar exercising Ite/Less lazy witnesses end to end.
+        let grammar = GrammarBuilder::new("Start")
+            .nonterminal("Start", Sort::Int)
+            .nonterminal("B", Sort::Bool)
+            .production("Start", Symbol::Var("x".to_string()), &[])
+            .production("Start", Symbol::Num(7), &[])
+            .production("Start", Symbol::IfThenElse, &["B", "Start", "Start"])
+            .production("B", Symbol::LessThan, &["Start", "Start"])
+            .build()
+            .unwrap();
+        let spec = Spec::output_equals(LinearExpr::constant(7), vec!["x".to_string()]);
+        let examples = ExampleSet::for_single_var("x", [3]);
+        let program = Program::from_grammar(&grammar, &examples);
+        let (vector, term) = ProgramVerifier::new()
+            .bounded_search_with_term(&program, &examples, &spec)
+            .expect("the constant 7 is derivable");
+        assert_eq!(vector, vec![7]);
+        assert!(grammar.contains_term(&term), "witness {term} not in L(G)");
+        assert_eq!(term.eval_on(&examples).unwrap(), sygus::Output::Int(vector));
     }
 
     #[test]

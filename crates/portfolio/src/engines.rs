@@ -61,6 +61,10 @@ pub struct EngineOutcome {
     pub iterations: u64,
     /// The number of examples the engine ended with.
     pub examples_used: usize,
+    /// Peak term-arena size of the run: distinct terms interned by the
+    /// engine's hot path (nay's CEGIS-wide candidate arena; the largest
+    /// bounded-search arena across nope's rounds).
+    pub arena_terms: usize,
     /// The verified solution term, when `verdict` is `Realizable`.
     pub solution: Option<Term>,
 }
@@ -79,6 +83,7 @@ pub fn solve_nay(problem: &Problem, cancel: &Cancel, nay: &Nay) -> EngineOutcome
         verdict,
         iterations: stats.cegis_iterations as u64,
         examples_used: stats.num_examples,
+        arena_terms: stats.arena_terms,
         solution,
     }
 }
@@ -149,6 +154,7 @@ impl NopeEngine {
         let mut examples = ExampleSet::new();
         examples.push(self.random_example(problem, &mut rng));
         let mut iterations = 0u64;
+        let mut arena_terms = 0usize;
         let mut verdict = SolveVerdict::Unknown;
         for _ in 0..self.max_rounds {
             if cancel.is_cancelled() {
@@ -157,6 +163,7 @@ impl NopeEngine {
             }
             let (round_verdict, stats) = self.solver.check_cancellable(problem, &examples, cancel);
             iterations += stats.abstract_iterations as u64;
+            arena_terms = arena_terms.max(stats.arena_terms);
             match round_verdict {
                 NopeVerdict::Unrealizable => {
                     verdict = SolveVerdict::Unrealizable;
@@ -195,6 +202,7 @@ impl NopeEngine {
             verdict,
             iterations,
             examples_used: examples.len(),
+            arena_terms,
             solution: None,
         }
     }

@@ -22,6 +22,10 @@ pub struct EngineReport {
     /// Engine iterations (CEGIS iterations for `nay`, abstract fixpoint
     /// iterations for `nope`); 0 when the job did not complete.
     pub iterations: u64,
+    /// The engine's peak term-arena size (see
+    /// [`crate::EngineOutcome::arena_terms`]); 0 when the job did not
+    /// complete.
+    pub arena_terms: usize,
     /// The engine's own wall-clock milliseconds on the pool.
     pub millis: f64,
     /// `true` when the job shared the pool sweep with an abandoned
@@ -145,16 +149,18 @@ impl Portfolio {
 
         let mut reports = results.into_iter().map(|result| {
             let millis = result.elapsed.as_secs_f64() * 1000.0;
-            let (engine, verdict, iterations, solution) = match result.output {
+            let (engine, verdict, iterations, arena_terms, solution) = match result.output {
                 Some(outcome) => (
                     outcome.engine,
                     outcome.verdict,
                     outcome.iterations,
+                    outcome.arena_terms,
                     outcome.solution,
                 ),
                 None => (
                     if result.id == "nay" { "nay" } else { "nope" },
                     SolveVerdict::Unknown,
+                    0,
                     0,
                     None,
                 ),
@@ -165,6 +171,7 @@ impl Portfolio {
                     status: result.status,
                     verdict,
                     iterations,
+                    arena_terms,
                     millis,
                     tainted: result.tainted,
                 },

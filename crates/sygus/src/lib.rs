@@ -11,6 +11,8 @@
 //!   `⟦·⟧_E` with respect to a finite set of input examples (Ex. 3.6, §6.1),
 //! * [`Spec`], [`Problem`] — SyGuS problems `(ψ, G)` (Def. 3.2) and their
 //!   example-restricted variants `sy_E` (Def. 3.4),
+//! * [`TermArena`], [`TermId`], [`VarId`], [`Op`] — the hash-consing term
+//!   arena the solver hot paths enumerate and evaluate on,
 //! * [`rewrite::to_plus_form`] — the `h(G)` rewriting that removes `Minus`
 //!   (§5.2),
 //! * [`parser`] — a SyGuS-IF-style s-expression front end and printer,
@@ -20,6 +22,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 pub mod encode;
 mod example;
 mod grammar;
@@ -30,6 +33,7 @@ mod semantics;
 mod spec;
 mod term;
 
+pub use arena::{Op, TermArena, TermId, VarId};
 pub use example::{Example, ExampleSet, Output};
 pub use grammar::{Grammar, GrammarBuilder, NonTerminal, Production};
 pub use problem::Problem;

@@ -241,32 +241,53 @@ impl Term {
         self.symbol.sort()
     }
 
-    /// Number of nodes in the term.
+    /// Number of nodes in the term. Iterative (explicit work list), so
+    /// deeply nested terms cannot overflow the call stack.
     pub fn size(&self) -> usize {
-        1 + self.children.iter().map(|c| c.size()).sum::<usize>()
+        let mut count = 0usize;
+        let mut stack: Vec<&Term> = vec![self];
+        while let Some(t) = stack.pop() {
+            count += 1;
+            stack.extend(t.children.iter());
+        }
+        count
     }
 
-    /// Height of the term (a leaf has height 1).
+    /// Height of the term (a leaf has height 1). Iterative: a DFS carrying
+    /// each node's depth instead of recursing.
     pub fn height(&self) -> usize {
-        1 + self.children.iter().map(|c| c.height()).max().unwrap_or(0)
+        let mut max_depth = 0usize;
+        let mut stack: Vec<(&Term, usize)> = vec![(self, 1)];
+        while let Some((t, depth)) = stack.pop() {
+            max_depth = max_depth.max(depth);
+            stack.extend(t.children.iter().map(|c| (c, depth + 1)));
+        }
+        max_depth
     }
 
-    /// The set of input-variable names occurring in the term.
+    /// The set of input-variable names occurring in the term. Iterative.
     pub fn variables(&self) -> std::collections::BTreeSet<String> {
         let mut out = std::collections::BTreeSet::new();
-        self.collect_vars(&mut out);
-        out
-    }
-
-    fn collect_vars(&self, out: &mut std::collections::BTreeSet<String>) {
-        match &self.symbol {
-            Symbol::Var(x) | Symbol::NegVar(x) => {
+        let mut stack: Vec<&Term> = vec![self];
+        while let Some(t) = stack.pop() {
+            if let Symbol::Var(x) | Symbol::NegVar(x) = &t.symbol {
                 out.insert(x.clone());
             }
-            _ => {}
+            stack.extend(t.children.iter());
         }
-        for c in &self.children {
-            c.collect_vars(out);
+        out
+    }
+}
+
+impl Drop for Term {
+    /// Iterative drop: the derived drop would recurse through the child
+    /// vectors and overflow the stack on deeply nested terms (the `gen`
+    /// scaler and the arena's [`crate::TermArena::extract`] can both
+    /// produce trees far deeper than the call stack tolerates).
+    fn drop(&mut self) {
+        let mut stack: Vec<Term> = std::mem::take(&mut self.children);
+        while let Some(mut t) = stack.pop() {
+            stack.append(&mut t.children);
         }
     }
 }
@@ -278,21 +299,34 @@ impl fmt::Debug for Term {
 }
 
 impl fmt::Display for Term {
+    /// SyGuS-IF-style rendering, iterative for the same deep-term reason
+    /// as [`Term::size`].
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.children.is_empty() {
-            match &self.symbol {
-                Symbol::Num(c) => write!(f, "{c}"),
-                Symbol::Var(x) => write!(f, "{x}"),
-                Symbol::NegVar(x) => write!(f, "(- {x})"),
-                other => write!(f, "{}", other.sygus_name()),
-            }
-        } else {
-            write!(f, "({}", self.symbol.sygus_name())?;
-            for c in &self.children {
-                write!(f, " {c}")?;
-            }
-            write!(f, ")")
+        enum Tok<'a> {
+            Node(&'a Term),
+            Text(&'static str),
         }
+        let mut stack = vec![Tok::Node(self)];
+        while let Some(tok) = stack.pop() {
+            match tok {
+                Tok::Text(s) => f.write_str(s)?,
+                Tok::Node(t) if t.children.is_empty() => match &t.symbol {
+                    Symbol::Num(c) => write!(f, "{c}")?,
+                    Symbol::Var(x) => write!(f, "{x}")?,
+                    Symbol::NegVar(x) => write!(f, "(- {x})")?,
+                    other => write!(f, "{}", other.sygus_name())?,
+                },
+                Tok::Node(t) => {
+                    write!(f, "({}", t.symbol.sygus_name())?;
+                    stack.push(Tok::Text(")"));
+                    for c in t.children.iter().rev() {
+                        stack.push(Tok::Node(c));
+                        stack.push(Tok::Text(" "));
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -344,6 +378,27 @@ mod tests {
         let vars = t.variables();
         assert!(vars.contains("x") && vars.contains("y"));
         assert_eq!(vars.len(), 2);
+    }
+
+    #[test]
+    fn deep_terms_do_not_overflow_the_stack() {
+        // A left-leaning chain of 100 000 Plus nodes, far deeper than any
+        // call stack tolerates: the iterative size/height/variables/Display
+        // implementations and the iterative Drop must all survive it.
+        const DEPTH: usize = 100_000;
+        let mut t = Term::num(1);
+        for _ in 0..DEPTH {
+            t = Term::plus(t, Term::var("x"));
+        }
+        assert_eq!(t.size(), 2 * DEPTH + 1);
+        assert_eq!(t.height(), DEPTH + 1);
+        let vars = t.variables();
+        assert_eq!(vars.len(), 1);
+        assert!(vars.contains("x"));
+        let printed = t.to_string();
+        assert!(printed.starts_with("(+ (+ "));
+        assert!(printed.ends_with(" x)"));
+        drop(t); // iterative Drop: must not recurse through 100k levels
     }
 
     #[test]

@@ -47,6 +47,58 @@ fn corpus_fingerprints_are_pairwise_distinct() {
     assert!(seen.len() >= 18, "expected the full corpus, got {seen:?}");
 }
 
+/// The committed fingerprint of every corpus instance, pinned at the
+/// hash-consing refactor (PR 5) and verified byte-identical to the
+/// pre-refactor values. Any change to the printer, the parser's
+/// normalizations, or the hash itself shows up here as an explicit diff —
+/// update the table only when such a change is intentional (and re-pin
+/// with `reproduce solve corpus/` still green).
+const PINNED_FINGERPRINTS: &[(&str, u64)] = &[
+    ("array_search_2", 0xd9094cc5f442fee4),
+    ("const_large", 0xb8f79c7b8bc26dc5),
+    ("deep_plus", 0x815313f49b42da5b),
+    ("gap_guard", 0x2a4f5ee972b876f5),
+    ("gen_const_sum_00001", 0x7dc5b2df0e1ed916),
+    ("gen_const_sum_00006", 0xf4dbdde504db396c),
+    ("gen_guarded_const_00002", 0xad80d92aaa2371dd),
+    ("gen_guarded_const_00016", 0xf05021643944e3c3),
+    ("gen_max_gap_00004", 0x7b83e624c2f76500),
+    ("gen_max_gap_00009", 0x40be24139408aa30),
+    ("gen_pbe_points_00003", 0x8ff4f3db4d6f8b5a),
+    ("gen_pbe_points_00008", 0x4435f1dfa0e25ff3),
+    ("gen_plus_mod_00000", 0x4029db311a17c054),
+    ("gen_plus_mod_00005", 0xa73e8acd7ecf8991),
+    ("if_guard1", 0xc6989879337cd40b),
+    ("if_max2", 0x1d5e1d13c70c15c9),
+    ("ite_nested2", 0xae51e4460b59fe25),
+    ("mpg_example1", 0xb2360eed0cebfb64),
+    ("mpg_guard1", 0x1634841c477af7ec),
+    ("mpg_guard4", 0xe042533869faaf07),
+    ("mpg_ite1", 0x1eeff746baf22aa4),
+    ("mpg_plane2", 0xe09e3b8157665e00),
+    ("plus_example2", 0xeaccba30de95575d),
+    ("plus_plane1", 0xf18257777c3ae268),
+    ("realizable_max2", 0x67829b5ebe943c4e),
+    ("realizable_xplus2", 0x866d5168f123ad54),
+    ("section2_g1", 0x4d238261dfd0b567),
+    ("unreal_parity", 0xcfcfd0f4b9167e06),
+];
+
+#[test]
+fn corpus_fingerprints_are_byte_stable_across_refactors() {
+    let pinned: BTreeMap<&str, u64> = PINNED_FINGERPRINTS.iter().copied().collect();
+    for (name, problem) in corpus_problems() {
+        let Some(&expected) = pinned.get(name.as_str()) else {
+            panic!("corpus instance `{name}` has no pinned fingerprint — add it to the table");
+        };
+        assert_eq!(
+            problem.fingerprint(),
+            expected,
+            "fingerprint of `{name}` drifted from the pinned value"
+        );
+    }
+}
+
 #[test]
 fn corpus_fingerprints_survive_a_print_parse_round_trip() {
     for (name, problem) in corpus_problems() {
