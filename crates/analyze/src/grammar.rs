@@ -1,0 +1,364 @@
+//! Structural analyses of a parsed [`Grammar`]: reachability,
+//! productivity, emptiness, useless productions, and finite-language
+//! detection with exact enumeration when the language is small.
+//!
+//! Built grammars contain only normal-form productions `A ::= σ(B₁ … Bₙ)`
+//! (chain rules are resolved at build time), so finiteness of `L(G)` is
+//! plain cycle detection on the *useful* part of the nonterminal reference
+//! graph: the language is finite iff no useful nonterminal can reach
+//! itself.
+
+use std::collections::{BTreeMap, BTreeSet};
+use sygus::{Grammar, NonTerminal, Term};
+
+/// Cap on the number of enumerated terms when the language is finite.
+/// Beyond this the report still says "finite" but the term list is marked
+/// truncated (and the presolve will not draw conclusions from it).
+pub const ENUM_CAP: usize = 256;
+
+/// An exactly-enumerated finite language.
+#[derive(Debug, Clone)]
+pub struct FiniteLanguage {
+    /// The terms of `L(G)`, smallest first; exhaustive iff `complete`.
+    pub terms: Vec<Term>,
+    /// `false` when enumeration stopped at [`ENUM_CAP`].
+    pub complete: bool,
+}
+
+/// What the structural analyses found.
+#[derive(Debug, Clone)]
+pub struct GrammarReport {
+    /// Number of declared nonterminals.
+    pub num_nonterminals: usize,
+    /// Number of productions.
+    pub num_productions: usize,
+    /// Nonterminals not reachable from the start symbol, sorted.
+    pub unreachable: Vec<String>,
+    /// Nonterminals that derive no finite tree, sorted.
+    pub unproductive: Vec<String>,
+    /// Productions that can never occur in a complete derivation from the
+    /// start symbol (the ones [`Grammar::trim`] deletes), rendered as
+    /// `A ::= (σ B₁ … Bₙ)`.
+    pub useless_productions: Vec<String>,
+    /// `true` when `L(G)` is empty (the start symbol is unproductive).
+    pub empty_language: bool,
+    /// `Some` when `L(G)` is finite; carries the enumeration.
+    pub finite: Option<FiniteLanguage>,
+}
+
+impl GrammarReport {
+    /// `true` when the grammar has no unreachable/unproductive parts.
+    pub fn is_trim(&self) -> bool {
+        self.unreachable.is_empty() && self.unproductive.is_empty()
+    }
+}
+
+/// Runs every structural analysis on a grammar.
+pub fn analyze_grammar(grammar: &Grammar) -> GrammarReport {
+    let reachable = grammar.reachable();
+    let productive = grammar.productive();
+    let empty_language = !productive.contains(grammar.start());
+
+    let unreachable: Vec<String> = grammar
+        .nonterminals()
+        .iter()
+        .filter(|nt| !reachable.contains(nt))
+        .map(|nt| nt.name().to_string())
+        .collect();
+    let unproductive: Vec<String> = grammar
+        .nonterminals()
+        .iter()
+        .filter(|nt| !productive.contains(nt))
+        .map(|nt| nt.name().to_string())
+        .collect();
+
+    // Useful = reachable ∩ productive, matching Grammar::trim's criterion
+    // (modulo trim's always-keep-the-start special case, which exists only
+    // to keep the grammar well-formed).
+    let useful: BTreeSet<&NonTerminal> = reachable.intersection(&productive).collect();
+    let useless_productions: Vec<String> = grammar
+        .productions()
+        .iter()
+        .filter(|p| !useful.contains(&p.lhs) || p.args.iter().any(|a| !useful.contains(a)))
+        .map(|p| {
+            if p.args.is_empty() {
+                format!("{} ::= {}", p.lhs.name(), p.symbol.sygus_name())
+            } else {
+                format!(
+                    "{} ::= ({} {})",
+                    p.lhs.name(),
+                    p.symbol.sygus_name(),
+                    p.args
+                        .iter()
+                        .map(|a| a.name().to_string())
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                )
+            }
+        })
+        .collect();
+
+    let finite = detect_finite(grammar, &useful).map(|order| enumerate(grammar, &useful, &order));
+
+    GrammarReport {
+        num_nonterminals: grammar.num_nonterminals(),
+        num_productions: grammar.num_productions(),
+        unreachable,
+        unproductive,
+        useless_productions,
+        empty_language,
+        finite,
+    }
+}
+
+/// Returns a topological order of the useful nonterminals reachable from
+/// the start when the useful reference graph is acyclic (⇔ `L(G)` finite),
+/// `None` when a cycle makes the language infinite. An empty language is
+/// trivially finite (empty order).
+fn detect_finite(grammar: &Grammar, useful: &BTreeSet<&NonTerminal>) -> Option<Vec<NonTerminal>> {
+    if !useful.contains(grammar.start()) {
+        return Some(Vec::new());
+    }
+    // Iterative three-color DFS from the start over useful productions;
+    // post-order reversal is not needed — we collect children-first, which
+    // is exactly the evaluation order enumeration wants.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Gray,
+        Black,
+    }
+    let mut color: BTreeMap<&NonTerminal, Color> =
+        useful.iter().map(|nt| (*nt, Color::White)).collect();
+    let mut order: Vec<NonTerminal> = Vec::new();
+    fn successors<'g>(
+        grammar: &'g Grammar,
+        useful: &BTreeSet<&NonTerminal>,
+        nt: &'g NonTerminal,
+    ) -> Vec<&'g NonTerminal> {
+        grammar
+            .productions_of(nt)
+            .filter(|p| p.args.iter().all(|a| useful.contains(a)))
+            .flat_map(|p| p.args.iter())
+            .collect()
+    }
+    let start = grammar.start();
+    // stack of (node, successor list, next-successor index)
+    let mut stack: Vec<(&NonTerminal, Vec<&NonTerminal>, usize)> =
+        vec![(start, successors(grammar, useful, start), 0)];
+    color.insert(start, Color::Gray);
+    while let Some(frame) = stack.last_mut() {
+        if frame.2 < frame.1.len() {
+            let next = frame.1[frame.2];
+            frame.2 += 1;
+            match color.get(next).copied() {
+                Some(Color::White) => {
+                    color.insert(next, Color::Gray);
+                    let s = successors(grammar, useful, next);
+                    stack.push((next, s, 0));
+                }
+                Some(Color::Gray) => return None, // cycle ⇒ infinite
+                _ => {}
+            }
+        } else {
+            let node = frame.0;
+            color.insert(node, Color::Black);
+            order.push(node.clone());
+            stack.pop();
+        }
+    }
+    Some(order)
+}
+
+/// Enumerates the finite language in the given children-first order,
+/// capped at [`ENUM_CAP`] terms per nonterminal.
+fn enumerate(
+    grammar: &Grammar,
+    useful: &BTreeSet<&NonTerminal>,
+    order: &[NonTerminal],
+) -> FiniteLanguage {
+    let mut terms: BTreeMap<&NonTerminal, Vec<Term>> = BTreeMap::new();
+    let mut complete = true;
+    for nt in order {
+        let mut out: Vec<Term> = Vec::new();
+        'prods: for p in grammar.productions_of(nt) {
+            if !p.args.iter().all(|a| useful.contains(a)) {
+                continue;
+            }
+            // cartesian product over the argument languages (children-first
+            // order guarantees every argument set is already computed)
+            let arg_terms: Vec<&[Term]> = p
+                .args
+                .iter()
+                .map(|a| terms.get(a).map(Vec::as_slice).unwrap_or(&[]))
+                .collect();
+            if arg_terms.iter().any(|ts| ts.is_empty()) {
+                continue; // an empty argument language yields no terms
+            }
+            let mut cursor = vec![0usize; arg_terms.len()];
+            'product: loop {
+                let children: Vec<Term> = cursor
+                    .iter()
+                    .zip(&arg_terms)
+                    .map(|(&i, ts)| ts[i].clone())
+                    .collect();
+                if let Ok(t) = Term::apply(p.symbol.clone(), children) {
+                    if !out.contains(&t) {
+                        out.push(t);
+                    }
+                }
+                if out.len() > ENUM_CAP {
+                    complete = false;
+                    out.truncate(ENUM_CAP);
+                    break 'prods;
+                }
+                // odometer increment; a full wrap-around (or a nullary
+                // symbol's empty cursor) ends the product
+                let mut k = arg_terms.len();
+                while k > 0 {
+                    k -= 1;
+                    cursor[k] += 1;
+                    if cursor[k] < arg_terms[k].len() {
+                        continue 'product;
+                    }
+                    cursor[k] = 0;
+                }
+                break;
+            }
+        }
+        terms.insert(nt, out);
+    }
+    let mut language = terms.remove(grammar.start()).unwrap_or_default();
+    language.sort_by_key(|t| (t.size(), t.to_string()));
+    FiniteLanguage {
+        terms: language,
+        complete,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sygus::{GrammarBuilder, Sort, Symbol, Term};
+
+    fn finite_grammar() -> Grammar {
+        // Start ::= 1 | 2 | (+ A A); A ::= 0 | 3   — finite, 2 + 4 = 6 terms
+        GrammarBuilder::new("Start")
+            .nonterminal("Start", Sort::Int)
+            .nonterminal("A", Sort::Int)
+            .production("Start", Symbol::Num(1), &[])
+            .production("Start", Symbol::Num(2), &[])
+            .production("Start", Symbol::Plus, &["A", "A"])
+            .production("A", Symbol::Num(0), &[])
+            .production("A", Symbol::Num(3), &[])
+            .build()
+            .expect("well-formed grammar")
+    }
+
+    #[test]
+    fn finite_language_is_enumerated_exactly() {
+        let report = analyze_grammar(&finite_grammar());
+        assert!(!report.empty_language);
+        assert!(report.is_trim());
+        let finite = report.finite.expect("finite language");
+        assert!(finite.complete);
+        assert_eq!(finite.terms.len(), 6);
+        assert!(finite.terms.contains(&Term::num(1)));
+        assert!(finite
+            .terms
+            .contains(&Term::plus(Term::num(3), Term::num(0))));
+    }
+
+    #[test]
+    fn recursive_grammar_is_infinite() {
+        let g = GrammarBuilder::new("Start")
+            .nonterminal("Start", Sort::Int)
+            .production("Start", Symbol::Num(0), &[])
+            .production("Start", Symbol::Plus, &["Start", "Start"])
+            .build()
+            .expect("well-formed grammar");
+        let report = analyze_grammar(&g);
+        assert!(report.finite.is_none());
+        assert!(!report.empty_language);
+    }
+
+    #[test]
+    fn unproductive_cycle_means_empty_language() {
+        // Start ::= (+ Start Start) — no base case
+        let g = GrammarBuilder::new("Start")
+            .nonterminal("Start", Sort::Int)
+            .production("Start", Symbol::Plus, &["Start", "Start"])
+            .build()
+            .expect("well-formed grammar");
+        let report = analyze_grammar(&g);
+        assert!(report.empty_language);
+        assert_eq!(report.unproductive, vec!["Start".to_string()]);
+        // the empty language is finite with zero terms
+        let finite = report.finite.expect("empty language is finite");
+        assert!(finite.complete);
+        assert!(finite.terms.is_empty());
+    }
+
+    #[test]
+    fn useless_parts_are_reported() {
+        // B is unreachable; C is unproductive; both productions are useless
+        let g = GrammarBuilder::new("Start")
+            .nonterminal("Start", Sort::Int)
+            .nonterminal("B", Sort::Int)
+            .nonterminal("C", Sort::Int)
+            .production("Start", Symbol::Num(1), &[])
+            .production("Start", Symbol::Plus, &["C", "Start"])
+            .production("B", Symbol::Num(2), &[])
+            .production("C", Symbol::Plus, &["C", "C"])
+            .build()
+            .expect("well-formed grammar");
+        let report = analyze_grammar(&g);
+        assert_eq!(report.unreachable, vec!["B".to_string()]);
+        assert_eq!(report.unproductive, vec!["C".to_string()]);
+        assert_eq!(report.useless_productions.len(), 3);
+        assert!(!report.empty_language);
+        // the useful fragment is just Start ::= 1, hence finite
+        let finite = report.finite.expect("finite after trimming");
+        assert_eq!(finite.terms, vec![Term::num(1)]);
+    }
+
+    #[test]
+    fn infinite_clia_grammar() {
+        let g = GrammarBuilder::new("Start")
+            .nonterminal("Start", Sort::Int)
+            .nonterminal("B", Sort::Bool)
+            .production("Start", Symbol::Var("x".into()), &[])
+            .production("Start", Symbol::Num(0), &[])
+            .production("Start", Symbol::IfThenElse, &["B", "Start", "Start"])
+            .production("B", Symbol::LessThan, &["Start", "Start"])
+            .build()
+            .expect("well-formed grammar");
+        let report = analyze_grammar(&g);
+        assert!(report.finite.is_none());
+        assert!(report.is_trim());
+    }
+
+    #[test]
+    fn enumeration_caps_out_gracefully() {
+        // 9 constants summed three levels deep: |L| = 9 + 9⁴ ≫ ENUM_CAP
+        let mut b = GrammarBuilder::new("S0")
+            .nonterminal("S0", Sort::Int)
+            .nonterminal("S1", Sort::Int)
+            .nonterminal("S2", Sort::Int);
+        for c in 1..=9 {
+            b = b
+                .production("S0", Symbol::Num(c), &[])
+                .production("S1", Symbol::Num(c), &[])
+                .production("S2", Symbol::Num(c), &[]);
+        }
+        let g = b
+            .production("S0", Symbol::Plus, &["S1", "S1"])
+            .production("S1", Symbol::Plus, &["S2", "S2"])
+            .build()
+            .expect("well-formed grammar");
+        let report = analyze_grammar(&g);
+        let finite = report.finite.expect("still finite");
+        assert!(!finite.complete);
+        assert_eq!(finite.terms.len(), ENUM_CAP);
+    }
+}

@@ -1,0 +1,1062 @@
+//! The abstract pre-solve: a cheap static attempt to settle a SyGuS
+//! problem before any engine runs.
+//!
+//! Three lanes, in order:
+//!
+//! 1. **Empty language** — the start symbol derives no term at all, so no
+//!    solution exists: `Unrealizable`.
+//! 2. **Finite enumeration** — when the grammar's language is finite and
+//!    small, every term is checked against the exact counterexample query
+//!    ([`sygus::encode::counterexample_query`]): a term with an `Unsat`
+//!    query is a verified witness (`Realizable`); if *every* term has a
+//!    concrete counterexample the language is exhausted (`Unrealizable`).
+//! 3. **Abstract refutation** — an interval/parity abstract interpretation
+//!    of the grammar's nonterminals under a concrete probe input (a
+//!    lightweight cousin of the in-tree `gfa` flow analysis). Every
+//!    program in `L(G)` evaluates, on that input, to a value inside the
+//!    abstract output; if the exact QF-LIA solver proves that no such
+//!    value satisfies the instantiated specification, the problem is
+//!    `Unrealizable`.
+//!
+//! All three lanes abstain (verdict [`PresolveVerdict::Unknown`]) rather
+//! than guess whenever the solver returns `Unknown` or a cap is hit, so a
+//! presolve verdict is always backed by an exact proof — this is what
+//! makes it safe for the portfolio to skip engine dispatch. Every
+//! definitive outcome carries a [`PresolveReason`] that
+//! [`Presolver::recheck`] can re-validate from scratch.
+
+use std::fmt;
+
+use logic::{Formula, LinearExpr, Solver, SolverResult, Var};
+use sygus::encode::counterexample_query;
+use sygus::{Example, Grammar, Problem, Spec, Symbol, Term};
+
+use crate::grammar::analyze_grammar;
+
+/// What the presolve concluded.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PresolveVerdict {
+    /// A verified witness term exists.
+    Realizable,
+    /// No term of the grammar can satisfy the specification.
+    Unrealizable,
+    /// The presolve abstained; engines must run.
+    Unknown,
+}
+
+impl PresolveVerdict {
+    /// Stable lower-case name, matching the engines' verdict strings.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PresolveVerdict::Realizable => "realizable",
+            PresolveVerdict::Unrealizable => "unrealizable",
+            PresolveVerdict::Unknown => "unknown",
+        }
+    }
+}
+
+impl fmt::Display for PresolveVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Parity of an integer abstract value.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Parity {
+    /// No value yet (bottom).
+    Bottom,
+    /// All values are even.
+    Even,
+    /// All values are odd.
+    Odd,
+    /// Both parities occur (top).
+    Top,
+}
+
+impl Parity {
+    fn of(v: i64) -> Parity {
+        if v.rem_euclid(2) == 0 {
+            Parity::Even
+        } else {
+            Parity::Odd
+        }
+    }
+
+    fn join(self, other: Parity) -> Parity {
+        match (self, other) {
+            (Parity::Bottom, p) | (p, Parity::Bottom) => p,
+            (a, b) if a == b => a,
+            _ => Parity::Top,
+        }
+    }
+
+    fn add(self, other: Parity) -> Parity {
+        match (self, other) {
+            (Parity::Bottom, _) | (_, Parity::Bottom) => Parity::Bottom,
+            (Parity::Top, _) | (_, Parity::Top) => Parity::Top,
+            (a, b) if a == b => Parity::Even,
+            _ => Parity::Odd,
+        }
+    }
+}
+
+impl fmt::Display for Parity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Parity::Bottom => write!(f, "⊥"),
+            Parity::Even => write!(f, "even"),
+            Parity::Odd => write!(f, "odd"),
+            Parity::Top => write!(f, "⊤"),
+        }
+    }
+}
+
+/// An integer abstract value: an interval (`None` = unbounded) refined
+/// with a parity.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct AbsInt {
+    /// Lower bound; `None` is −∞.
+    pub lo: Option<i64>,
+    /// Upper bound; `None` is +∞.
+    pub hi: Option<i64>,
+    /// Parity refinement.
+    pub parity: Parity,
+}
+
+impl AbsInt {
+    fn singleton(v: i64) -> AbsInt {
+        AbsInt {
+            lo: Some(v),
+            hi: Some(v),
+            parity: Parity::of(v),
+        }
+    }
+
+    fn top() -> AbsInt {
+        AbsInt {
+            lo: None,
+            hi: None,
+            parity: Parity::Top,
+        }
+    }
+
+    fn join(self, other: AbsInt) -> AbsInt {
+        AbsInt {
+            lo: match (self.lo, other.lo) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                _ => None,
+            },
+            hi: match (self.hi, other.hi) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                _ => None,
+            },
+            parity: self.parity.join(other.parity),
+        }
+    }
+
+    fn add(self, other: AbsInt) -> AbsInt {
+        AbsInt {
+            lo: self.lo.zip(other.lo).and_then(|(a, b)| a.checked_add(b)),
+            hi: self.hi.zip(other.hi).and_then(|(a, b)| a.checked_add(b)),
+            parity: self.parity.add(other.parity),
+        }
+    }
+
+    fn sub(self, other: AbsInt) -> AbsInt {
+        AbsInt {
+            lo: self.lo.zip(other.hi).and_then(|(a, b)| a.checked_sub(b)),
+            hi: self.hi.zip(other.lo).and_then(|(a, b)| a.checked_sub(b)),
+            // parity of a − b equals parity of a + b
+            parity: self.parity.add(other.parity),
+        }
+    }
+
+    /// Standard interval widening: a bound that moved since `self` jumps
+    /// to infinity.
+    fn widen(self, next: AbsInt) -> AbsInt {
+        AbsInt {
+            lo: match (self.lo, next.lo) {
+                (Some(a), Some(b)) if b >= a => Some(a),
+                _ => None,
+            },
+            hi: match (self.hi, next.hi) {
+                (Some(a), Some(b)) if b <= a => Some(a),
+                _ => None,
+            },
+            parity: self.parity.join(next.parity),
+        }
+    }
+
+    fn intersects(self, other: AbsInt) -> bool {
+        let lo = match (self.lo, other.lo) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (Some(a), None) | (None, Some(a)) => Some(a),
+            (None, None) => None,
+        };
+        let hi = match (self.hi, other.hi) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (Some(a), None) | (None, Some(a)) => Some(a),
+            (None, None) => None,
+        };
+        match (lo, hi) {
+            (Some(l), Some(h)) => l <= h,
+            _ => true,
+        }
+    }
+
+    fn is_singleton(self) -> Option<i64> {
+        match (self.lo, self.hi) {
+            (Some(a), Some(b)) if a == b => Some(a),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for AbsInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.lo {
+            Some(lo) => write!(f, "[{lo}, ")?,
+            None => write!(f, "(-∞, ")?,
+        }
+        match self.hi {
+            Some(hi) => write!(f, "{hi}]")?,
+            None => write!(f, "+∞)")?,
+        }
+        match self.parity {
+            Parity::Even => write!(f, " even"),
+            Parity::Odd => write!(f, " odd"),
+            _ => Ok(()),
+        }
+    }
+}
+
+/// A Boolean abstract value: which truth values may occur.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct AbsBool {
+    /// `true` may occur.
+    pub may_true: bool,
+    /// `false` may occur.
+    pub may_false: bool,
+}
+
+impl AbsBool {
+    fn top() -> AbsBool {
+        AbsBool {
+            may_true: true,
+            may_false: true,
+        }
+    }
+
+    fn join(self, other: AbsBool) -> AbsBool {
+        AbsBool {
+            may_true: self.may_true || other.may_true,
+            may_false: self.may_false || other.may_false,
+        }
+    }
+}
+
+impl fmt::Display for AbsBool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.may_true, self.may_false) {
+            (true, true) => write!(f, "{{true, false}}"),
+            (true, false) => write!(f, "{{true}}"),
+            (false, true) => write!(f, "{{false}}"),
+            (false, false) => write!(f, "∅"),
+        }
+    }
+}
+
+/// A value of the combined abstract domain.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AbsVal {
+    /// No derivation reaches this point yet.
+    Bottom,
+    /// An integer-sorted abstract value.
+    Int(AbsInt),
+    /// A Boolean-sorted abstract value.
+    Bool(AbsBool),
+}
+
+impl AbsVal {
+    fn join(self, other: AbsVal) -> AbsVal {
+        match (self, other) {
+            (AbsVal::Bottom, v) | (v, AbsVal::Bottom) => v,
+            (AbsVal::Int(a), AbsVal::Int(b)) => AbsVal::Int(a.join(b)),
+            (AbsVal::Bool(a), AbsVal::Bool(b)) => AbsVal::Bool(a.join(b)),
+            // sort clash (impossible in a built grammar): go to a safe top
+            (AbsVal::Int(_), _) | (_, AbsVal::Int(_)) => AbsVal::Int(AbsInt::top()),
+        }
+    }
+
+    fn widen(self, next: AbsVal) -> AbsVal {
+        match (self, next) {
+            (AbsVal::Int(a), AbsVal::Int(b)) => AbsVal::Int(a.widen(b)),
+            (a, b) => a.join(b),
+        }
+    }
+
+    fn as_int(self) -> Option<AbsInt> {
+        match self {
+            AbsVal::Int(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for AbsVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbsVal::Bottom => write!(f, "⊥"),
+            AbsVal::Int(a) => write!(f, "{a}"),
+            AbsVal::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+/// Why the presolve reached its verdict. Every definitive reason can be
+/// re-validated from scratch via [`Presolver::recheck`].
+#[derive(Clone, Debug)]
+pub enum PresolveReason {
+    /// The start symbol is unproductive: `L(G) = ∅`.
+    EmptyLanguage,
+    /// A finite language contained a term whose counterexample query is
+    /// unsatisfiable (the term in [`PresolveOutcome::witness`]).
+    FiniteWitness {
+        /// Size of the enumerated language.
+        candidates: usize,
+    },
+    /// A finite language was exhausted: every term has a concrete
+    /// counterexample.
+    FiniteExhausted {
+        /// Size of the enumerated language.
+        candidates: usize,
+    },
+    /// On the given concrete input, the abstract output of the grammar
+    /// cannot satisfy the specification (proved by an exact QF-LIA query).
+    AbstractRefutation {
+        /// The probe input, one `(variable, value)` pair per input.
+        inputs: Vec<(String, i64)>,
+        /// The abstract output of the start symbol on that input.
+        output: AbsVal,
+    },
+    /// No lane concluded anything.
+    Abstain {
+        /// What was tried.
+        detail: String,
+    },
+}
+
+impl fmt::Display for PresolveReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PresolveReason::EmptyLanguage => write!(f, "the grammar derives no terms"),
+            PresolveReason::FiniteWitness { candidates } => write!(
+                f,
+                "finite language ({candidates} terms) contains a verified witness"
+            ),
+            PresolveReason::FiniteExhausted { candidates } => write!(
+                f,
+                "finite language exhausted: all {candidates} terms have counterexamples"
+            ),
+            PresolveReason::AbstractRefutation { inputs, output } => {
+                write!(f, "abstract output {output} on input ")?;
+                if inputs.is_empty() {
+                    write!(f, "()")?;
+                } else {
+                    let rendered: Vec<String> =
+                        inputs.iter().map(|(x, v)| format!("{x}={v}")).collect();
+                    write!(f, "{}", rendered.join(", "))?;
+                }
+                write!(f, " cannot satisfy the specification")
+            }
+            PresolveReason::Abstain { detail } => write!(f, "abstained: {detail}"),
+        }
+    }
+}
+
+/// The outcome of a presolve run.
+#[derive(Clone, Debug)]
+pub struct PresolveOutcome {
+    /// The verdict.
+    pub verdict: PresolveVerdict,
+    /// The checkable reason.
+    pub reason: PresolveReason,
+    /// A verified witness term, for `Realizable` verdicts.
+    pub witness: Option<Term>,
+}
+
+impl PresolveOutcome {
+    /// `true` when the presolve settled the problem.
+    pub fn is_definitive(&self) -> bool {
+        self.verdict != PresolveVerdict::Unknown
+    }
+
+    fn abstain(detail: impl Into<String>) -> PresolveOutcome {
+        PresolveOutcome {
+            verdict: PresolveVerdict::Unknown,
+            reason: PresolveReason::Abstain {
+                detail: detail.into(),
+            },
+            witness: None,
+        }
+    }
+}
+
+/// The static pre-solver. All caps are deliberately small: the presolve
+/// runs in front of *every* portfolio race and must cost microseconds to
+/// low milliseconds, never compete with the engines.
+#[derive(Clone, Debug)]
+pub struct Presolver {
+    solver: Solver,
+    /// Finite-language verification is skipped above this many candidates.
+    max_candidates: usize,
+    /// At most this many probe inputs are tried in the abstract lane.
+    max_probes: usize,
+}
+
+impl Default for Presolver {
+    fn default() -> Self {
+        Presolver::new()
+    }
+}
+
+/// Kleene rounds before widening kicks in.
+const WIDEN_AFTER: usize = 8;
+/// Hard cap on fixpoint rounds (reached only by pathological grammars;
+/// the result then falls back to top, which is always sound).
+const MAX_ROUNDS: usize = 64;
+
+impl Presolver {
+    /// A presolver with the default (small) budgets.
+    pub fn new() -> Self {
+        Presolver {
+            solver: Solver::default(),
+            max_candidates: 64,
+            max_probes: 16,
+        }
+    }
+
+    /// Runs the three lanes on a problem.
+    pub fn presolve(&self, problem: &Problem) -> PresolveOutcome {
+        let grammar = problem.grammar();
+        let spec = problem.spec();
+        let report = analyze_grammar(grammar);
+
+        // Lane 1: empty language.
+        if report.empty_language {
+            return PresolveOutcome {
+                verdict: PresolveVerdict::Unrealizable,
+                reason: PresolveReason::EmptyLanguage,
+                witness: None,
+            };
+        }
+
+        // Lane 2: finite enumeration.
+        if let Some(finite) = &report.finite {
+            if finite.complete && finite.terms.len() <= self.max_candidates {
+                let mut all_refuted = true;
+                for t in &finite.terms {
+                    match self.solver.check(&counterexample_query(t, spec)) {
+                        SolverResult::Unsat => {
+                            return PresolveOutcome {
+                                verdict: PresolveVerdict::Realizable,
+                                reason: PresolveReason::FiniteWitness {
+                                    candidates: finite.terms.len(),
+                                },
+                                witness: Some(t.clone()),
+                            }
+                        }
+                        SolverResult::Sat(_) => {}
+                        SolverResult::Unknown => all_refuted = false,
+                    }
+                }
+                if all_refuted {
+                    return PresolveOutcome {
+                        verdict: PresolveVerdict::Unrealizable,
+                        reason: PresolveReason::FiniteExhausted {
+                            candidates: finite.terms.len(),
+                        },
+                        witness: None,
+                    };
+                }
+                // fall through to the abstract lane
+            }
+        }
+
+        // Lane 3: abstract refutation over probe inputs.
+        let probes = self.probes(spec);
+        for probe in &probes {
+            let abs = abstract_output(grammar, probe);
+            let Some(query) = refutation_query(spec, probe, &abs) else {
+                continue;
+            };
+            if self.solver.check(&query) == SolverResult::Unsat {
+                let inputs: Vec<(String, i64)> = spec
+                    .input_vars()
+                    .iter()
+                    .filter_map(|x| probe.get(x).map(|v| (x.clone(), v)))
+                    .collect();
+                return PresolveOutcome {
+                    verdict: PresolveVerdict::Unrealizable,
+                    reason: PresolveReason::AbstractRefutation {
+                        inputs,
+                        output: abs,
+                    },
+                    witness: None,
+                };
+            }
+        }
+
+        PresolveOutcome::abstain(format!(
+            "no refutation on {} probes; language {}",
+            probes.len(),
+            if report.finite.is_some() {
+                "finite but not settled"
+            } else {
+                "infinite"
+            }
+        ))
+    }
+
+    /// Independently re-validates a presolve outcome against the problem.
+    ///
+    /// This is the *gate* the portfolio applies before trusting a presolve
+    /// verdict: the reason is re-derived from scratch (re-enumeration,
+    /// re-abstraction, fresh solver queries), so a bug that fabricated a
+    /// verdict without a valid proof is caught here instead of flipping a
+    /// race verdict.
+    pub fn recheck(&self, problem: &Problem, outcome: &PresolveOutcome) -> bool {
+        let grammar = problem.grammar();
+        let spec = problem.spec();
+        match &outcome.reason {
+            PresolveReason::EmptyLanguage => {
+                outcome.verdict == PresolveVerdict::Unrealizable
+                    && !grammar.productive().contains(grammar.start())
+            }
+            PresolveReason::FiniteWitness { .. } => {
+                outcome.verdict == PresolveVerdict::Realizable
+                    && match &outcome.witness {
+                        Some(w) => {
+                            grammar.contains_term(w)
+                                && self.solver.check(&counterexample_query(w, spec))
+                                    == SolverResult::Unsat
+                        }
+                        None => false,
+                    }
+            }
+            PresolveReason::FiniteExhausted { candidates } => {
+                if outcome.verdict != PresolveVerdict::Unrealizable {
+                    return false;
+                }
+                let report = analyze_grammar(grammar);
+                match &report.finite {
+                    Some(f) if f.complete && f.terms.len() == *candidates => {
+                        f.terms.iter().all(|t| {
+                            matches!(
+                                self.solver.check(&counterexample_query(t, spec)),
+                                SolverResult::Sat(_)
+                            )
+                        })
+                    }
+                    _ => false,
+                }
+            }
+            PresolveReason::AbstractRefutation { inputs, output } => {
+                if outcome.verdict != PresolveVerdict::Unrealizable {
+                    return false;
+                }
+                let probe = Example::from_pairs(inputs.iter().map(|(x, v)| (x.clone(), *v)));
+                let recomputed = abstract_output(grammar, &probe);
+                recomputed == *output
+                    && match refutation_query(spec, &probe, &recomputed) {
+                        Some(q) => self.solver.check(&q) == SolverResult::Unsat,
+                        None => false,
+                    }
+            }
+            PresolveReason::Abstain { .. } => outcome.verdict == PresolveVerdict::Unknown,
+        }
+    }
+
+    /// Deterministic probe inputs: a small grid around zero, extended with
+    /// values mined from the specification's atoms (so point constraints
+    /// like `x = 7 ⇒ …` get probed at exactly `x = 7`).
+    fn probes(&self, spec: &Spec) -> Vec<Example> {
+        let vars = spec.input_vars();
+        if vars.is_empty() {
+            return vec![Example::new()];
+        }
+        let mut values: Vec<i64> = vec![0, 1, -1, 2, -2];
+        for atom in spec.formula().atoms() {
+            let d = atom.difference();
+            let c = d.constant_part();
+            for (v, coeff) in d.terms() {
+                if *v == Spec::output_var() {
+                    continue;
+                }
+                // a ±1-coefficient variable solves to ∓constant when the
+                // other variables are zero — exactly the axis probes below
+                let mined = match coeff {
+                    1 => -c,
+                    -1 => c,
+                    _ => continue,
+                };
+                if !values.contains(&mined) {
+                    values.push(mined);
+                }
+            }
+        }
+        values.truncate(12);
+
+        let mut probes: Vec<Example> = Vec::new();
+        let push = |probes: &mut Vec<Example>, e: Example| {
+            if probes.len() < self.max_probes && !probes.contains(&e) {
+                probes.push(e);
+            }
+        };
+        for &v in &values {
+            // diagonal probe: every variable = v (for one variable this is
+            // the whole grid)
+            push(
+                &mut probes,
+                Example::from_pairs(vars.iter().map(|x| (x.clone(), v))),
+            );
+            // axis probes: one variable = v, the others 0
+            if vars.len() > 1 && v != 0 {
+                for x in vars {
+                    push(
+                        &mut probes,
+                        Example::from_pairs(
+                            vars.iter().map(|y| (y.clone(), if y == x { v } else { 0 })),
+                        ),
+                    );
+                }
+            }
+        }
+        probes
+    }
+}
+
+/// The abstract output of the grammar's start symbol when every input
+/// variable is fixed to its value in `probe` (variables absent from the
+/// probe are treated as unconstrained). A Kleene fixpoint with interval
+/// widening after `WIDEN_AFTER` rounds; sound by construction — every
+/// concrete program output on `probe` lies in the result.
+pub fn abstract_output(grammar: &Grammar, probe: &Example) -> AbsVal {
+    let nts = grammar.nonterminals();
+    let index = |nt: &sygus::NonTerminal| nts.iter().position(|n| n == nt);
+    let mut vals: Vec<AbsVal> = vec![AbsVal::Bottom; nts.len()];
+    for round in 0..MAX_ROUNDS {
+        let mut changed = false;
+        for p in grammar.productions() {
+            let Some(lhs) = index(&p.lhs) else { continue };
+            let args: Option<Vec<AbsVal>> =
+                p.args.iter().map(|a| index(a).map(|i| vals[i])).collect();
+            let Some(args) = args else { continue };
+            let v = eval_symbol(&p.symbol, &args, probe);
+            if v == AbsVal::Bottom {
+                continue;
+            }
+            let joined = vals[lhs].join(v);
+            let next = if round >= WIDEN_AFTER {
+                vals[lhs].widen(joined)
+            } else {
+                joined
+            };
+            if next != vals[lhs] {
+                vals[lhs] = next;
+                changed = true;
+            }
+        }
+        if !changed {
+            return index(grammar.start()).map_or(AbsVal::Bottom, |i| vals[i]);
+        }
+    }
+    // Pathological non-convergence: fall back to top (always sound).
+    match grammar.sort_of(grammar.start()) {
+        Some(sygus::Sort::Bool) => AbsVal::Bool(AbsBool::top()),
+        _ => AbsVal::Int(AbsInt::top()),
+    }
+}
+
+fn eval_symbol(symbol: &Symbol, args: &[AbsVal], probe: &Example) -> AbsVal {
+    if args.contains(&AbsVal::Bottom) {
+        return AbsVal::Bottom;
+    }
+    let int = |i: usize| args.get(i).copied().and_then(AbsVal::as_int);
+    match symbol {
+        Symbol::Num(c) => AbsVal::Int(AbsInt::singleton(*c)),
+        Symbol::Var(x) => AbsVal::Int(probe.get(x).map_or_else(AbsInt::top, AbsInt::singleton)),
+        Symbol::NegVar(x) => AbsVal::Int(
+            probe
+                .get(x)
+                .and_then(i64::checked_neg)
+                .map_or_else(AbsInt::top, AbsInt::singleton),
+        ),
+        Symbol::Plus => {
+            let mut acc = match int(0) {
+                Some(a) => a,
+                None => return AbsVal::Int(AbsInt::top()),
+            };
+            for i in 1..args.len() {
+                match int(i) {
+                    Some(b) => acc = acc.add(b),
+                    None => return AbsVal::Int(AbsInt::top()),
+                }
+            }
+            AbsVal::Int(acc)
+        }
+        Symbol::Minus => match (int(0), int(1)) {
+            (Some(a), Some(b)) => AbsVal::Int(a.sub(b)),
+            _ => AbsVal::Int(AbsInt::top()),
+        },
+        Symbol::IfThenElse => {
+            let (t, e) = (
+                args.get(1).copied().unwrap_or(AbsVal::Bottom),
+                args.get(2).copied().unwrap_or(AbsVal::Bottom),
+            );
+            match args.first() {
+                Some(AbsVal::Bool(c)) if !c.may_false => t,
+                Some(AbsVal::Bool(c)) if !c.may_true => e,
+                _ => t.join(e),
+            }
+        }
+        Symbol::And | Symbol::Or | Symbol::Not => {
+            let b = |i: usize| match args.get(i) {
+                Some(AbsVal::Bool(b)) => *b,
+                _ => AbsBool::top(),
+            };
+            let v = match symbol {
+                Symbol::And => AbsBool {
+                    may_true: b(0).may_true && b(1).may_true,
+                    may_false: b(0).may_false || b(1).may_false,
+                },
+                Symbol::Or => AbsBool {
+                    may_true: b(0).may_true || b(1).may_true,
+                    may_false: b(0).may_false && b(1).may_false,
+                },
+                _ => AbsBool {
+                    may_true: b(0).may_false,
+                    may_false: b(0).may_true,
+                },
+            };
+            AbsVal::Bool(v)
+        }
+        Symbol::LessThan => match (int(0), int(1)) {
+            (Some(a), Some(b)) => AbsVal::Bool(AbsBool {
+                // some v_a < v_b exists iff a's minimum lies below b's maximum
+                may_true: match (a.lo, b.hi) {
+                    (Some(lo), Some(hi)) => lo < hi,
+                    _ => true,
+                },
+                // some v_a ≥ v_b exists iff a's maximum reaches b's minimum
+                may_false: match (a.hi, b.lo) {
+                    (Some(hi), Some(lo)) => hi >= lo,
+                    _ => true,
+                },
+            }),
+            _ => AbsVal::Bool(AbsBool::top()),
+        },
+        Symbol::Equal => match (int(0), int(1)) {
+            (Some(a), Some(b)) => {
+                let parity_disjoint = matches!(
+                    (a.parity, b.parity),
+                    (Parity::Even, Parity::Odd) | (Parity::Odd, Parity::Even)
+                );
+                let both_same_singleton = match (a.is_singleton(), b.is_singleton()) {
+                    (Some(x), Some(y)) => x == y,
+                    _ => false,
+                };
+                AbsVal::Bool(AbsBool {
+                    may_true: a.intersects(b) && !parity_disjoint,
+                    may_false: !both_same_singleton,
+                })
+            }
+            _ => AbsVal::Bool(AbsBool::top()),
+        },
+    }
+}
+
+/// `γ(abs)(out) ∧ ψ[x̄ := probe]`: satisfiable iff some value the grammar
+/// can produce on `probe` satisfies the instantiated specification. An
+/// `Unsat` answer is therefore an unrealizability proof. Returns `None`
+/// when the abstraction supports no sound encoding (bottom values).
+fn refutation_query(spec: &Spec, probe: &Example, abs: &AbsVal) -> Option<Formula> {
+    let out = Var::new("__presolve_out");
+    let psi = spec.instantiate(probe, &out);
+    let mut parts: Vec<Formula> = Vec::new();
+    match abs {
+        AbsVal::Bottom => return None,
+        AbsVal::Int(a) => {
+            if let Some(lo) = a.lo {
+                parts.push(Formula::ge(
+                    LinearExpr::var(out.clone()),
+                    LinearExpr::constant(lo),
+                ));
+            }
+            if let Some(hi) = a.hi {
+                parts.push(Formula::le(
+                    LinearExpr::var(out.clone()),
+                    LinearExpr::constant(hi),
+                ));
+            }
+            let k = Var::new("__presolve_k");
+            match a.parity {
+                Parity::Even => parts.push(Formula::eq(
+                    LinearExpr::var(out.clone()),
+                    LinearExpr::var(k).scale(2),
+                )),
+                Parity::Odd => parts.push(Formula::eq(
+                    LinearExpr::var(out.clone()),
+                    LinearExpr::var(k).scale(2) + LinearExpr::constant(1),
+                )),
+                Parity::Top => {}
+                Parity::Bottom => return None,
+            }
+        }
+        AbsVal::Bool(b) => {
+            // Boolean outputs use the 0/1 integer encoding of the spec
+            parts.push(Formula::ge(
+                LinearExpr::var(out.clone()),
+                LinearExpr::constant(0),
+            ));
+            parts.push(Formula::le(
+                LinearExpr::var(out.clone()),
+                LinearExpr::constant(1),
+            ));
+            if !b.may_true {
+                parts.push(Formula::eq(
+                    LinearExpr::var(out.clone()),
+                    LinearExpr::constant(0),
+                ));
+            }
+            if !b.may_false {
+                parts.push(Formula::eq(
+                    LinearExpr::var(out.clone()),
+                    LinearExpr::constant(1),
+                ));
+            }
+        }
+    }
+    parts.push(psi);
+    Some(Formula::and(parts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sygus::{GrammarBuilder, Sort};
+
+    fn presolver() -> Presolver {
+        Presolver::new()
+    }
+
+    fn problem(grammar: Grammar, spec: Spec) -> Problem {
+        Problem::new("presolve-test", grammar, spec)
+    }
+
+    #[test]
+    fn empty_language_is_unrealizable() {
+        let g = GrammarBuilder::new("Start")
+            .nonterminal("Start", Sort::Int)
+            .production("Start", Symbol::Plus, &["Start", "Start"])
+            .build()
+            .expect("well-formed grammar");
+        let spec = Spec::output_equals(LinearExpr::constant(0), vec![]);
+        let p = problem(g, spec);
+        let out = presolver().presolve(&p);
+        assert_eq!(out.verdict, PresolveVerdict::Unrealizable);
+        assert!(matches!(out.reason, PresolveReason::EmptyLanguage));
+        assert!(presolver().recheck(&p, &out));
+    }
+
+    #[test]
+    fn finite_language_witness_is_found_and_verified() {
+        // Start ::= 1 | 2, spec f = 2
+        let g = GrammarBuilder::new("Start")
+            .nonterminal("Start", Sort::Int)
+            .production("Start", Symbol::Num(1), &[])
+            .production("Start", Symbol::Num(2), &[])
+            .build()
+            .expect("well-formed grammar");
+        let spec = Spec::output_equals(LinearExpr::constant(2), vec![]);
+        let p = problem(g, spec);
+        let out = presolver().presolve(&p);
+        assert_eq!(out.verdict, PresolveVerdict::Realizable);
+        assert_eq!(out.witness, Some(Term::num(2)));
+        assert!(presolver().recheck(&p, &out));
+    }
+
+    #[test]
+    fn finite_language_exhaustion_is_unrealizable() {
+        let g = GrammarBuilder::new("Start")
+            .nonterminal("Start", Sort::Int)
+            .production("Start", Symbol::Num(1), &[])
+            .production("Start", Symbol::Num(2), &[])
+            .build()
+            .expect("well-formed grammar");
+        let spec = Spec::output_equals(LinearExpr::constant(3), vec![]);
+        let p = problem(g, spec);
+        let out = presolver().presolve(&p);
+        assert_eq!(out.verdict, PresolveVerdict::Unrealizable);
+        assert!(matches!(
+            out.reason,
+            PresolveReason::FiniteExhausted { candidates: 2 }
+        ));
+        assert!(presolver().recheck(&p, &out));
+    }
+
+    #[test]
+    fn parity_refutes_the_unreal_parity_shape() {
+        // Start ::= 2 | (- Start Start): every output is even; spec f = 3
+        let g = GrammarBuilder::new("Start")
+            .nonterminal("Start", Sort::Int)
+            .production("Start", Symbol::Num(2), &[])
+            .production("Start", Symbol::Minus, &["Start", "Start"])
+            .build()
+            .expect("well-formed grammar");
+        let spec = Spec::output_equals(LinearExpr::constant(3), vec!["x".to_string()]);
+        let p = problem(g, spec);
+        let out = presolver().presolve(&p);
+        assert_eq!(out.verdict, PresolveVerdict::Unrealizable);
+        match &out.reason {
+            PresolveReason::AbstractRefutation { output, .. } => {
+                assert_eq!(output.as_int().map(|a| a.parity), Some(Parity::Even));
+            }
+            other => panic!("unexpected reason {other}"),
+        }
+        assert!(presolver().recheck(&p, &out));
+    }
+
+    #[test]
+    fn interval_refutes_a_const_sum_shape() {
+        // Start ::= 5 | (+ Start Start): outputs ⊆ [5, ∞); spec f = 3
+        let g = GrammarBuilder::new("Start")
+            .nonterminal("Start", Sort::Int)
+            .production("Start", Symbol::Num(5), &[])
+            .production("Start", Symbol::Plus, &["Start", "Start"])
+            .build()
+            .expect("well-formed grammar");
+        let spec = Spec::output_equals(LinearExpr::constant(3), vec![]);
+        let p = problem(g, spec);
+        let out = presolver().presolve(&p);
+        assert_eq!(out.verdict, PresolveVerdict::Unrealizable);
+        match &out.reason {
+            PresolveReason::AbstractRefutation { output, .. } => {
+                assert_eq!(output.as_int().and_then(|a| a.lo), Some(5));
+            }
+            other => panic!("unexpected reason {other}"),
+        }
+        assert!(presolver().recheck(&p, &out));
+    }
+
+    #[test]
+    fn origin_probe_refutes_a_max_gap_shape() {
+        // constant-free CLIA grammar: at x = y = 0 every output is 0, but
+        // the spec wants f = x + 1
+        let g = GrammarBuilder::new("Start")
+            .nonterminal("Start", Sort::Int)
+            .nonterminal("B", Sort::Bool)
+            .production("Start", Symbol::Var("x".into()), &[])
+            .production("Start", Symbol::Var("y".into()), &[])
+            .production("Start", Symbol::Num(0), &[])
+            .production("Start", Symbol::Plus, &["Start", "Start"])
+            .production("Start", Symbol::IfThenElse, &["B", "Start", "Start"])
+            .production("B", Symbol::LessThan, &["Start", "Start"])
+            .build()
+            .expect("well-formed grammar");
+        let spec = Spec::output_equals(
+            LinearExpr::var(Var::new("x")) + LinearExpr::constant(1),
+            vec!["x".to_string(), "y".to_string()],
+        );
+        let p = problem(g, spec);
+        let out = presolver().presolve(&p);
+        assert_eq!(out.verdict, PresolveVerdict::Unrealizable);
+        assert!(presolver().recheck(&p, &out));
+    }
+
+    #[test]
+    fn realizable_infinite_languages_abstain() {
+        // Start ::= x | 0 | (+ Start Start), spec f = 2x — realizable
+        // (x + x), but the language is infinite so the presolve abstains
+        let g = GrammarBuilder::new("Start")
+            .nonterminal("Start", Sort::Int)
+            .production("Start", Symbol::Var("x".into()), &[])
+            .production("Start", Symbol::Num(0), &[])
+            .production("Start", Symbol::Plus, &["Start", "Start"])
+            .build()
+            .expect("well-formed grammar");
+        let spec = Spec::output_equals(
+            LinearExpr::var(Var::new("x")).scale(2),
+            vec!["x".to_string()],
+        );
+        let p = problem(g, spec);
+        let out = presolver().presolve(&p);
+        assert_eq!(out.verdict, PresolveVerdict::Unknown);
+        assert!(presolver().recheck(&p, &out));
+    }
+
+    #[test]
+    fn recheck_rejects_fabricated_outcomes() {
+        let g = GrammarBuilder::new("Start")
+            .nonterminal("Start", Sort::Int)
+            .production("Start", Symbol::Var("x".into()), &[])
+            .production("Start", Symbol::Num(0), &[])
+            .production("Start", Symbol::Plus, &["Start", "Start"])
+            .build()
+            .expect("well-formed grammar");
+        let spec = Spec::output_equals(
+            LinearExpr::var(Var::new("x")).scale(2),
+            vec!["x".to_string()],
+        );
+        let p = problem(g, spec);
+        // a made-up empty-language claim must not pass the gate
+        let fake = PresolveOutcome {
+            verdict: PresolveVerdict::Unrealizable,
+            reason: PresolveReason::EmptyLanguage,
+            witness: None,
+        };
+        assert!(!presolver().recheck(&p, &fake));
+        // a witness that is not in the grammar must not pass either
+        let fake = PresolveOutcome {
+            verdict: PresolveVerdict::Realizable,
+            reason: PresolveReason::FiniteWitness { candidates: 1 },
+            witness: Some(Term::num(7)),
+        };
+        assert!(!presolver().recheck(&p, &fake));
+    }
+
+    #[test]
+    fn probes_cover_spec_constants() {
+        let spec = Spec::new(
+            Formula::implies(
+                Formula::eq(LinearExpr::var(Var::new("x")), LinearExpr::constant(7)),
+                Formula::eq(LinearExpr::var(Spec::output_var()), LinearExpr::constant(9)),
+            ),
+            vec!["x".to_string()],
+            Sort::Int,
+        );
+        let probes = presolver().probes(&spec);
+        assert!(
+            probes.iter().any(|e| e.get("x") == Some(7)),
+            "mined probe x=7 missing from {probes:?}"
+        );
+    }
+
+    #[test]
+    fn abstract_domain_arithmetic() {
+        assert_eq!(Parity::of(-3), Parity::Odd);
+        assert_eq!(Parity::of(-4), Parity::Even);
+        assert_eq!(Parity::Even.add(Parity::Odd), Parity::Odd);
+        assert_eq!(Parity::Odd.add(Parity::Odd), Parity::Even);
+        let a = AbsInt::singleton(2).join(AbsInt::singleton(6));
+        assert_eq!((a.lo, a.hi, a.parity), (Some(2), Some(6), Parity::Even));
+        let b = a.add(AbsInt::singleton(1));
+        assert_eq!((b.lo, b.hi, b.parity), (Some(3), Some(7), Parity::Odd));
+        // widening lets moving bounds escape to infinity
+        let w = a.widen(a.join(AbsInt::singleton(100)));
+        assert_eq!((w.lo, w.hi), (Some(2), None));
+        assert!(AbsInt::singleton(3).intersects(AbsInt::singleton(3)));
+        assert!(!AbsInt::singleton(3).intersects(AbsInt::singleton(4)));
+    }
+}

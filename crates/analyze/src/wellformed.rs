@@ -1,0 +1,958 @@
+//! Well-formedness diagnostics over the raw s-expressions of a SyGuS-IF
+//! file.
+//!
+//! The checker accepts exactly the fragment [`sygus::parser::parse_problem`]
+//! accepts and, unlike the parser, keeps going after the first problem and
+//! reports *all* diagnostics it finds, each anchored at the offending
+//! token's 1-based `line:col`. It is also stricter where the parser is
+//! silently forgiving: applications of the synthesis function with the
+//! wrong number of arguments, duplicate nonterminal declarations, extra
+//! operands on fixed-arity connectives, and return-sort/start-sort
+//! mismatches are all parser-tolerated but reported here.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use logic::{LinearExpr, Var};
+use sygus::parser::{parse_sexps, LineIndex, Sexp, Span};
+use sygus::{Sort, SygusError};
+
+/// How serious a [`Diagnostic`] is.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Severity {
+    /// Suspicious but parseable; the parser accepts the file.
+    Warning,
+    /// The file is rejected by the parser, or its meaning is not what the
+    /// text says (e.g. silently dropped arguments).
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One finding of the well-formedness checker.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Diagnostic {
+    /// 1-based source line of the offending token.
+    pub line: u32,
+    /// 1-based source column (bytes) of the offending token.
+    pub col: u32,
+    /// Error or warning.
+    pub severity: Severity,
+    /// Stable machine-readable code, e.g. `arity-mismatch`.
+    pub code: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}[{}]: {}",
+            self.line, self.col, self.severity, self.code, self.message
+        )
+    }
+}
+
+/// Checks one SyGuS-IF source text and returns every diagnostic found, in
+/// source order.
+pub fn check(source: &str) -> Vec<Diagnostic> {
+    let idx = LineIndex::new(source);
+    let sexps = match parse_sexps(source) {
+        Ok(sexps) => sexps,
+        Err(SygusError::ParseError(e)) => {
+            return vec![Diagnostic {
+                line: e.line,
+                col: e.col,
+                severity: Severity::Error,
+                code: "parse-error",
+                message: e.msg,
+            }]
+        }
+        Err(other) => {
+            return vec![Diagnostic {
+                line: 1,
+                col: 1,
+                severity: Severity::Error,
+                code: "parse-error",
+                message: other.to_string(),
+            }]
+        }
+    };
+    let mut checker = Checker {
+        idx,
+        diags: Vec::new(),
+        fun: None,
+        declared: BTreeMap::new(),
+    };
+    checker.run(&sexps);
+    checker.diags
+}
+
+/// What the checker knows about the `synth-fun` command.
+struct FunInfo {
+    name: String,
+    params: Vec<(String, Sort)>,
+    nts: BTreeMap<String, Sort>,
+}
+
+struct Checker {
+    idx: LineIndex,
+    diags: Vec<Diagnostic>,
+    fun: Option<FunInfo>,
+    declared: BTreeMap<String, Sort>,
+}
+
+impl Checker {
+    fn report(&mut self, span: Span, severity: Severity, code: &'static str, message: String) {
+        let (line, col) = self.idx.position(span.start);
+        self.diags.push(Diagnostic {
+            line,
+            col,
+            severity,
+            code,
+            message,
+        });
+    }
+
+    fn error(&mut self, span: Span, code: &'static str, message: impl Into<String>) {
+        self.report(span, Severity::Error, code, message.into());
+    }
+
+    fn warning(&mut self, span: Span, code: &'static str, message: impl Into<String>) {
+        self.report(span, Severity::Warning, code, message.into());
+    }
+
+    fn run(&mut self, sexps: &[Sexp]) {
+        // Pass 1: commands. Declarations are collected before constraints
+        // are checked, so declaration order in the file does not matter
+        // (it does not matter to the parser either).
+        let mut constraints: Vec<Sexp> = Vec::new();
+        let mut saw_check_synth = false;
+        for s in sexps {
+            let Some(items) = s.list() else {
+                self.error(
+                    s.span(),
+                    "invalid-command",
+                    "top-level atoms are not valid SyGuS commands",
+                );
+                continue;
+            };
+            let Some(head) = items.first().and_then(|h| h.atom()) else {
+                self.warning(
+                    s.span(),
+                    "invalid-command",
+                    "command head is not an atom; the parser ignores this form",
+                );
+                continue;
+            };
+            match head {
+                "set-logic" => {
+                    match items.get(1).and_then(|l| l.atom()) {
+                        Some("LIA") | Some("CLIA") => {}
+                        Some(other) => self.warning(
+                            items[1].span(),
+                            "unknown-logic",
+                            format!("logic {other} is outside the supported LIA/CLIA fragment"),
+                        ),
+                        None => self.warning(
+                            s.span(),
+                            "unknown-logic",
+                            "set-logic without a logic name",
+                        ),
+                    };
+                }
+                "check-synth" => saw_check_synth = true,
+                "set-option" => {}
+                "synth-fun" => {
+                    if self.fun.is_some() {
+                        self.error(
+                            s.span(),
+                            "duplicate-synth-fun",
+                            "more than one synth-fun; the parser keeps only the last",
+                        );
+                    }
+                    if let Some(fun) = self.check_synth_fun(s.span(), items) {
+                        self.fun = Some(fun);
+                    }
+                }
+                "declare-var" => self.check_declare_var(s.span(), items),
+                "constraint" => match items.get(1) {
+                    Some(f) => {
+                        if items.len() > 2 {
+                            self.error(
+                                items[2].span(),
+                                "arity-mismatch",
+                                "constraint takes a single formula; extra forms are ignored by the parser",
+                            );
+                        }
+                        constraints.push(f.clone());
+                    }
+                    None => self.error(
+                        s.span(),
+                        "malformed-constraint",
+                        "constraint needs a formula",
+                    ),
+                },
+                other => self.error(
+                    items[0].span(),
+                    "invalid-command",
+                    format!("unsupported SyGuS command {other}"),
+                ),
+            }
+        }
+
+        if self.fun.is_none() {
+            self.error(
+                Span::new(0, 0),
+                "missing-synth-fun",
+                "no synth-fun command found",
+            );
+        }
+        if constraints.is_empty() {
+            self.warning(
+                Span::new(0, 0),
+                "no-constraint",
+                "no constraint command: every grammar term trivially satisfies the empty specification",
+            );
+        }
+        if !saw_check_synth {
+            self.warning(
+                Span::new(0, 0),
+                "missing-check-synth",
+                "no check-synth command found",
+            );
+        }
+
+        // Pass 2: constraints, against the collected declarations.
+        for c in &constraints {
+            self.check_formula(c);
+        }
+    }
+
+    fn check_sort(&mut self, s: &Sexp) -> Option<Sort> {
+        match s.atom() {
+            Some("Int") => Some(Sort::Int),
+            Some("Bool") => Some(Sort::Bool),
+            other => {
+                self.error(
+                    s.span(),
+                    "unknown-sort",
+                    format!("unsupported sort {other:?}; only Int and Bool are available"),
+                );
+                None
+            }
+        }
+    }
+
+    fn check_declare_var(&mut self, span: Span, items: &[Sexp]) {
+        let Some(name) = items.get(1).and_then(|s| s.atom()) else {
+            self.error(span, "malformed-declare-var", "declare-var needs a name");
+            return;
+        };
+        let Some(sort_sexp) = items.get(2) else {
+            self.error(span, "malformed-declare-var", "declare-var needs a sort");
+            return;
+        };
+        let Some(sort) = self.check_sort(sort_sexp) else {
+            return;
+        };
+        let name = name.to_string();
+        match self.declared.get(&name) {
+            Some(prev) if *prev != sort => self.error(
+                items[1].span(),
+                "conflicting-variable",
+                format!("variable {name} is re-declared with sort {sort}, previously {prev}"),
+            ),
+            Some(_) => self.warning(
+                items[1].span(),
+                "duplicate-variable",
+                format!("variable {name} is declared more than once"),
+            ),
+            None => {
+                self.declared.insert(name, sort);
+            }
+        }
+    }
+
+    fn check_synth_fun(&mut self, span: Span, items: &[Sexp]) -> Option<FunInfo> {
+        if items.len() < 4 {
+            self.error(
+                span,
+                "malformed-synth-fun",
+                "synth-fun needs a name, parameters and a return sort",
+            );
+            return None;
+        }
+        let name = match items[1].atom() {
+            Some(n) => n.to_string(),
+            None => {
+                self.error(
+                    items[1].span(),
+                    "malformed-synth-fun",
+                    "synth-fun name must be an atom",
+                );
+                return None;
+            }
+        };
+        let mut params: Vec<(String, Sort)> = Vec::new();
+        match items[2].list() {
+            Some(plist) => {
+                for p in plist {
+                    let Some(pl) = p.list() else {
+                        self.error(
+                            p.span(),
+                            "malformed-synth-fun",
+                            "parameter must be (name Sort)",
+                        );
+                        continue;
+                    };
+                    if pl.len() != 2 {
+                        self.error(
+                            p.span(),
+                            "malformed-synth-fun",
+                            "parameter must be (name Sort)",
+                        );
+                        continue;
+                    }
+                    let Some(pname) = pl[0].atom() else {
+                        self.error(
+                            pl[0].span(),
+                            "malformed-synth-fun",
+                            "parameter name must be an atom",
+                        );
+                        continue;
+                    };
+                    let Some(psort) = self.check_sort(&pl[1]) else {
+                        continue;
+                    };
+                    if params.iter().any(|(n, _)| n == pname) {
+                        self.error(
+                            pl[0].span(),
+                            "duplicate-parameter",
+                            format!("parameter {pname} is declared more than once"),
+                        );
+                        continue;
+                    }
+                    params.push((pname.to_string(), psort));
+                }
+            }
+            None => self.error(
+                items[2].span(),
+                "malformed-synth-fun",
+                "synth-fun parameter list expected",
+            ),
+        }
+        let ret = self.check_sort(&items[3])?;
+
+        // Grammar part, mirroring the parser: SyGuS-IF v2 places the grouped
+        // rules at index 5 (after a predeclaration list at 4), the direct
+        // format at index 4.
+        let grouped_sexp = if items.len() >= 6 {
+            &items[5]
+        } else if items.len() == 5 {
+            &items[4]
+        } else {
+            self.error(
+                span,
+                "malformed-synth-fun",
+                "synth-fun must declare a grammar",
+            );
+            return None;
+        };
+        let Some(grouped) = grouped_sexp.list() else {
+            self.error(
+                grouped_sexp.span(),
+                "malformed-synth-fun",
+                "grouped grammar rules must be a list",
+            );
+            return None;
+        };
+
+        // Nonterminal declarations first, so rules can reference forward.
+        let mut nts: BTreeMap<String, Sort> = BTreeMap::new();
+        let mut order: Vec<(String, Sort)> = Vec::new();
+        for g in grouped {
+            let Some(gl) = g.list() else {
+                self.error(
+                    g.span(),
+                    "malformed-synth-fun",
+                    "grammar group must be (Name Sort (rules…))",
+                );
+                continue;
+            };
+            if gl.len() < 3 {
+                self.error(
+                    g.span(),
+                    "malformed-synth-fun",
+                    "grammar group must be (Name Sort (rules…))",
+                );
+                continue;
+            }
+            let Some(nt) = gl[0].atom() else {
+                self.error(
+                    gl[0].span(),
+                    "malformed-synth-fun",
+                    "nonterminal name must be an atom",
+                );
+                continue;
+            };
+            let Some(sort) = self.check_sort(&gl[1]) else {
+                continue;
+            };
+            if nts.insert(nt.to_string(), sort).is_some() {
+                self.error(
+                    gl[0].span(),
+                    "duplicate-nonterminal",
+                    format!("nonterminal {nt} is declared more than once; the parser merges the rule groups"),
+                );
+            } else {
+                order.push((nt.to_string(), sort));
+            }
+        }
+        match order.first() {
+            Some((start, start_sort)) => {
+                if *start_sort != ret {
+                    self.error(
+                        items[3].span(),
+                        "return-sort-mismatch",
+                        format!(
+                            "synth-fun returns {ret} but the start nonterminal {start} has sort {start_sort}"
+                        ),
+                    );
+                }
+            }
+            None => {
+                self.error(
+                    grouped_sexp.span(),
+                    "malformed-synth-fun",
+                    "grammar has no nonterminals",
+                );
+                return None;
+            }
+        }
+
+        let fun = FunInfo { name, params, nts };
+        // Rules, now that every nonterminal is known.
+        for g in grouped {
+            let Some(gl) = g.list() else { continue };
+            if gl.len() < 3 {
+                continue;
+            }
+            let (Some(lhs), Some(lhs_sort)) = (
+                gl[0].atom().map(str::to_string),
+                gl[0].atom().and_then(|n| fun.nts.get(n)).copied(),
+            ) else {
+                continue;
+            };
+            let Some(rules) = gl[2].list() else {
+                self.error(
+                    gl[2].span(),
+                    "malformed-synth-fun",
+                    "grammar rules must be a parenthesised list",
+                );
+                continue;
+            };
+            for rule in rules {
+                self.check_rule(&fun, &lhs, lhs_sort, rule);
+            }
+        }
+        Some(fun)
+    }
+
+    fn check_rule(&mut self, fun: &FunInfo, lhs: &str, lhs_sort: Sort, rule: &Sexp) {
+        if let Some(a) = rule.atom() {
+            if a.parse::<i64>().is_ok() {
+                if lhs_sort != Sort::Int {
+                    self.error(
+                        rule.span(),
+                        "ill-sorted",
+                        format!("integer literal {a} in rules of Boolean nonterminal {lhs}"),
+                    );
+                }
+            } else if let Some((_, psort)) = fun.params.iter().find(|(p, _)| p == a) {
+                if *psort != lhs_sort {
+                    self.error(
+                        rule.span(),
+                        "ill-sorted",
+                        format!("parameter {a} has sort {psort} but appears in rules of {lhs} ({lhs_sort})"),
+                    );
+                }
+            } else if let Some(nt_sort) = fun.nts.get(a) {
+                if *nt_sort != lhs_sort {
+                    self.error(
+                        rule.span(),
+                        "ill-sorted",
+                        format!("chain rule {lhs} ::= {a} mixes sorts {lhs_sort} and {nt_sort}"),
+                    );
+                }
+            } else if a == "true" || a == "false" {
+                self.error(
+                    rule.span(),
+                    "bool-literal-rule",
+                    "Boolean literals in grammars are not supported; use comparisons",
+                );
+            } else {
+                self.error(
+                    rule.span(),
+                    "unknown-atom",
+                    format!("unknown grammar atom {a} in rules of {lhs}: not a literal, parameter, or nonterminal"),
+                );
+            }
+            return;
+        }
+        let Some(items) = rule.list() else { return };
+        let Some(op) = items.first().and_then(|s| s.atom()) else {
+            self.error(
+                rule.span(),
+                "malformed-rule",
+                "rule operator must be an atom",
+            );
+            return;
+        };
+        let symbol = match op {
+            "+" => sygus::Symbol::Plus,
+            "-" => sygus::Symbol::Minus,
+            "ite" => sygus::Symbol::IfThenElse,
+            "and" => sygus::Symbol::And,
+            "or" => sygus::Symbol::Or,
+            "not" => sygus::Symbol::Not,
+            "<" => sygus::Symbol::LessThan,
+            "=" => sygus::Symbol::Equal,
+            other => {
+                self.error(
+                    items[0].span(),
+                    "unknown-operator",
+                    format!("unsupported grammar operator {other}"),
+                );
+                return;
+            }
+        };
+        if symbol.sort() != lhs_sort {
+            self.error(
+                rule.span(),
+                "ill-sorted",
+                format!(
+                    "operator {op} produces {} but appears in rules of {lhs} ({lhs_sort})",
+                    symbol.sort()
+                ),
+            );
+        }
+        let args = &items[1..];
+        match symbol.arity() {
+            Some(a) if a != args.len() => self.error(
+                rule.span(),
+                "arity-mismatch",
+                format!("operator {op} expects {a} arguments, got {}", args.len()),
+            ),
+            None if args.is_empty() => self.error(
+                rule.span(),
+                "arity-mismatch",
+                "variadic + requires at least one argument".to_string(),
+            ),
+            _ => {}
+        }
+        for (i, arg) in args.iter().enumerate() {
+            let Some(name) = arg.atom() else {
+                self.error(
+                    arg.span(),
+                    "nested-rule",
+                    format!(
+                        "nested terms in grammar rules are not supported (rule of {lhs}); \
+                         introduce an auxiliary nonterminal"
+                    ),
+                );
+                continue;
+            };
+            let Some(arg_sort) = fun.nts.get(name) else {
+                self.error(
+                    arg.span(),
+                    "unknown-atom",
+                    format!("rule argument {name} of {lhs} is not a declared nonterminal"),
+                );
+                continue;
+            };
+            let expected = symbol.arg_sort(i);
+            if *arg_sort != expected {
+                self.error(
+                    arg.span(),
+                    "ill-sorted",
+                    format!(
+                        "argument {i} of {op} must be {expected}, but {name} has sort {arg_sort}"
+                    ),
+                );
+            }
+        }
+    }
+
+    /// Checks a constraint formula (Boolean context).
+    fn check_formula(&mut self, sexp: &Sexp) {
+        if let Some(a) = sexp.atom() {
+            if a != "true" && a != "false" {
+                self.error(
+                    sexp.span(),
+                    "unbound-variable",
+                    format!("Boolean variables in constraints are not supported: {a}"),
+                );
+            }
+            return;
+        }
+        let Some(items) = sexp.list() else { return };
+        let Some(op) = items.first().and_then(|s| s.atom()) else {
+            self.error(
+                sexp.span(),
+                "malformed-constraint",
+                "operator must be an atom",
+            );
+            return;
+        };
+        let args = &items[1..];
+        let exact = |n: usize, this: &mut Self| {
+            if args.len() != n {
+                this.error(
+                    sexp.span(),
+                    "arity-mismatch",
+                    format!("operator {op} expects {n} operands, got {}", args.len()),
+                );
+            }
+        };
+        match op {
+            "=" | "<" | "<=" | ">" | ">=" => {
+                exact(2, self);
+                for a in args.iter().take(2) {
+                    self.check_int_expr(a);
+                }
+            }
+            "and" | "or" => {
+                for a in args {
+                    self.check_formula(a);
+                }
+            }
+            "not" => {
+                exact(1, self);
+                for a in args.iter().take(1) {
+                    self.check_formula(a);
+                }
+            }
+            "=>" => {
+                exact(2, self);
+                for a in args.iter().take(2) {
+                    self.check_formula(a);
+                }
+            }
+            "ite" => {
+                exact(3, self);
+                for a in args.iter().take(3) {
+                    self.check_formula(a);
+                }
+            }
+            other => self.error(
+                items[0].span(),
+                "unknown-operator",
+                format!("unsupported Boolean operator {other}"),
+            ),
+        }
+    }
+
+    /// Checks an integer-context constraint term, building the same
+    /// [`LinearExpr`] the parser builds so that linearity and constant-ness
+    /// are judged by identical semantics (e.g. `(* (- x x) y)` is linear
+    /// because the coefficients cancel).
+    fn check_int_expr(&mut self, sexp: &Sexp) -> Option<LinearExpr> {
+        if let Some(a) = sexp.atom() {
+            if let Ok(c) = a.parse::<i64>() {
+                return Some(LinearExpr::constant(c));
+            }
+            let param_sort = self
+                .fun
+                .as_ref()
+                .and_then(|f| f.params.iter().find(|(p, _)| p == a).map(|(_, s)| *s));
+            let sort = self.declared.get(a).copied().or(param_sort);
+            return match sort {
+                Some(Sort::Int) => Some(LinearExpr::var(Var::new(a))),
+                Some(Sort::Bool) => {
+                    self.error(
+                        sexp.span(),
+                        "ill-sorted",
+                        format!("Boolean variable {a} used in an integer context"),
+                    );
+                    None
+                }
+                None => {
+                    self.error(
+                        sexp.span(),
+                        "unbound-variable",
+                        format!("unknown variable {a} in constraint"),
+                    );
+                    None
+                }
+            };
+        }
+        let items = sexp.list()?;
+        let Some(op) = items.first().and_then(|s| s.atom()) else {
+            self.error(
+                sexp.span(),
+                "malformed-constraint",
+                "operator must be an atom",
+            );
+            return None;
+        };
+        let args = &items[1..];
+        match op {
+            "+" => {
+                let mut sum = Some(LinearExpr::zero());
+                for a in args {
+                    let part = self.check_int_expr(a);
+                    sum = match (sum, part) {
+                        (Some(s), Some(p)) => Some(s + p),
+                        _ => None,
+                    };
+                }
+                sum
+            }
+            "-" => {
+                if args.is_empty() {
+                    self.error(
+                        sexp.span(),
+                        "arity-mismatch",
+                        "operator - needs at least one operand",
+                    );
+                    return None;
+                }
+                if args.len() == 1 {
+                    return Some(self.check_int_expr(&args[0])?.scale(-1));
+                }
+                let mut acc = self.check_int_expr(&args[0]);
+                for a in &args[1..] {
+                    let part = self.check_int_expr(a);
+                    acc = match (acc, part) {
+                        (Some(s), Some(p)) => Some(s - p),
+                        _ => None,
+                    };
+                }
+                acc
+            }
+            "*" => {
+                if args.len() != 2 {
+                    self.error(
+                        sexp.span(),
+                        "arity-mismatch",
+                        "* must have exactly two operands",
+                    );
+                    return None;
+                }
+                let a = self.check_int_expr(&args[0])?;
+                let b = self.check_int_expr(&args[1])?;
+                if a.is_constant() {
+                    Some(b.scale(a.constant_part()))
+                } else if b.is_constant() {
+                    Some(a.scale(b.constant_part()))
+                } else {
+                    self.error(
+                        sexp.span(),
+                        "nonlinear",
+                        "non-linear multiplication is not supported",
+                    );
+                    None
+                }
+            }
+            name if Some(name) == self.fun.as_ref().map(|f| f.name.as_str()) => {
+                let params: Vec<String> = self
+                    .fun
+                    .as_ref()
+                    .map(|f| f.params.iter().map(|(p, _)| p.clone()).collect())
+                    .unwrap_or_default();
+                if args.len() != params.len() {
+                    self.error(
+                        sexp.span(),
+                        "arity-mismatch",
+                        format!(
+                            "application of {name} has {} arguments, but {name} declares {} parameters \
+                             (the parser silently ignores the mismatch)",
+                            args.len(),
+                            params.len()
+                        ),
+                    );
+                }
+                for (arg, param) in args.iter().zip(&params) {
+                    match arg.atom() {
+                        Some(a) if a == param => {}
+                        _ => self.error(
+                            arg.span(),
+                            "not-single-invocation",
+                            "only single-invocation applications f(x̄) on the declared variables are supported",
+                        ),
+                    }
+                }
+                // the application stands for the reserved output variable
+                Some(LinearExpr::var(Var::new("__analyze_out")))
+            }
+            other => {
+                self.error(
+                    items[0].span(),
+                    "unknown-operator",
+                    format!("unsupported integer operator {other}"),
+                );
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(src: &str) -> Vec<&'static str> {
+        check(src).into_iter().map(|d| d.code).collect()
+    }
+
+    const CLEAN: &str = r#"
+      (set-logic LIA)
+      (synth-fun f ((x Int)) Int
+        ((Start Int) (X Int))
+        ((Start Int ((+ X Start) 0))
+         (X Int (x))))
+      (declare-var x Int)
+      (constraint (= (f x) (+ (* 2 x) 2)))
+      (check-synth)
+    "#;
+
+    #[test]
+    fn clean_file_has_no_diagnostics() {
+        assert_eq!(check(CLEAN), vec![]);
+    }
+
+    #[test]
+    fn parse_errors_become_diagnostics() {
+        let diags = check("(a (b)");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "parse-error");
+        assert_eq!(diags[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn unknown_grammar_atom_is_located() {
+        let diags = check(
+            "(synth-fun f ((x Int)) Int\n  ((Start Int (y))))\n(constraint (= (f x) x))\n(check-synth)",
+        );
+        let d = diags
+            .iter()
+            .find(|d| d.code == "unknown-atom")
+            .expect("unknown-atom diagnostic");
+        assert_eq!(d.line, 2);
+        assert!(d.message.contains('y'));
+    }
+
+    #[test]
+    fn f_arity_mismatch_is_reported_even_though_parser_accepts() {
+        // the parser zips arguments with parameters and silently drops the
+        // extras — the analyzer must flag it
+        let src = r#"
+          (synth-fun f ((x Int)) Int ((Start Int (x 0))))
+          (declare-var x Int)
+          (constraint (= (f x x) x))
+          (check-synth)
+        "#;
+        assert!(codes(src).contains(&"arity-mismatch"), "{:?}", check(src));
+        assert!(sygus::parser::parse_problem(src, "zip").is_ok());
+    }
+
+    #[test]
+    fn duplicate_nonterminal_and_return_sort_mismatch() {
+        let dup = r#"
+          (synth-fun f ((x Int)) Int
+            ((Start Int (x)) (Start Int (0))))
+          (constraint (= (f x) x))
+          (check-synth)
+        "#;
+        assert!(codes(dup).contains(&"duplicate-nonterminal"));
+        let mismatch = r#"
+          (synth-fun f ((x Int)) Bool ((Start Int (x))))
+          (constraint (= (f x) x))
+          (check-synth)
+        "#;
+        assert!(codes(mismatch).contains(&"return-sort-mismatch"));
+    }
+
+    #[test]
+    fn ill_sorted_rules_are_reported() {
+        let src = r#"
+          (synth-fun f ((x Int)) Int
+            ((Start Int) (B Bool))
+            ((Start Int ((+ B Start) x))
+             (B Bool ((< Start Start)))))
+          (constraint (= (f x) x))
+          (check-synth)
+        "#;
+        assert!(codes(src).contains(&"ill-sorted"));
+    }
+
+    #[test]
+    fn constraint_diagnostics() {
+        let unknown = r#"
+          (synth-fun f ((x Int)) Int ((Start Int (x))))
+          (constraint (= (f x) zz))
+          (check-synth)
+        "#;
+        assert!(codes(unknown).contains(&"unbound-variable"));
+        let nonlinear = r#"
+          (synth-fun f ((x Int)) Int ((Start Int (x))))
+          (declare-var x Int)
+          (constraint (= (f x) (* x x)))
+          (check-synth)
+        "#;
+        assert!(codes(nonlinear).contains(&"nonlinear"));
+        // cancelling coefficients are linear, exactly as the parser judges
+        let cancelling = r#"
+          (synth-fun f ((x Int)) Int ((Start Int (x))))
+          (declare-var x Int)
+          (constraint (= (f x) (* (- x x) x)))
+          (check-synth)
+        "#;
+        assert!(!codes(cancelling).contains(&"nonlinear"));
+    }
+
+    #[test]
+    fn multiple_diagnostics_in_one_pass() {
+        let src = r#"
+          (bogus-command)
+          (synth-fun f ((x Int)) Int ((Start Int (y z))))
+          (constraint (= (f x) w))
+          (check-synth)
+        "#;
+        let diags = check(src);
+        assert!(
+            diags.len() >= 4,
+            "expected several diagnostics, got {diags:?}"
+        );
+    }
+
+    #[test]
+    fn missing_pieces_are_warned_or_errored() {
+        let diags = check("(set-logic LIA)");
+        let codes: Vec<_> = diags.iter().map(|d| d.code).collect();
+        assert!(codes.contains(&"missing-synth-fun"));
+        assert!(codes.contains(&"no-constraint"));
+        assert!(codes.contains(&"missing-check-synth"));
+    }
+
+    #[test]
+    fn diagnostics_render_with_position_and_code() {
+        let d = Diagnostic {
+            line: 3,
+            col: 7,
+            severity: Severity::Error,
+            code: "ill-sorted",
+            message: "example".to_string(),
+        };
+        assert_eq!(d.to_string(), "3:7: error[ill-sorted]: example");
+    }
+}

@@ -5,8 +5,10 @@
 //! cargo run --release -p bench --bin reproduce -- [EXPERIMENT] [OPTIONS]
 //! cargo run --release -p bench --bin reproduce -- compare OLD.json NEW.json [OPTIONS]
 //! cargo run --release -p bench --bin reproduce -- solve FILE|DIR [OPTIONS]
+//! cargo run --release -p bench --bin reproduce -- analyze FILE|DIR [OPTIONS]
 //! cargo run --release -p bench --bin reproduce -- gen --out DIR [OPTIONS]
 //! cargo run --release -p bench --bin reproduce -- fuzz [OPTIONS]
+//! cargo run --release -p bench --bin reproduce -- presolve-diff [OPTIONS]
 //!
 //! EXPERIMENT: all | table1-plus | table1-if | table1 | table2 | fig2 | fig3 |
 //!             fig4 | fig5 | summary          (default: all)
@@ -24,6 +26,10 @@
 //! solve OPTIONS:
 //!   --engine nay|nope|race   which engine to drive (default: race)
 //!   --timeout-ms MS          per-engine wall-clock budget (default: 600000)
+//!   --json PATH              write the runner-schema JSON report to PATH
+//!   --no-presolve            disable the race's static presolve stage
+//!
+//! analyze OPTIONS:
 //!   --json PATH              write the runner-schema JSON report to PATH
 //!
 //! gen OPTIONS:
@@ -44,6 +50,16 @@
 //!                                  violation)
 //!   --json PATH                    write the aggregate JSON report to PATH
 //!   --families a,b                 restrict to these families
+//!   --no-presolve                  disable the presolve stage when racing
+//!
+//! presolve-diff OPTIONS:
+//!   --count N           instances to generate (default: 200)
+//!   --seed S            base seed (default: 7)
+//!   --timeout-ms MS     per-engine budget (default: 10000)
+//!   --families a,b      restrict to these families
+//!   --json PATH         write the aggregate JSON report to PATH
+//!   --require-presolved fail unless the presolve settles at least one
+//!                       instance of every attacked family
 //! ```
 //!
 //! `compare` exits 0 when the new report has no regressions against the old
@@ -52,7 +68,12 @@
 //! has a `MANIFEST`) every verdict matches the expectation; 1 on any
 //! corpus failure; 2 on usage errors. `fuzz` exits 0 on a clean sweep, 1
 //! when any oracle (differential, expectation, witness, or print→parse
-//! round-trip) is violated, and 2 on usage errors.
+//! round-trip) is violated, and 2 on usage errors. `analyze` exits 0 when
+//! no file produces an error-severity diagnostic, 1 otherwise, 2 on usage
+//! errors. `presolve-diff` exits 0 when no generated instance's race
+//! verdict changes with the presolve stage toggled, 1 on any flip (or,
+//! with `--require-presolved`, when a family was never settled
+//! statically), and 2 on usage errors.
 
 use runner::{compare, CompareConfig, PoolConfig, Report};
 use std::path::Path;
@@ -126,6 +147,7 @@ fn run_solve(args: &[String]) -> ! {
     let mut engine = bench::Engine::Race;
     let mut timeout: Option<Duration> = None;
     let mut json_path: Option<String> = None;
+    let mut presolve = true;
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -139,6 +161,7 @@ fn run_solve(args: &[String]) -> ! {
             }
             "--timeout-ms" => timeout = Some(Duration::from_millis(parse_value(arg, iter.next()))),
             "--json" => json_path = Some(parse_value::<String>(arg, iter.next())),
+            "--no-presolve" => presolve = false,
             flag if flag.starts_with("--") => {
                 usage_error(&format!("unknown solve option `{flag}`"))
             }
@@ -159,10 +182,11 @@ fn run_solve(args: &[String]) -> ! {
         std::process::exit(2);
     });
 
-    let (rows, report, totals) = bench::run_solve(&files, engine, timeout).unwrap_or_else(|e| {
-        eprintln!("error: {e}");
-        std::process::exit(1);
-    });
+    let (rows, report, totals) = bench::run_solve(&files, engine, timeout, presolve)
+        .unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        });
     if let Some(path) = &json_path {
         if let Err(e) = std::fs::write(path, report.to_json()) {
             eprintln!("error: cannot write `{path}`: {e}");
@@ -223,6 +247,105 @@ fn run_solve(args: &[String]) -> ! {
         }
     }
     std::process::exit(0);
+}
+
+fn run_analyze(args: &[String]) -> ! {
+    let mut target: Option<&String> = None;
+    let mut json_path: Option<String> = None;
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--json" => json_path = Some(parse_value::<String>(arg, iter.next())),
+            flag if flag.starts_with("--") => {
+                usage_error(&format!("unknown analyze option `{flag}`"))
+            }
+            _ => {
+                if target.is_some() {
+                    usage_error(&format!("unexpected extra argument `{arg}`"));
+                }
+                target = Some(arg);
+            }
+        }
+    }
+    let Some(target) = target else {
+        usage_error("analyze needs a FILE or DIR of SyGuS-IF .sl problems");
+    };
+    let files = bench::collect_sl_files(Path::new(target)).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    let (rows, report) = bench::run_analyze(&files).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    print!("{}", bench::render_analyze(&rows));
+    if let Some(path) = &json_path {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("error: cannot write `{path}`: {e}");
+            std::process::exit(2);
+        }
+        eprintln!(
+            "wrote {} entries to {path} (suite: {})",
+            report.entries.len(),
+            report.suite
+        );
+    }
+    std::process::exit(if bench::has_analyze_errors(&rows) {
+        1
+    } else {
+        0
+    });
+}
+
+fn run_presolve_diff(args: &[String]) -> ! {
+    let mut config = bench::FuzzConfig::default();
+    let mut json_path: Option<String> = None;
+    let mut require_presolved = false;
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--count" => config.count = parse_value(arg, iter.next()),
+            "--seed" => config.seed = parse_value(arg, iter.next()),
+            "--timeout-ms" => config.timeout = Duration::from_millis(parse_value(arg, iter.next())),
+            "--json" => json_path = Some(parse_value::<String>(arg, iter.next())),
+            "--families" => config.families = Some(parse_families(iter.next())),
+            "--require-presolved" => require_presolved = true,
+            other => usage_error(&format!("unknown presolve-diff option `{other}`")),
+        }
+    }
+    let outcome = bench::run_presolve_diff(&config);
+    print!("{}", bench::render_presolve_diff(&outcome, &config));
+    let mut failed = false;
+    if !outcome.flips.is_empty() {
+        for flip in &outcome.flips {
+            eprintln!("verdict flip: {flip}");
+        }
+        eprintln!(
+            "{} verdict flip(s) — the presolve stage is not verdict-preserving",
+            outcome.flips.len()
+        );
+        failed = true;
+    }
+    if require_presolved {
+        for family in outcome.instances.keys() {
+            if outcome.presolved.get(family).copied().unwrap_or(0) == 0 {
+                eprintln!("family {family}: no instance was settled statically");
+                failed = true;
+            }
+        }
+    }
+    if let Some(path) = &json_path {
+        if let Err(e) = std::fs::write(path, outcome.report.to_json()) {
+            eprintln!("error: cannot write `{path}`: {e}");
+            std::process::exit(2);
+        }
+        eprintln!(
+            "wrote {} aggregate entries to {path} (suite: {})",
+            outcome.report.entries.len(),
+            outcome.report.suite
+        );
+    }
+    std::process::exit(if failed { 1 } else { 0 });
 }
 
 /// Parses a comma-separated `--families` value.
@@ -309,6 +432,7 @@ fn run_fuzz(args: &[String]) -> ! {
             "--timeout-ms" => config.timeout = Duration::from_millis(parse_value(arg, iter.next())),
             "--json" => json_path = Some(parse_value::<String>(arg, iter.next())),
             "--families" => config.families = Some(parse_families(iter.next())),
+            "--no-presolve" => config.presolve = false,
             "--engine" => {
                 let name: String = parse_value(arg, iter.next());
                 config.engine = bench::FuzzEngine::parse(&name).unwrap_or_else(|| {
@@ -355,11 +479,17 @@ fn main() {
     if args.first().map(String::as_str) == Some("solve") {
         run_solve(&args[1..]);
     }
+    if args.first().map(String::as_str) == Some("analyze") {
+        run_analyze(&args[1..]);
+    }
     if args.first().map(String::as_str) == Some("gen") {
         run_gen(&args[1..]);
     }
     if args.first().map(String::as_str) == Some("fuzz") {
         run_fuzz(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("presolve-diff") {
+        run_presolve_diff(&args[1..]);
     }
 
     let mut quick = true;

@@ -77,6 +77,9 @@ pub struct FuzzConfig {
     /// Restrict generation to these families (`None` = the full
     /// catalogue).
     pub families: Option<Vec<Family>>,
+    /// Whether the portfolio's static presolve stage runs in front of
+    /// each race (`fuzz` with `race` only; default: enabled).
+    pub presolve: bool,
 }
 
 /// The default per-engine budget of a fuzz sweep. Deliberately much
@@ -96,6 +99,7 @@ impl Default for FuzzConfig {
             jobs: 1,
             timeout: DEFAULT_FUZZ_TIMEOUT,
             families: None,
+            presolve: true,
         }
     }
 }
@@ -271,10 +275,12 @@ pub fn run_fuzz(config: &FuzzConfig) -> FuzzOutcome {
         match config.engine {
             FuzzEngine::Race => {
                 // The portfolio brings its own two-worker pool per race.
-                let portfolio = Portfolio::new().with_timeout(config.timeout);
+                let portfolio = Portfolio::new()
+                    .with_timeout(config.timeout)
+                    .with_presolve(config.presolve);
                 for instance in &batch {
                     let race = portfolio.race(&instance.problem);
-                    let claims = vec![
+                    let mut claims = vec![
                         EngineClaim::new(
                             "race/nay",
                             if race.nay.status == JobStatus::Ok {
@@ -296,6 +302,19 @@ pub fn run_fuzz(config: &FuzzConfig) -> FuzzOutcome {
                             None,
                         ),
                     ];
+                    if let Some(stage) = &race.presolve {
+                        // The presolve's claim goes through the same
+                        // by-construction oracle as the engines': a
+                        // statically-settled verdict that contradicts the
+                        // generator's ground truth is a violation.
+                        claims.push(EngineClaim::new(
+                            "race/presolve",
+                            claim_of(stage.verdict),
+                            (stage.verdict == SolveVerdict::Realizable)
+                                .then(|| race.solution.clone())
+                                .flatten(),
+                        ));
+                    }
                     violations.extend(check_instance(instance, &claims));
                     let family = instance.family.name();
                     let race_status = race.nay.status.worst(race.nope.status);
@@ -317,6 +336,22 @@ pub fn run_fuzz(config: &FuzzConfig) -> FuzzOutcome {
                                 side.millis,
                                 side.tainted,
                                 side.arena_terms,
+                            );
+                    }
+                    if let Some(stage) = &race.presolve {
+                        // The `race/presolve` aggregate's verdict
+                        // distribution is the per-family `presolved`
+                        // count: its definitive buckets are exactly the
+                        // instances the analyzer settled statically.
+                        aggs.entry((family, "race/presolve".into()))
+                            .or_default()
+                            .fold(
+                                JobStatus::Ok,
+                                stage.verdict.name(),
+                                0,
+                                stage.millis,
+                                false,
+                                0,
                             );
                     }
                 }
@@ -422,6 +457,164 @@ pub fn run_fuzz(config: &FuzzConfig) -> FuzzOutcome {
     }
 }
 
+/// What the presolve differential sweep found.
+#[derive(Clone, Debug)]
+pub struct PresolveDiffOutcome {
+    /// Verdict flips: instances where racing with the presolve enabled
+    /// produced a different race verdict than racing without it. Any entry
+    /// here is a soundness bug in the presolve (or an engine); the sweep
+    /// must fail.
+    pub flips: Vec<String>,
+    /// Per family: instances the presolve settled statically.
+    pub presolved: BTreeMap<&'static str, u64>,
+    /// Per family: instances attacked.
+    pub instances: BTreeMap<&'static str, u64>,
+    /// Aggregate report (suite `presolve-diff`): per family one
+    /// `race+presolve` and one `race-presolve` entry with the two verdict
+    /// distributions, plus a `presolve` entry whose `iterations` field is
+    /// the family's `presolved` count.
+    pub report: Report,
+    /// Wall-clock milliseconds of the whole sweep.
+    pub wall_millis: f64,
+}
+
+/// Runs every generated instance through the portfolio twice — presolve
+/// enabled and disabled — and diffs the race verdicts. The presolve is
+/// verdict-preserving by construction (sound verdicts, recheck gate), so
+/// any flip is a bug; this sweep is the empirical check of that guarantee,
+/// and the engine behind `reproduce presolve-diff` and the CI `analyze`
+/// job.
+pub fn run_presolve_diff(config: &FuzzConfig) -> PresolveDiffOutcome {
+    let sweep_started = Instant::now();
+    let mut flips: Vec<String> = Vec::new();
+    let mut presolved: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut instances: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut aggs: BTreeMap<(&'static str, &'static str), FamilyAgg> = BTreeMap::new();
+    let with_presolve = Portfolio::new()
+        .with_timeout(config.timeout)
+        .with_presolve(true);
+    let without_presolve = Portfolio::new()
+        .with_timeout(config.timeout)
+        .with_presolve(false);
+
+    let mut stream = ProblemStream::new(config.gen_config());
+    for instance in stream.by_ref().take(config.count) {
+        let family = instance.family.name();
+        *instances.entry(family).or_insert(0) += 1;
+        let on = with_presolve.race(&instance.problem);
+        let off = without_presolve.race(&instance.problem);
+        // A sound presolve may *add* a definitive verdict where the
+        // engines said unknown (that is its whole point on hard
+        // instances), but it may never contradict a definitive engine
+        // verdict — that is the flip this sweep hunts.
+        let contradiction = on.verdict != off.verdict
+            && on.verdict != SolveVerdict::Unknown
+            && off.verdict != SolveVerdict::Unknown;
+        let engines_lost_verdict =
+            on.verdict == SolveVerdict::Unknown && off.verdict != SolveVerdict::Unknown;
+        if contradiction || engines_lost_verdict {
+            flips.push(format!(
+                "{}: race verdict `{}` with presolve vs `{}` without (seed {})",
+                instance.name(),
+                on.verdict.name(),
+                off.verdict.name(),
+                instance.seed,
+            ));
+        }
+        if on.winner == Some("presolve") {
+            *presolved.entry(family).or_insert(0) += 1;
+        }
+        aggs.entry((family, "race+presolve")).or_default().fold(
+            on.nay.status.worst(on.nope.status),
+            on.verdict.name(),
+            on.nay.iterations + on.nope.iterations,
+            on.wall_millis,
+            on.nay.tainted || on.nope.tainted,
+            on.nay.arena_terms.max(on.nope.arena_terms),
+        );
+        aggs.entry((family, "race-presolve")).or_default().fold(
+            off.nay.status.worst(off.nope.status),
+            off.verdict.name(),
+            off.nay.iterations + off.nope.iterations,
+            off.wall_millis,
+            off.nay.tainted || off.nope.tainted,
+            off.nay.arena_terms.max(off.nope.arena_terms),
+        );
+    }
+
+    let mut entries: Vec<Entry> = aggs
+        .iter()
+        .map(|((family, tool), agg)| agg.entry(family, tool))
+        .collect();
+    for (family, n) in &instances {
+        entries.push(Entry {
+            benchmark: format!("gen/{family}"),
+            tool: "presolve".into(),
+            status: JobStatus::Ok,
+            verdict: format!("presolved={}", presolved.get(family).copied().unwrap_or(0)),
+            proved: presolved.get(family).copied().unwrap_or(0) > 0,
+            iterations: presolved.get(family).copied().unwrap_or(0),
+            millis: 0.0,
+            tainted: false,
+            family: family.to_string(),
+        });
+        debug_assert!(*n > 0);
+    }
+    entries.sort_by(|a, b| (&a.benchmark, &a.tool).cmp(&(&b.benchmark, &b.tool)));
+    PresolveDiffOutcome {
+        flips,
+        presolved,
+        instances,
+        report: Report::new("presolve-diff", entries),
+        wall_millis: sweep_started.elapsed().as_secs_f64() * 1000.0,
+    }
+}
+
+/// Renders the presolve differential summary.
+pub fn render_presolve_diff(outcome: &PresolveDiffOutcome, config: &FuzzConfig) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# presolve-diff — count: {}, seed: {}",
+        config.count, config.seed
+    );
+    let _ = writeln!(
+        out,
+        "{:<16} {:>6} {:>10}  verdicts with presolve | without",
+        "family", "n", "presolved"
+    );
+    for (family, n) in &outcome.instances {
+        let dist = |tool: &str| {
+            outcome
+                .report
+                .entries
+                .iter()
+                .find(|e| e.family == *family && e.tool == tool)
+                .map(|e| e.verdict.clone())
+                .unwrap_or_default()
+        };
+        let _ = writeln!(
+            out,
+            "{:<16} {:>6} {:>10}  {} | {}",
+            family,
+            n,
+            outcome.presolved.get(family).copied().unwrap_or(0),
+            dist("race+presolve"),
+            dist("race-presolve"),
+        );
+    }
+    let total_presolved: u64 = outcome.presolved.values().sum();
+    let total: u64 = outcome.instances.values().sum();
+    let _ = writeln!(
+        out,
+        "{total} instance(s), {total_presolved} presolved, {} verdict flip(s); wall-clock {:.1} ms",
+        outcome.flips.len(),
+        outcome.wall_millis
+    );
+    out
+}
+
 /// Renders the human-readable fuzz table, ending with a summary line
 /// carrying the sweep's total wall clock and the peak term-arena size per
 /// family (maximum across that family's tools).
@@ -484,6 +677,7 @@ mod tests {
             jobs: 1,
             timeout: Duration::from_secs(120),
             families: None,
+            presolve: true,
         }
     }
 
@@ -532,6 +726,24 @@ mod tests {
         assert!(tools.contains("race"));
         assert!(tools.contains("race/nay"));
         assert!(tools.contains("race/nope"));
+        assert!(tools.contains("race/presolve"));
+    }
+
+    #[test]
+    fn presolve_diff_sweep_has_no_flips() {
+        let config = quick_config(FuzzEngine::Race);
+        let outcome = run_presolve_diff(&config);
+        assert!(
+            outcome.flips.is_empty(),
+            "verdict flips: {:#?}",
+            outcome.flips
+        );
+        assert_eq!(outcome.report.suite, "presolve-diff");
+        let total: u64 = outcome.instances.values().sum();
+        assert_eq!(total, config.count as u64);
+        let rendered = render_presolve_diff(&outcome, &config);
+        assert!(rendered.contains("presolved"));
+        assert!(rendered.contains("0 verdict flip(s)"));
     }
 
     #[test]

@@ -26,11 +26,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod analysis;
 mod fuzz;
 mod solve;
 mod suite;
 
-pub use fuzz::{render_fuzz, run_fuzz, run_gen, FuzzConfig, FuzzEngine, FuzzOutcome, FuzzRow};
+pub use analysis::{has_analyze_errors, render_analyze, run_analyze, AnalyzeRow};
+pub use fuzz::{
+    render_fuzz, render_presolve_diff, run_fuzz, run_gen, run_presolve_diff, FuzzConfig,
+    FuzzEngine, FuzzOutcome, FuzzRow, PresolveDiffOutcome,
+};
 pub use solve::{
     check_manifest, collect_sl_files, load_problem, problem_name, render_solve, run_solve, Engine,
     Manifest, SolveRow, SolveTotals, DEFAULT_SOLVE_TIMEOUT,

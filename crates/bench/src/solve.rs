@@ -88,12 +88,18 @@ pub fn problem_name(path: &Path) -> String {
 /// Parses one `.sl` file into a [`sygus::Problem`] named after the file.
 ///
 /// # Errors
-/// Returns a message naming the file on I/O or parse errors.
+/// Returns a message naming the file on I/O or parse errors; parse errors
+/// come out `file:line:col: message` so editors and humans can jump to the
+/// offending token.
 pub fn load_problem(path: &Path) -> Result<sygus::Problem, String> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read `{}`: {e}", path.display()))?;
-    sygus::parser::parse_problem(&text, &problem_name(path))
-        .map_err(|e| format!("parse error in `{}`: {e}", path.display()))
+    sygus::parser::parse_problem(&text, &problem_name(path)).map_err(|e| match e {
+        sygus::SygusError::ParseError(p) => {
+            format!("{}:{}:{}: {}", path.display(), p.line, p.col, p.msg)
+        }
+        other => format!("parse error in `{}`: {other}", path.display()),
+    })
 }
 
 /// One row of the human-readable solve table.
@@ -135,12 +141,19 @@ pub struct SolveTotals {
 /// [`DEFAULT_SOLVE_TIMEOUT`] for solo and race alike, so a diverging
 /// engine always lands as a `timed_out` entry instead of hanging the run.
 ///
+/// When racing with the presolve stage enabled, each race additionally
+/// contributes a `race/presolve` entry carrying the static analyzer's own
+/// verdict (`unknown` when it abstained) and milliseconds; the stage is
+/// verdict-preserving (see [`Portfolio::with_presolve`]) so the `race`
+/// entries the MANIFEST gates on are unaffected.
+///
 /// # Errors
 /// Returns the first file that fails to load or parse.
 pub fn run_solve(
     files: &[PathBuf],
     engine: Engine,
     timeout: Option<Duration>,
+    presolve: bool,
 ) -> Result<(Vec<SolveRow>, Report, SolveTotals), String> {
     let sweep_started = Instant::now();
     let timeout = timeout.unwrap_or(DEFAULT_SOLVE_TIMEOUT);
@@ -151,7 +164,10 @@ pub fn run_solve(
         let name = problem_name(path);
         match engine {
             Engine::Race => {
-                let report = Portfolio::new().with_timeout(timeout).race(&problem);
+                let report = Portfolio::new()
+                    .with_timeout(timeout)
+                    .with_presolve(presolve)
+                    .race(&problem);
                 // The race entry surfaces the *worst* engine status: a
                 // panicking engine is a crash and a budget-exhausting
                 // engine is a timeout even when the other side produced a
@@ -180,6 +196,19 @@ pub fn run_solve(
                         iterations: side.iterations,
                         millis: side.millis,
                         tainted: side.tainted,
+                        family: String::new(),
+                    });
+                }
+                if let Some(stage) = &report.presolve {
+                    entries.push(Entry {
+                        benchmark: name.clone(),
+                        tool: "race/presolve".into(),
+                        status: JobStatus::Ok,
+                        verdict: stage.verdict.name().into(),
+                        proved: stage.verdict == SolveVerdict::Unrealizable,
+                        iterations: 0,
+                        millis: stage.millis,
+                        tainted: false,
                         family: String::new(),
                     });
                 }

@@ -66,9 +66,10 @@ pub struct CheckOutcome {
     /// Fixed-point iterations performed by the abstract interpreter
     /// (0 when the bounded search already decided the verdict).
     pub abstract_iterations: usize,
-    /// Number of distinct terms the bounded search interned into its
-    /// [`TermArena`] while exploring reachable vectors (its peak size —
-    /// the arena only grows).
+    /// Number of witness-log nodes the bounded search recorded while
+    /// exploring reachable vectors (its peak size — the log only grows;
+    /// terms are hash-consed into a [`TermArena`] only when a witness is
+    /// demanded).
     pub arena_terms: usize,
     /// The witness *term* behind a
     /// [`NopeVerdict::RealizableOnExamples`] verdict: a term of `L(G)`
@@ -79,42 +80,105 @@ pub struct CheckOutcome {
 /// The sentinel "empty list" head of the [`LazyWitness::Plus`] trail.
 const NIL: u32 = u32::MAX;
 
-/// A witness the expression evaluator has not interned yet. Candidate
+/// An append-only log of witness nodes. Where the search previously
+/// hash-consed one term per vector surviving dedup into a [`TermArena`]
+/// (a hash probe each, even for searches that end `Unknown` and never
+/// look at a witness), it now records a plain `(op, children)` node per
+/// surviving vector — a `Vec` push — and only hash-conses the one chain
+/// that is actually demanded, via [`WitnessLog::intern_into`], after a
+/// good vector is found.
+#[derive(Clone, Debug, Default)]
+struct WitnessLog {
+    /// `(op, child_start, child_end)` — the child range indexes `children`.
+    nodes: Vec<(Op, u32, u32)>,
+    /// Child pool: log indices of each node's children, in order.
+    children: Vec<u32>,
+}
+
+impl WitnessLog {
+    /// Appends a node and returns its log index. Children always precede
+    /// their parent in the log (the search builds bottom-up), which
+    /// [`WitnessLog::intern_into`] relies on.
+    fn push(&mut self, op: Op, kids: &[u32]) -> u32 {
+        let start = self.children.len() as u32;
+        self.children.extend_from_slice(kids);
+        let end = self.children.len() as u32;
+        self.nodes.push((op, start, end));
+        (self.nodes.len() - 1) as u32
+    }
+
+    /// Number of nodes recorded (the search-breadth statistic reported as
+    /// `arena_terms`).
+    fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Hash-conses the term rooted at `root` into `arena`, visiting only
+    /// the nodes the witness actually uses.
+    fn intern_into(&self, arena: &mut TermArena, root: u32) -> TermId {
+        let mut memo: BTreeMap<u32, TermId> = BTreeMap::new();
+        let mut stack: Vec<u32> = vec![root];
+        while let Some(&r) = stack.last() {
+            if memo.contains_key(&r) {
+                stack.pop();
+                continue;
+            }
+            let (op, start, end) = self.nodes[r as usize];
+            let kids = &self.children[start as usize..end as usize];
+            let mut ready = true;
+            for &k in kids {
+                if !memo.contains_key(&k) {
+                    stack.push(k);
+                    ready = false;
+                }
+            }
+            if ready {
+                let ids: Vec<TermId> = kids.iter().map(|k| memo[k]).collect();
+                let id = arena.intern(op, &ids);
+                memo.insert(r, id);
+                stack.pop();
+            }
+        }
+        memo[&root]
+    }
+}
+
+/// A witness the expression evaluator has not logged yet. Candidate
 /// vectors are produced far faster than they survive dedup, so the
 /// per-combination fast path only records *how* a vector was built (a few
-/// words, no allocation); hash-consing into the arena happens once per
+/// words, no allocation); a [`WitnessLog`] node is appended once per
 /// vector that actually enters a reachable set.
 #[derive(Clone, Copy)]
 enum LazyWitness {
-    /// Already interned: leaves and procedure-call results.
-    Ready(TermId),
+    /// Already logged: leaves and procedure-call results.
+    Ready(u32),
     /// An n-ary `Plus` whose child list is the trail chain at this head.
     Plus(u32),
-    /// A unary node over an interned child.
-    Un(Op, TermId),
-    /// A binary node over interned children.
-    Bin(Op, TermId, TermId),
-    /// A ternary node over interned children.
-    Tri(Op, TermId, TermId, TermId),
+    /// A unary node over a logged child.
+    Un(Op, u32),
+    /// A binary node over logged children.
+    Bin(Op, u32, u32),
+    /// A ternary node over logged children.
+    Tri(Op, u32, u32, u32),
 }
 
-/// Interns a lazy witness. `trail` is the cons-list pool `Plus` heads
-/// index into.
-fn force_witness(arena: &mut TermArena, trail: &[(u32, TermId)], witness: LazyWitness) -> TermId {
+/// Resolves a lazy witness to a log index. `trail` is the cons-list pool
+/// `Plus` heads index into.
+fn log_witness(log: &mut WitnessLog, trail: &[(u32, u32)], witness: LazyWitness) -> u32 {
     match witness {
         LazyWitness::Ready(id) => id,
-        LazyWitness::Un(op, a) => arena.intern(op, &[a]),
-        LazyWitness::Bin(op, a, b) => arena.intern(op, &[a, b]),
-        LazyWitness::Tri(op, a, b, c) => arena.intern(op, &[a, b, c]),
+        LazyWitness::Un(op, a) => log.push(op, &[a]),
+        LazyWitness::Bin(op, a, b) => log.push(op, &[a, b]),
+        LazyWitness::Tri(op, a, b, c) => log.push(op, &[a, b, c]),
         LazyWitness::Plus(mut head) => {
-            let mut children: Vec<TermId> = Vec::new();
+            let mut children: Vec<u32> = Vec::new();
             while head != NIL {
                 let (prev, id) = trail[head as usize];
                 children.push(id);
                 head = prev;
             }
             children.reverse();
-            arena.intern(Op::Plus, &children)
+            log.push(Op::Plus, &children)
         }
     }
 }
@@ -203,20 +267,23 @@ impl ProgramVerifier {
         }
         // 1. bounded concrete exploration: can we reach the bad location?
         let mut arena = TermArena::new();
-        match self.bounded_search_cancellable(program, examples, spec, cancel, &mut arena) {
-            Ok(Some((witness_vector, witness_id))) => {
+        let mut log = WitnessLog::default();
+        match self.bounded_search_cancellable(program, examples, spec, cancel, &mut arena, &mut log)
+        {
+            Ok(Some((witness_vector, witness_ref))) => {
+                let witness_id = log.intern_into(&mut arena, witness_ref);
                 let witness = arena.extract(witness_id);
                 return done(
                     NopeVerdict::RealizableOnExamples(witness_vector),
                     0,
-                    arena.len(),
+                    log.len(),
                     Some(witness),
                 );
             }
             Ok(None) => {}
-            Err(CancelledSearch) => return done(NopeVerdict::Cancelled, 0, arena.len(), None),
+            Err(CancelledSearch) => return done(NopeVerdict::Cancelled, 0, log.len(), None),
         }
-        let arena_terms = arena.len();
+        let arena_terms = log.len();
         // 2. abstract interpretation: is the bad location provably unreachable?
         if cancel.is_cancelled() {
             return done(NopeVerdict::Cancelled, 0, arena_terms, None);
@@ -256,18 +323,31 @@ impl ProgramVerifier {
         spec: &Spec,
     ) -> Option<(Vec<i64>, Term)> {
         let mut arena = TermArena::new();
-        self.bounded_search_cancellable(program, examples, spec, &Cancel::never(), &mut arena)
-            .expect("a never-tripped token cannot cancel")
-            .map(|(vector, id)| (vector, arena.extract(id)))
+        let mut log = WitnessLog::default();
+        self.bounded_search_cancellable(
+            program,
+            examples,
+            spec,
+            &Cancel::never(),
+            &mut arena,
+            &mut log,
+        )
+        .expect("a never-tripped token cannot cancel")
+        .map(|(vector, r)| {
+            let id = log.intern_into(&mut arena, r);
+            (vector, arena.extract(id))
+        })
     }
 
     /// [`ProgramVerifier::bounded_search`] polling a [`Cancel`] token once
     /// per unrolling round; `Err(CancelledSearch)` reports an observed
-    /// trip. Every reachable vector carries the [`TermId`] of the first
-    /// term found producing it — witnesses stay [`LazyWitness`]es on the
-    /// per-combination fast path and are interned into `arena` only when
-    /// their vector survives dedup, so the vector sets (and with them
-    /// every verdict) are exactly the pre-arena ones.
+    /// trip. Every reachable vector carries the [`WitnessLog`] index of
+    /// the first term found producing it — witnesses stay
+    /// [`LazyWitness`]es on the per-combination fast path, vectors
+    /// surviving dedup append one log node (no hash-consing), and the
+    /// arena only sees the single chain a demanded witness needs, so the
+    /// vector sets (and with them every verdict) are exactly the
+    /// pre-arena ones.
     fn bounded_search_cancellable(
         &self,
         program: &Program,
@@ -275,23 +355,25 @@ impl ProgramVerifier {
         spec: &Spec,
         cancel: &Cancel,
         arena: &mut TermArena,
-    ) -> Result<Option<(Vec<i64>, TermId)>, CancelledSearch> {
+        log: &mut WitnessLog,
+    ) -> Result<Option<(Vec<i64>, u32)>, CancelledSearch> {
         let n = program.procedures.len();
-        let mut reachable: Vec<BTreeMap<Vec<i64>, TermId>> = vec![BTreeMap::new(); n];
-        let mut trail: Vec<(u32, TermId)> = Vec::new();
+        let mut reachable: Vec<BTreeMap<Vec<i64>, u32>> = vec![BTreeMap::new(); n];
+        let mut trail: Vec<(u32, u32)> = Vec::new();
         for _ in 0..self.unroll_depth {
             if cancel.is_cancelled() {
                 return Err(CancelledSearch);
             }
             let mut changed = false;
             for (i, proc_) in program.procedures.iter().enumerate() {
-                let mut new_vectors: BTreeMap<Vec<i64>, TermId> = BTreeMap::new();
+                let mut new_vectors: BTreeMap<Vec<i64>, u32> = BTreeMap::new();
                 for branch in &proc_.branches {
                     self.eval_bounded(
                         branch,
                         &reachable,
                         program.dim,
                         arena,
+                        log,
                         &mut trail,
                         &mut new_vectors,
                     );
@@ -327,55 +409,59 @@ impl ProgramVerifier {
         Ok(None)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn eval_bounded(
         &self,
         expr: &ProgExpr,
-        reachable: &[BTreeMap<Vec<i64>, TermId>],
+        reachable: &[BTreeMap<Vec<i64>, u32>],
         dim: usize,
         arena: &mut TermArena,
-        trail: &mut Vec<(u32, TermId)>,
-        out: &mut BTreeMap<Vec<i64>, TermId>,
+        log: &mut WitnessLog,
+        trail: &mut Vec<(u32, u32)>,
+        out: &mut BTreeMap<Vec<i64>, u32>,
     ) {
         trail.clear();
-        let entries = self.eval_expr(expr, reachable, dim, arena, trail);
+        let entries = self.eval_expr(expr, reachable, dim, arena, log, trail);
         for (v, w) in entries {
             if out.len() >= self.max_vectors {
                 return;
             }
             if let std::collections::btree_map::Entry::Vacant(slot) = out.entry(v) {
-                slot.insert(force_witness(arena, trail, w));
+                slot.insert(log_witness(log, trail, w));
             }
         }
     }
 
-    /// Resolves every entry's witness to an interned id (used where lazy
+    /// Resolves every entry's witness to a log index (used where lazy
     /// witnesses become children of another node).
     fn forced(
-        arena: &mut TermArena,
-        trail: &[(u32, TermId)],
+        log: &mut WitnessLog,
+        trail: &[(u32, u32)],
         entries: Vec<(Vec<i64>, LazyWitness)>,
-    ) -> Vec<(Vec<i64>, TermId)> {
+    ) -> Vec<(Vec<i64>, u32)> {
         entries
             .into_iter()
-            .map(|(v, w)| (v, force_witness(arena, trail, w)))
+            .map(|(v, w)| (v, log_witness(log, trail, w)))
             .collect()
     }
 
     /// Evaluates one branch expression to the vectors it can produce, each
     /// paired with a lazy witness. The enumeration (and capping) order is
     /// exactly the pre-arena one.
+    #[allow(clippy::too_many_arguments)]
     fn eval_expr(
         &self,
         expr: &ProgExpr,
-        reachable: &[BTreeMap<Vec<i64>, TermId>],
+        reachable: &[BTreeMap<Vec<i64>, u32>],
         dim: usize,
         arena: &mut TermArena,
-        trail: &mut Vec<(u32, TermId)>,
+        log: &mut WitnessLog,
+        trail: &mut Vec<(u32, u32)>,
     ) -> Vec<(Vec<i64>, LazyWitness)> {
         type Valued = Vec<(Vec<i64>, LazyWitness)>;
         let cap = self.max_vectors;
-        let combine2 = |a: Vec<(Vec<i64>, TermId)>,
-                        b: Vec<(Vec<i64>, TermId)>,
+        let combine2 = |a: Vec<(Vec<i64>, u32)>,
+                        b: Vec<(Vec<i64>, u32)>,
                         f: &dyn Fn(i64, i64) -> i64,
                         op: Op| {
             let mut out: Valued = Vec::new();
@@ -391,19 +477,19 @@ impl ProgramVerifier {
             out
         };
         // Evaluates a child expression with every witness forced (children
-        // of compound nodes must be interned ids; in the programs
+        // of compound nodes must be log indices; in the programs
         // `from_grammar` builds, children are `Call`/`Const` and forcing
         // is a no-op).
         macro_rules! child {
             ($e:expr) => {{
-                let entries = self.eval_expr($e, reachable, dim, arena, trail);
-                Self::forced(arena, trail, entries)
+                let entries = self.eval_expr($e, reachable, dim, arena, log, trail);
+                Self::forced(log, trail, entries)
             }};
         }
         match expr {
             ProgExpr::Const(v, symbol) => {
                 let op = arena.op_from_symbol(symbol);
-                vec![(v.clone(), LazyWitness::Ready(arena.intern(op, &[])))]
+                vec![(v.clone(), LazyWitness::Ready(log.push(op, &[])))]
             }
             ProgExpr::Call(p) => reachable[*p]
                 .iter()

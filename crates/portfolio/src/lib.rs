@@ -21,6 +21,14 @@
 //! * [`race`] runs both adapters as jobs on `runner`'s work-stealing pool
 //!   and assembles a [`RaceReport`] with per-engine timing, iteration
 //!   counts, and the loser's cancellation latency.
+//!
+//! In front of the race sits a *presolve* stage (crate `analyze`, on by
+//! default): a static analyzer that can settle a problem without running
+//! any engine — empty or exhaustively-refuted finite languages, verified
+//! finite-language witnesses, and interval/parity abstract refutations.
+//! Its verdicts are sound by construction and additionally re-validated
+//! through [`analyze::Presolver::recheck`] before they are trusted, so the
+//! presolve can never flip a race verdict — it only skips engine work.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,7 +37,7 @@ pub mod engines;
 pub mod race;
 
 pub use engines::{solve_nay, solve_nope, EngineOutcome, NopeEngine, SolveVerdict};
-pub use race::{EngineReport, Portfolio, RaceReport};
+pub use race::{EngineReport, Portfolio, PresolveSummary, RaceReport};
 pub use runner::Cancel;
 
 #[cfg(test)]

@@ -1,7 +1,9 @@
-//! The racer: both engines on `runner`'s pool, first definitive verdict
-//! wins, the loser is cancelled cooperatively.
+//! The racer: a static presolve in front, then both engines on `runner`'s
+//! pool, first definitive verdict wins, the loser is cancelled
+//! cooperatively.
 
 use crate::engines::{solve_nay, solve_nope, NopeEngine, SolveVerdict};
+use analyze::{PresolveVerdict, Presolver};
 use nay::Nay;
 use runner::{measure, run_jobs, Cancel, Job, JobStatus, PoolConfig};
 use std::time::Duration;
@@ -41,6 +43,19 @@ impl EngineReport {
     }
 }
 
+/// What the static presolve (crate `analyze`) did in front of a race.
+#[derive(Clone, Debug)]
+pub struct PresolveSummary {
+    /// The presolve verdict in the engines' vocabulary; `Unknown` when the
+    /// presolve abstained (or a definitive outcome failed its own
+    /// [`Presolver::recheck`] gate, in which case the reason says so).
+    pub verdict: SolveVerdict,
+    /// The rendered [`analyze::PresolveReason`].
+    pub reason: String,
+    /// Wall-clock milliseconds of the presolve, recheck included.
+    pub millis: f64,
+}
+
 /// The outcome of racing both engines on one problem.
 #[derive(Clone, Debug)]
 pub struct RaceReport {
@@ -62,21 +77,43 @@ pub struct RaceReport {
     pub loser_cancel_millis: Option<f64>,
     /// The verified solution term when the verdict is `Realizable`.
     pub solution: Option<Term>,
+    /// What the static presolve concluded before any engine was
+    /// dispatched; `None` when the presolve stage was disabled.
+    pub presolve: Option<PresolveSummary>,
 }
 
 /// The portfolio configuration: one `nay` and one `nope` engine plus an
-/// optional per-race wall-clock budget.
-#[derive(Clone, Debug, Default)]
+/// optional per-race wall-clock budget, with a static presolve stage in
+/// front (on by default).
+#[derive(Clone, Debug)]
 pub struct Portfolio {
     nay: Nay,
     nope: NopeEngine,
     timeout: Option<Duration>,
+    presolve: bool,
+}
+
+impl Default for Portfolio {
+    fn default() -> Self {
+        Portfolio {
+            nay: Nay::default(),
+            nope: NopeEngine::default(),
+            timeout: None,
+            presolve: true,
+        }
+    }
 }
 
 impl Portfolio {
     /// A portfolio with both engines at their default budgets.
     pub fn new() -> Self {
         Portfolio::default()
+    }
+
+    /// Enables or disables the static presolve stage (default: enabled).
+    pub fn with_presolve(mut self, presolve: bool) -> Self {
+        self.presolve = presolve;
+        self
     }
 
     /// Replaces the `nay` engine configuration.
@@ -109,7 +146,60 @@ impl Portfolio {
     /// When an engine is inapplicable or out of budget it returns
     /// `Unknown` and the race simply degrades to the other engine's
     /// answer.
+    ///
+    /// When the presolve stage is enabled (the default), the static
+    /// analyzer runs first; if it settles the problem — *and* its outcome
+    /// passes the independent [`Presolver::recheck`] gate — the engines
+    /// are skipped entirely and the winner is `"presolve"`. The presolve
+    /// is sound by construction and the gate re-derives its proof, so
+    /// enabling it can never change a race verdict: it only ever replaces
+    /// an engine's definitive verdict with the same verdict, or adds a
+    /// definitive verdict where the engines would have said `Unknown`.
     pub fn race(&self, problem: &Problem) -> RaceReport {
+        let mut presolve_summary = None;
+        if self.presolve {
+            let presolver = Presolver::new();
+            let ((outcome, gated), elapsed) = measure(|| {
+                let outcome = presolver.presolve(problem);
+                let gated = outcome.is_definitive() && presolver.recheck(problem, &outcome);
+                (outcome, gated)
+            });
+            let millis = elapsed.as_secs_f64() * 1000.0;
+            if gated {
+                let verdict = match outcome.verdict {
+                    PresolveVerdict::Realizable => SolveVerdict::Realizable,
+                    PresolveVerdict::Unrealizable => SolveVerdict::Unrealizable,
+                    PresolveVerdict::Unknown => SolveVerdict::Unknown,
+                };
+                return RaceReport {
+                    verdict,
+                    winner: Some("presolve"),
+                    solution: outcome.witness.clone(),
+                    nay: skipped_report("nay"),
+                    nope: skipped_report("nope"),
+                    wall_millis: millis,
+                    loser_cancel_millis: None,
+                    presolve: Some(PresolveSummary {
+                        verdict,
+                        reason: outcome.reason.to_string(),
+                        millis,
+                    }),
+                };
+            }
+            let reason = if outcome.is_definitive() {
+                // a definitive outcome that failed its own recheck is a
+                // bug in the presolver; never trust it, race the engines
+                format!("recheck failed, ignoring: {}", outcome.reason)
+            } else {
+                outcome.reason.to_string()
+            };
+            presolve_summary = Some(PresolveSummary {
+                verdict: SolveVerdict::Unknown,
+                reason,
+                millis,
+            });
+        }
+
         let cancel = Cancel::new();
 
         let nay_job = {
@@ -203,7 +293,22 @@ impl Portfolio {
             nope: nope_report,
             wall_millis: wall.as_secs_f64() * 1000.0,
             loser_cancel_millis,
+            presolve: presolve_summary,
         }
+    }
+}
+
+/// The report of an engine that never ran because the presolve settled
+/// the problem first.
+fn skipped_report(engine: &'static str) -> EngineReport {
+    EngineReport {
+        engine,
+        status: JobStatus::Ok,
+        verdict: SolveVerdict::Unknown,
+        iterations: 0,
+        arena_terms: 0,
+        millis: 0.0,
+        tainted: false,
     }
 }
 
@@ -265,6 +370,51 @@ mod tests {
             };
             assert!(loser.was_cancelled());
         }
+    }
+
+    #[test]
+    fn presolve_settles_section2_without_engines() {
+        // at x = 0 the §2 grammar only produces 0, but the spec demands
+        // 2·0 + 2 = 2 — the abstract refutation settles this statically
+        let report = Portfolio::new().race(&section2_lia());
+        assert_eq!(report.verdict, SolveVerdict::Unrealizable);
+        assert_eq!(report.winner, Some("presolve"));
+        let summary = report.presolve.as_ref().expect("presolve ran");
+        assert_eq!(summary.verdict, SolveVerdict::Unrealizable);
+        // the engines were never dispatched
+        assert_eq!(report.nay.iterations, 0);
+        assert_eq!(report.nope.iterations, 0);
+    }
+
+    #[test]
+    fn disabling_presolve_restores_the_engine_race() {
+        let report = Portfolio::new().with_presolve(false).race(&section2_lia());
+        assert!(report.presolve.is_none());
+        assert_eq!(report.verdict, SolveVerdict::Unrealizable);
+        assert_ne!(report.winner, Some("presolve"));
+    }
+
+    #[test]
+    fn presolve_never_flips_engine_verdicts() {
+        for problem in [section2_lia(), realizable_xplus2()] {
+            let with = Portfolio::new().race(&problem);
+            let without = Portfolio::new().with_presolve(false).race(&problem);
+            assert_eq!(
+                with.verdict,
+                without.verdict,
+                "presolve flipped the verdict on {}",
+                problem.name()
+            );
+        }
+    }
+
+    #[test]
+    fn presolve_abstains_on_realizable_infinite_languages() {
+        let report = Portfolio::new().race(&realizable_xplus2());
+        assert_eq!(report.verdict, SolveVerdict::Realizable);
+        assert_eq!(report.winner, Some("nay"));
+        let summary = report.presolve.as_ref().expect("presolve ran");
+        assert_eq!(summary.verdict, SolveVerdict::Unknown);
     }
 
     #[test]

@@ -36,10 +36,42 @@ mod term;
 pub use arena::{Op, TermArena, TermId, VarId};
 pub use example::{Example, ExampleSet, Output};
 pub use grammar::{Grammar, GrammarBuilder, NonTerminal, Production};
+pub use parser::{LineIndex, Sexp, SexpKind, Span};
 pub use problem::Problem;
 pub use semantics::Value;
 pub use spec::Spec;
 pub use term::{Sort, Symbol, Term};
+
+/// A parse error carrying the source position of the offending token.
+///
+/// Lines and columns are 1-based; columns count bytes within the line (see
+/// [`parser::LineIndex`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// 1-based column of the offending token.
+    pub col: u32,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl ParseError {
+    /// Creates a parse error at the given position.
+    pub fn new(line: u32, col: u32, msg: impl Into<String>) -> Self {
+        ParseError {
+            line,
+            col,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.msg)
+    }
+}
 
 /// Errors produced by this crate.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -49,8 +81,9 @@ pub enum SygusError {
     /// A grammar refers to an undeclared nonterminal or is otherwise
     /// malformed.
     GrammarError(String),
-    /// The SyGuS-IF input could not be parsed.
-    ParseError(String),
+    /// The SyGuS-IF input could not be parsed; carries the offending
+    /// token's line and column.
+    ParseError(ParseError),
     /// Evaluation failed (e.g. an input variable is missing from an example).
     EvalError(String),
 }
@@ -60,7 +93,7 @@ impl std::fmt::Display for SygusError {
         match self {
             SygusError::SortError(msg) => write!(f, "sort error: {msg}"),
             SygusError::GrammarError(msg) => write!(f, "grammar error: {msg}"),
-            SygusError::ParseError(msg) => write!(f, "parse error: {msg}"),
+            SygusError::ParseError(e) => write!(f, "parse error at {e}"),
             SygusError::EvalError(msg) => write!(f, "evaluation error: {msg}"),
         }
     }

@@ -12,54 +12,149 @@
 //!   literals, declared variables, and single-invocation applications
 //!   `(f x …)` of the synthesis function,
 //! * `(check-synth)`.
+//!
+//! Every s-expression carries a byte-offset [`Span`] into the source text
+//! and a [`LineIndex`] converts offsets to 1-based line/column positions,
+//! so parse errors (and the static analyzer's diagnostics, see crate
+//! `analyze`) can point at the offending token.
 
 use crate::grammar::{Grammar, GrammarBuilder};
 use crate::problem::Problem;
 use crate::spec::Spec;
 use crate::term::{Sort, Symbol};
-use crate::SygusError;
+use crate::{ParseError, SygusError};
 use logic::{Formula, LinearExpr, Var};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-/// An s-expression.
+/// A half-open byte range `[start, end)` into the source text.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Span {
+    /// Byte offset of the first byte of the spanned region.
+    pub start: u32,
+    /// Byte offset one past the last byte of the spanned region.
+    pub end: u32,
+}
+
+impl Span {
+    /// Creates a span from byte offsets.
+    pub fn new(start: u32, end: u32) -> Self {
+        Span { start, end }
+    }
+
+    /// The smallest span covering both operands.
+    pub fn join(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+/// Byte-offset → line/column conversion for one source text.
+///
+/// Lines and columns are 1-based; columns count bytes within the line
+/// (identical to character counts for the ASCII benchmark corpus).
+#[derive(Clone, Debug)]
+pub struct LineIndex {
+    /// Byte offset at which each line starts; `line_starts[0] == 0`.
+    line_starts: Vec<u32>,
+}
+
+impl LineIndex {
+    /// Builds the index for a source text.
+    pub fn new(text: &str) -> Self {
+        let mut line_starts = vec![0u32];
+        for (i, b) in text.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push((i + 1) as u32);
+            }
+        }
+        LineIndex { line_starts }
+    }
+
+    /// The 1-based `(line, column)` of a byte offset.
+    pub fn position(&self, offset: u32) -> (u32, u32) {
+        let line = match self.line_starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        ((line + 1) as u32, offset - self.line_starts[line] + 1)
+    }
+}
+
+/// The payload of a spanned [`Sexp`]: an atom or a parenthesised list.
 #[derive(Clone, PartialEq, Eq, Debug)]
-pub enum Sexp {
+pub enum SexpKind {
     /// An atom (symbol or numeral).
     Atom(String),
     /// A parenthesised list.
     List(Vec<Sexp>),
 }
 
+/// An s-expression with the source span it was parsed from.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Sexp {
+    /// Atom or list.
+    pub kind: SexpKind,
+    /// The byte range of the expression (for lists: including both
+    /// parentheses).
+    pub span: Span,
+}
+
 impl Sexp {
-    fn atom(&self) -> Option<&str> {
-        match self {
-            Sexp::Atom(s) => Some(s),
-            Sexp::List(_) => None,
+    /// The atom's text, if this is an atom.
+    pub fn atom(&self) -> Option<&str> {
+        match &self.kind {
+            SexpKind::Atom(s) => Some(s),
+            SexpKind::List(_) => None,
         }
     }
-    fn list(&self) -> Option<&[Sexp]> {
-        match self {
-            Sexp::List(l) => Some(l),
-            Sexp::Atom(_) => None,
+
+    /// The list items, if this is a list.
+    pub fn list(&self) -> Option<&[Sexp]> {
+        match &self.kind {
+            SexpKind::List(l) => Some(l),
+            SexpKind::Atom(_) => None,
         }
+    }
+
+    /// The source span of this expression.
+    pub fn span(&self) -> Span {
+        self.span
     }
 }
 
-/// Tokenises and parses a string into a sequence of s-expressions.
-///
-/// Comments start with `;` and run to the end of the line.
-///
-/// # Errors
-/// Returns a [`SygusError::ParseError`] on unbalanced parentheses.
-pub fn parse_sexps(input: &str) -> Result<Vec<Sexp>, SygusError> {
-    let mut tokens: Vec<String> = Vec::new();
+/// Builds a [`SygusError::ParseError`] anchored at the start of `span`.
+fn perr(idx: &LineIndex, span: Span, msg: impl Into<String>) -> SygusError {
+    let (line, col) = idx.position(span.start);
+    SygusError::ParseError(ParseError::new(line, col, msg))
+}
+
+enum Tok {
+    Open,
+    Close,
+    Atom(String),
+}
+
+fn tokenize(input: &str) -> Vec<(Tok, Span)> {
+    let mut tokens: Vec<(Tok, Span)> = Vec::new();
     let mut current = String::new();
-    let mut chars = input.chars().peekable();
-    while let Some(c) = chars.next() {
+    let mut current_start = 0u32;
+    let flush = |current: &mut String, current_start: u32, end: usize, out: &mut Vec<_>| {
+        if !current.is_empty() {
+            out.push((
+                Tok::Atom(std::mem::take(current)),
+                Span::new(current_start, end as u32),
+            ));
+        }
+    };
+    let mut chars = input.char_indices().peekable();
+    while let Some((i, c)) = chars.next() {
         match c {
             ';' => {
-                while let Some(&n) = chars.peek() {
+                flush(&mut current, current_start, i, &mut tokens);
+                while let Some(&(_, n)) = chars.peek() {
                     if n == '\n' {
                         break;
                     }
@@ -67,55 +162,83 @@ pub fn parse_sexps(input: &str) -> Result<Vec<Sexp>, SygusError> {
                 }
             }
             '(' | ')' => {
-                if !current.is_empty() {
-                    tokens.push(std::mem::take(&mut current));
-                }
-                tokens.push(c.to_string());
+                flush(&mut current, current_start, i, &mut tokens);
+                let tok = if c == '(' { Tok::Open } else { Tok::Close };
+                tokens.push((tok, Span::new(i as u32, (i + 1) as u32)));
             }
-            c if c.is_whitespace() => {
-                if !current.is_empty() {
-                    tokens.push(std::mem::take(&mut current));
+            c if c.is_whitespace() => flush(&mut current, current_start, i, &mut tokens),
+            c => {
+                if current.is_empty() {
+                    current_start = i as u32;
                 }
+                current.push(c);
             }
-            c => current.push(c),
         }
     }
-    if !current.is_empty() {
-        tokens.push(current);
-    }
+    flush(&mut current, current_start, input.len(), &mut tokens);
+    tokens
+}
 
-    let mut stack: Vec<Vec<Sexp>> = vec![Vec::new()];
-    for t in tokens {
-        match t.as_str() {
-            "(" => stack.push(Vec::new()),
-            ")" => {
-                let done = stack
-                    .pop()
-                    .ok_or_else(|| SygusError::ParseError("unbalanced ')'".to_string()))?;
-                let parent = stack
+/// Tokenises and parses a string into a sequence of spanned s-expressions.
+///
+/// Comments start with `;` and run to the end of the line.
+///
+/// # Errors
+/// Returns a [`SygusError::ParseError`] (carrying the offending
+/// parenthesis's position) on unbalanced parentheses.
+pub fn parse_sexps(input: &str) -> Result<Vec<Sexp>, SygusError> {
+    let idx = LineIndex::new(input);
+    struct Frame {
+        open: Span,
+        items: Vec<Sexp>,
+    }
+    let mut stack: Vec<Frame> = vec![Frame {
+        open: Span::new(0, 0),
+        items: Vec::new(),
+    }];
+    for (tok, span) in tokenize(input) {
+        match tok {
+            Tok::Open => stack.push(Frame {
+                open: span,
+                items: Vec::new(),
+            }),
+            Tok::Close => {
+                if stack.len() == 1 {
+                    return Err(perr(&idx, span, "unbalanced ')'"));
+                }
+                let frame = stack.pop().expect("len checked above");
+                let sexp = Sexp {
+                    span: Span::new(frame.open.start, span.end),
+                    kind: SexpKind::List(frame.items),
+                };
+                stack
                     .last_mut()
-                    .ok_or_else(|| SygusError::ParseError("unbalanced ')'".to_string()))?;
-                parent.push(Sexp::List(done));
+                    .expect("root frame remains")
+                    .items
+                    .push(sexp);
             }
-            atom => stack
+            Tok::Atom(a) => stack
                 .last_mut()
                 .expect("stack never empty")
-                .push(Sexp::Atom(atom.to_string())),
+                .items
+                .push(Sexp {
+                    kind: SexpKind::Atom(a),
+                    span,
+                }),
         }
     }
     if stack.len() != 1 {
-        return Err(SygusError::ParseError("unbalanced '('".to_string()));
+        let open = stack.last().expect("nonempty stack").open;
+        return Err(perr(&idx, open, "unbalanced '('"));
     }
-    Ok(stack.pop().expect("single frame"))
+    Ok(stack.pop().expect("single frame").items)
 }
 
-fn parse_sort(s: &Sexp) -> Result<Sort, SygusError> {
+fn parse_sort(s: &Sexp, idx: &LineIndex) -> Result<Sort, SygusError> {
     match s.atom() {
         Some("Int") => Ok(Sort::Int),
         Some("Bool") => Ok(Sort::Bool),
-        other => Err(SygusError::ParseError(format!(
-            "unsupported sort {other:?}"
-        ))),
+        other => Err(perr(idx, s.span, format!("unsupported sort {other:?}"))),
     }
 }
 
@@ -126,82 +249,81 @@ struct SynthFun {
     grammar: Grammar,
 }
 
-fn parse_synth_fun(items: &[Sexp]) -> Result<SynthFun, SygusError> {
+fn parse_synth_fun(span: Span, items: &[Sexp], idx: &LineIndex) -> Result<SynthFun, SygusError> {
     // (synth-fun name ((x Int) ...) Ret (decls) (rules))
     if items.len() < 4 {
-        return Err(SygusError::ParseError(
-            "synth-fun needs a name, parameters and a return sort".to_string(),
+        return Err(perr(
+            idx,
+            span,
+            "synth-fun needs a name, parameters and a return sort",
         ));
     }
     let name = items[1]
         .atom()
-        .ok_or_else(|| SygusError::ParseError("synth-fun name must be an atom".to_string()))?
+        .ok_or_else(|| perr(idx, items[1].span, "synth-fun name must be an atom"))?
         .to_string();
     let mut params = Vec::new();
     for p in items[2]
         .list()
-        .ok_or_else(|| SygusError::ParseError("synth-fun parameter list expected".to_string()))?
+        .ok_or_else(|| perr(idx, items[2].span, "synth-fun parameter list expected"))?
     {
         let pl = p
             .list()
-            .ok_or_else(|| SygusError::ParseError("parameter must be (name Sort)".to_string()))?;
+            .ok_or_else(|| perr(idx, p.span, "parameter must be (name Sort)"))?;
         if pl.len() != 2 {
-            return Err(SygusError::ParseError(
-                "parameter must be (name Sort)".to_string(),
-            ));
+            return Err(perr(idx, p.span, "parameter must be (name Sort)"));
         }
         params.push((
             pl[0]
                 .atom()
-                .ok_or_else(|| {
-                    SygusError::ParseError("parameter name must be an atom".to_string())
-                })?
+                .ok_or_else(|| perr(idx, pl[0].span, "parameter name must be an atom"))?
                 .to_string(),
-            parse_sort(&pl[1])?,
+            parse_sort(&pl[1], idx)?,
         ));
     }
-    let ret = parse_sort(&items[3])?;
+    let ret = parse_sort(&items[3], idx)?;
 
     // Grammar part: either SyGuS-IF v2 ((A Int) (B Bool)) ((A Int (rules)) ...)
     // or directly ((A Int (rules)) ...).
-    let grouped = if items.len() >= 6 {
-        items[5].list().ok_or_else(|| {
-            SygusError::ParseError("grouped grammar rules must be a list".to_string())
-        })?
+    let grouped_sexp = if items.len() >= 6 {
+        &items[5]
     } else if items.len() == 5 {
-        items[4].list().ok_or_else(|| {
-            SygusError::ParseError("grouped grammar rules must be a list".to_string())
-        })?
+        &items[4]
     } else {
-        return Err(SygusError::ParseError(
-            "synth-fun must declare a grammar".to_string(),
-        ));
+        return Err(perr(idx, span, "synth-fun must declare a grammar"));
     };
+    let grouped = grouped_sexp.list().ok_or_else(|| {
+        perr(
+            idx,
+            grouped_sexp.span,
+            "grouped grammar rules must be a list",
+        )
+    })?;
 
     // Collect nonterminal declarations first.
     let mut decls: Vec<(String, Sort)> = Vec::new();
     for g in grouped {
-        let gl = g.list().ok_or_else(|| {
-            SygusError::ParseError("grammar group must be (Name Sort (rules…))".to_string())
-        })?;
+        let gl = g
+            .list()
+            .ok_or_else(|| perr(idx, g.span, "grammar group must be (Name Sort (rules…))"))?;
         if gl.len() < 3 {
-            return Err(SygusError::ParseError(
-                "grammar group must be (Name Sort (rules…))".to_string(),
+            return Err(perr(
+                idx,
+                g.span,
+                "grammar group must be (Name Sort (rules…))",
             ));
         }
         decls.push((
             gl[0]
                 .atom()
-                .ok_or_else(|| {
-                    SygusError::ParseError("nonterminal name must be an atom".to_string())
-                })?
+                .ok_or_else(|| perr(idx, gl[0].span, "nonterminal name must be an atom"))?
                 .to_string(),
-            parse_sort(&gl[1])?,
+            parse_sort(&gl[1], idx)?,
         ));
     }
     let start = decls
         .first()
-        .ok_or_else(|| SygusError::ParseError("grammar has no nonterminals".to_string()))?
+        .ok_or_else(|| perr(idx, grouped_sexp.span, "grammar has no nonterminals"))?
         .0
         .clone();
     let nts: BTreeMap<String, Sort> = decls.iter().cloned().collect();
@@ -215,10 +337,14 @@ fn parse_synth_fun(items: &[Sexp]) -> Result<SynthFun, SygusError> {
         let gl = g.list().expect("validated above");
         let lhs = gl[0].atom().expect("validated above");
         let rules = gl[2].list().ok_or_else(|| {
-            SygusError::ParseError("grammar rules must be a parenthesised list".to_string())
+            perr(
+                idx,
+                gl[2].span,
+                "grammar rules must be a parenthesised list",
+            )
         })?;
         for rule in rules {
-            builder = parse_rule(builder, lhs, rule, &nts, &vars)?;
+            builder = parse_rule(builder, lhs, rule, &nts, &vars, idx)?;
         }
     }
     Ok(SynthFun {
@@ -235,9 +361,10 @@ fn parse_rule(
     rule: &Sexp,
     nts: &BTreeMap<String, Sort>,
     vars: &BTreeMap<String, Sort>,
+    idx: &LineIndex,
 ) -> Result<GrammarBuilder, SygusError> {
-    match rule {
-        Sexp::Atom(a) => {
+    match &rule.kind {
+        SexpKind::Atom(a) => {
             if let Ok(c) = a.parse::<i64>() {
                 Ok(builder.production(lhs, Symbol::Num(c), &[]))
             } else if vars.contains_key(a) {
@@ -245,39 +372,54 @@ fn parse_rule(
             } else if nts.contains_key(a) {
                 Ok(builder.chain(lhs, a))
             } else if a == "true" || a == "false" {
-                Err(SygusError::ParseError(
-                    "Boolean literals in grammars are not supported; use comparisons".to_string(),
+                Err(perr(
+                    idx,
+                    rule.span,
+                    "Boolean literals in grammars are not supported; use comparisons",
                 ))
             } else {
-                Err(SygusError::ParseError(format!(
-                    "unknown grammar atom {a} in rules of {lhs}"
-                )))
+                Err(perr(
+                    idx,
+                    rule.span,
+                    format!("unknown grammar atom {a} in rules of {lhs}"),
+                ))
             }
         }
-        Sexp::List(items) => {
-            let op = items.first().and_then(|s| s.atom()).ok_or_else(|| {
-                SygusError::ParseError("rule operator must be an atom".to_string())
-            })?;
-            let args: Result<Vec<&str>, SygusError> = items[1..]
+        SexpKind::List(items) => {
+            let op = items
+                .first()
+                .and_then(|s| s.atom())
+                .ok_or_else(|| perr(idx, rule.span, "rule operator must be an atom"))?;
+            let args: Result<Vec<&Sexp>, SygusError> = items[1..]
                 .iter()
                 .map(|s| {
-                    s.atom().ok_or_else(|| {
-                        SygusError::ParseError(format!(
-                            "nested terms in grammar rules are not supported (rule of {lhs}); \
-                             introduce an auxiliary nonterminal"
+                    if s.atom().is_some() {
+                        Ok(s)
+                    } else {
+                        Err(perr(
+                            idx,
+                            s.span,
+                            format!(
+                                "nested terms in grammar rules are not supported (rule of {lhs}); \
+                                 introduce an auxiliary nonterminal"
+                            ),
                         ))
-                    })
+                    }
                 })
                 .collect();
             let args = args?;
             // Arguments must be nonterminals.
             for a in &args {
-                if !nts.contains_key(*a) {
-                    return Err(SygusError::ParseError(format!(
-                        "rule argument {a} of {lhs} is not a declared nonterminal"
-                    )));
+                let name = a.atom().expect("validated above");
+                if !nts.contains_key(name) {
+                    return Err(perr(
+                        idx,
+                        a.span,
+                        format!("rule argument {name} of {lhs} is not a declared nonterminal"),
+                    ));
                 }
             }
+            let arg_names: Vec<&str> = args.iter().map(|a| a.atom().expect("atom")).collect();
             let symbol = match op {
                 "+" => Symbol::Plus,
                 "-" => Symbol::Minus,
@@ -288,12 +430,14 @@ fn parse_rule(
                 "<" => Symbol::LessThan,
                 "=" => Symbol::Equal,
                 other => {
-                    return Err(SygusError::ParseError(format!(
-                        "unsupported grammar operator {other}"
-                    )))
+                    return Err(perr(
+                        idx,
+                        items[0].span,
+                        format!("unsupported grammar operator {other}"),
+                    ))
                 }
             };
-            Ok(builder.production(lhs, symbol, &args))
+            Ok(builder.production(lhs, symbol, &arg_names))
         }
     }
 }
@@ -303,58 +447,70 @@ fn parse_int_expr(
     sexp: &Sexp,
     fun: &SynthFun,
     declared: &BTreeMap<String, Sort>,
+    idx: &LineIndex,
 ) -> Result<LinearExpr, SygusError> {
-    match sexp {
-        Sexp::Atom(a) => {
+    match &sexp.kind {
+        SexpKind::Atom(a) => {
             if let Ok(c) = a.parse::<i64>() {
                 Ok(LinearExpr::constant(c))
             } else if declared.contains_key(a) || fun.params.iter().any(|(p, _)| p == a) {
                 Ok(LinearExpr::var(Var::new(a.clone())))
             } else {
-                Err(SygusError::ParseError(format!(
-                    "unknown variable {a} in constraint"
-                )))
+                Err(perr(
+                    idx,
+                    sexp.span,
+                    format!("unknown variable {a} in constraint"),
+                ))
             }
         }
-        Sexp::List(items) => {
+        SexpKind::List(items) => {
             let op = items
                 .first()
                 .and_then(|s| s.atom())
-                .ok_or_else(|| SygusError::ParseError("operator must be an atom".to_string()))?;
+                .ok_or_else(|| perr(idx, sexp.span, "operator must be an atom"))?;
+            let operand = |i: usize| {
+                items.get(i).ok_or_else(|| {
+                    perr(
+                        idx,
+                        sexp.span,
+                        format!("operator {op} is missing operand {i}"),
+                    )
+                })
+            };
             match op {
                 "+" => {
                     let mut sum = LinearExpr::zero();
                     for a in &items[1..] {
-                        sum = sum + parse_int_expr(a, fun, declared)?;
+                        sum = sum + parse_int_expr(a, fun, declared, idx)?;
                     }
                     Ok(sum)
                 }
                 "-" => {
                     if items.len() == 2 {
-                        Ok(parse_int_expr(&items[1], fun, declared)?.scale(-1))
+                        Ok(parse_int_expr(&items[1], fun, declared, idx)?.scale(-1))
                     } else {
-                        let mut acc = parse_int_expr(&items[1], fun, declared)?;
+                        let mut acc = parse_int_expr(operand(1)?, fun, declared, idx)?;
                         for a in &items[2..] {
-                            acc = acc - parse_int_expr(a, fun, declared)?;
+                            acc = acc - parse_int_expr(a, fun, declared, idx)?;
                         }
                         Ok(acc)
                     }
                 }
                 "*" => {
                     if items.len() != 3 {
-                        return Err(SygusError::ParseError(
-                            "* must have exactly two operands".to_string(),
-                        ));
+                        return Err(perr(idx, sexp.span, "* must have exactly two operands"));
                     }
-                    let a = parse_int_expr(&items[1], fun, declared)?;
-                    let b = parse_int_expr(&items[2], fun, declared)?;
+                    let a = parse_int_expr(&items[1], fun, declared, idx)?;
+                    let b = parse_int_expr(&items[2], fun, declared, idx)?;
                     if a.is_constant() {
                         Ok(b.scale(a.constant_part()))
                     } else if b.is_constant() {
                         Ok(a.scale(b.constant_part()))
                     } else {
-                        Err(SygusError::ParseError(
-                            "non-linear multiplication is not supported".to_string(),
+                        Err(perr(
+                            idx,
+                            sexp.span,
+                            "non-linear multiplication is not supported",
                         ))
                     }
                 }
@@ -364,19 +520,22 @@ fn parse_int_expr(
                         match arg.atom() {
                             Some(a) if a == param => {}
                             _ => {
-                                return Err(SygusError::ParseError(
+                                return Err(perr(
+                                    idx,
+                                    arg.span,
                                     "only single-invocation applications f(x̄) on the declared \
-                                     variables are supported"
-                                        .to_string(),
+                                     variables are supported",
                                 ))
                             }
                         }
                     }
                     Ok(LinearExpr::var(Spec::output_var()))
                 }
-                other => Err(SygusError::ParseError(format!(
-                    "unsupported integer operator {other}"
-                ))),
+                other => Err(perr(
+                    idx,
+                    items[0].span,
+                    format!("unsupported integer operator {other}"),
+                )),
             }
         }
     }
@@ -386,19 +545,31 @@ fn parse_formula(
     sexp: &Sexp,
     fun: &SynthFun,
     declared: &BTreeMap<String, Sort>,
+    idx: &LineIndex,
 ) -> Result<Formula, SygusError> {
-    match sexp {
-        Sexp::Atom(a) if a == "true" => Ok(Formula::True),
-        Sexp::Atom(a) if a == "false" => Ok(Formula::False),
-        Sexp::Atom(_) => Err(SygusError::ParseError(
-            "Boolean variables in constraints are not supported".to_string(),
+    match &sexp.kind {
+        SexpKind::Atom(a) if a == "true" => Ok(Formula::True),
+        SexpKind::Atom(a) if a == "false" => Ok(Formula::False),
+        SexpKind::Atom(_) => Err(perr(
+            idx,
+            sexp.span,
+            "Boolean variables in constraints are not supported",
         )),
-        Sexp::List(items) => {
+        SexpKind::List(items) => {
             let op = items
                 .first()
                 .and_then(|s| s.atom())
-                .ok_or_else(|| SygusError::ParseError("operator must be an atom".to_string()))?;
-            let int = |i: usize| parse_int_expr(&items[i], fun, declared);
+                .ok_or_else(|| perr(idx, sexp.span, "operator must be an atom"))?;
+            let operand = |i: usize| {
+                items.get(i).ok_or_else(|| {
+                    perr(
+                        idx,
+                        sexp.span,
+                        format!("operator {op} is missing operand {i}"),
+                    )
+                })
+            };
+            let int = |i: usize| parse_int_expr(operand(i)?, fun, declared, idx);
             match op {
                 "=" => Ok(Formula::eq(int(1)?, int(2)?)),
                 "<" => Ok(Formula::lt(int(1)?, int(2)?)),
@@ -408,28 +579,35 @@ fn parse_formula(
                 "and" => Ok(Formula::and(
                     items[1..]
                         .iter()
-                        .map(|s| parse_formula(s, fun, declared))
+                        .map(|s| parse_formula(s, fun, declared, idx))
                         .collect::<Result<Vec<_>, _>>()?,
                 )),
                 "or" => Ok(Formula::or(
                     items[1..]
                         .iter()
-                        .map(|s| parse_formula(s, fun, declared))
+                        .map(|s| parse_formula(s, fun, declared, idx))
                         .collect::<Result<Vec<_>, _>>()?,
                 )),
-                "not" => Ok(Formula::not(parse_formula(&items[1], fun, declared)?)),
+                "not" => Ok(Formula::not(parse_formula(
+                    operand(1)?,
+                    fun,
+                    declared,
+                    idx,
+                )?)),
                 "=>" => Ok(Formula::implies(
-                    parse_formula(&items[1], fun, declared)?,
-                    parse_formula(&items[2], fun, declared)?,
+                    parse_formula(operand(1)?, fun, declared, idx)?,
+                    parse_formula(operand(2)?, fun, declared, idx)?,
                 )),
                 "ite" => Ok(Formula::ite(
-                    parse_formula(&items[1], fun, declared)?,
-                    parse_formula(&items[2], fun, declared)?,
-                    parse_formula(&items[3], fun, declared)?,
+                    parse_formula(operand(1)?, fun, declared, idx)?,
+                    parse_formula(operand(2)?, fun, declared, idx)?,
+                    parse_formula(operand(3)?, fun, declared, idx)?,
                 )),
-                other => Err(SygusError::ParseError(format!(
-                    "unsupported Boolean operator {other}"
-                ))),
+                other => Err(perr(
+                    idx,
+                    items[0].span,
+                    format!("unsupported Boolean operator {other}"),
+                )),
             }
         }
     }
@@ -438,7 +616,8 @@ fn parse_formula(
 /// Parses a complete SyGuS-IF problem.
 ///
 /// # Errors
-/// Returns a [`SygusError::ParseError`] for unsupported or malformed input.
+/// Returns a [`SygusError::ParseError`] — carrying the offending token's
+/// line and column — for unsupported or malformed input.
 ///
 /// # Example
 /// ```
@@ -456,6 +635,7 @@ fn parse_formula(
 /// assert_eq!(problem.grammar().num_nonterminals(), 2);
 /// ```
 pub fn parse_problem(input: &str, name: &str) -> Result<Problem, SygusError> {
+    let idx = LineIndex::new(input);
     let sexps = parse_sexps(input)?;
     let mut synth_fun: Option<SynthFun> = None;
     let mut declared: BTreeMap<String, Sort> = BTreeMap::new();
@@ -467,42 +647,54 @@ pub fn parse_problem(input: &str, name: &str) -> Result<Problem, SygusError> {
 
     for s in &sexps {
         let Some(items) = s.list() else {
-            return Err(SygusError::ParseError(format!(
-                "top-level atoms are not valid SyGuS commands: {s:?}"
-            )));
+            return Err(perr(
+                &idx,
+                s.span,
+                format!("top-level atoms are not valid SyGuS commands: {:?}", s.kind),
+            ));
         };
         let Some(head) = items.first().and_then(|s| s.atom()) else {
             continue;
         };
         match head {
             "set-logic" | "check-synth" | "set-option" => {}
-            "synth-fun" => synth_fun = Some(parse_synth_fun(items)?),
+            "synth-fun" => synth_fun = Some(parse_synth_fun(s.span, items, &idx)?),
             "declare-var" => {
-                let v = items.get(1).and_then(|s| s.atom()).ok_or_else(|| {
-                    SygusError::ParseError("declare-var needs a name".to_string())
-                })?;
-                let sort = parse_sort(items.get(2).ok_or_else(|| {
-                    SygusError::ParseError("declare-var needs a sort".to_string())
-                })?)?;
+                let v = items
+                    .get(1)
+                    .and_then(|s| s.atom())
+                    .ok_or_else(|| perr(&idx, s.span, "declare-var needs a name"))?;
+                let sort = parse_sort(
+                    items
+                        .get(2)
+                        .ok_or_else(|| perr(&idx, s.span, "declare-var needs a sort"))?,
+                    &idx,
+                )?;
                 if declared.insert(v.to_string(), sort).is_none() {
                     declared_order.push(v.to_string());
                 }
             }
-            "constraint" => constraints.push(items[1].clone()),
+            "constraint" => constraints.push(
+                items
+                    .get(1)
+                    .ok_or_else(|| perr(&idx, s.span, "constraint needs a formula"))?
+                    .clone(),
+            ),
             other => {
-                return Err(SygusError::ParseError(format!(
-                    "unsupported SyGuS command {other}"
-                )))
+                return Err(perr(
+                    &idx,
+                    items[0].span,
+                    format!("unsupported SyGuS command {other}"),
+                ))
             }
         }
     }
 
-    let fun = synth_fun
-        .ok_or_else(|| SygusError::ParseError("no synth-fun command found".to_string()))?;
+    let fun = synth_fun.ok_or_else(|| perr(&idx, Span::new(0, 0), "no synth-fun command found"))?;
     let formula = Formula::and(
         constraints
             .iter()
-            .map(|c| parse_formula(c, &fun, &declared))
+            .map(|c| parse_formula(c, &fun, &declared, &idx))
             .collect::<Result<Vec<_>, _>>()?,
     );
     // Inputs of the spec: the synth-fun's parameters (constraints are assumed
@@ -734,16 +926,108 @@ mod tests {
       (check-synth)
     "#;
 
+    fn parse_err(input: &str) -> ParseError {
+        match parse_problem(input, "err") {
+            Err(SygusError::ParseError(e)) => e,
+            other => panic!("expected a parse error, got {other:?}"),
+        }
+    }
+
     #[test]
     fn sexp_parsing() {
         let sexps = parse_sexps("(a (b 1) ; comment\n c)").unwrap();
         assert_eq!(sexps.len(), 1);
-        match &sexps[0] {
-            Sexp::List(items) => assert_eq!(items.len(), 3),
+        match &sexps[0].kind {
+            SexpKind::List(items) => assert_eq!(items.len(), 3),
             other => panic!("unexpected {other:?}"),
         }
         assert!(parse_sexps("(a (b)").is_err());
         assert!(parse_sexps("a) b").is_err());
+    }
+
+    #[test]
+    fn sexp_spans_cover_the_source() {
+        let src = "(a (b 1)\n c)";
+        let sexps = parse_sexps(src).unwrap();
+        let top = &sexps[0];
+        assert_eq!(top.span, Span::new(0, src.len() as u32));
+        let items = top.list().unwrap();
+        assert_eq!(
+            &src[items[0].span.start as usize..items[0].span.end as usize],
+            "a"
+        );
+        assert_eq!(
+            &src[items[1].span.start as usize..items[1].span.end as usize],
+            "(b 1)"
+        );
+        assert_eq!(
+            &src[items[2].span.start as usize..items[2].span.end as usize],
+            "c"
+        );
+    }
+
+    #[test]
+    fn line_index_positions() {
+        let idx = LineIndex::new("ab\ncd\n\nx");
+        assert_eq!(idx.position(0), (1, 1));
+        assert_eq!(idx.position(1), (1, 2));
+        assert_eq!(idx.position(3), (2, 1));
+        assert_eq!(idx.position(4), (2, 2));
+        assert_eq!(idx.position(6), (3, 1));
+        assert_eq!(idx.position(7), (4, 1));
+    }
+
+    #[test]
+    fn parse_errors_carry_line_and_column() {
+        // the unknown grammar atom `y` sits on line 2
+        let e =
+            parse_err("(synth-fun f ((x Int)) Int\n  ((Start Int (y))))\n(constraint (= (f x) x))");
+        assert_eq!(e.line, 2);
+        assert!(e.msg.contains("unknown grammar atom y"));
+        assert_eq!(
+            &"  ((Start Int (y))))"[e.col as usize - 1..e.col as usize],
+            "y"
+        );
+
+        // an unbalanced close paren reports its own position
+        let e = match parse_sexps("(a)\n)") {
+            Err(SygusError::ParseError(e)) => e,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!((e.line, e.col), (2, 1));
+        assert!(e.msg.contains("unbalanced ')'"));
+
+        // unknown constraint variable, with column pointing at the token
+        let e =
+            parse_err("(synth-fun f ((x Int)) Int ((Start Int (x))))\n(constraint (= (f x) zz))");
+        assert_eq!(e.line, 2);
+        assert_eq!(e.col, 22);
+        assert!(e.msg.contains("unknown variable zz"));
+    }
+
+    #[test]
+    fn display_of_parse_errors_is_line_col_prefixed() {
+        let e = parse_err("(unsupported-command)");
+        let rendered = SygusError::ParseError(e).to_string();
+        assert!(
+            rendered.starts_with("parse error at 1:2:"),
+            "unexpected rendering {rendered}"
+        );
+    }
+
+    #[test]
+    fn malformed_constraints_error_instead_of_panicking() {
+        for bad in [
+            "(constraint)",
+            "(synth-fun f ((x Int)) Int ((Start Int (x))))\n(constraint (=))",
+            "(synth-fun f ((x Int)) Int ((Start Int (x))))\n(constraint (not))",
+            "(synth-fun f ((x Int)) Int ((Start Int (x))))\n(constraint (- ))",
+        ] {
+            assert!(
+                matches!(parse_problem(bad, "bad"), Err(SygusError::ParseError(_))),
+                "input {bad:?} must produce a parse error"
+            );
+        }
     }
 
     #[test]

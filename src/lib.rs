@@ -12,6 +12,8 @@
 //!
 //! * [`sygus`] — terms, grammars, examples, specifications, SyGuS-IF parsing,
 //! * [`logic`] — QF-LIA formulas and the built-in solver,
+//! * [`analyze`] — static semantic analysis: well-formedness diagnostics,
+//!   grammar structure reports, and the interval/parity abstract presolve,
 //! * [`semilinear`] — semi-linear sets and Boolean-vector sets,
 //! * [`gfa`] — grammar-flow analysis: Newton's method, Kleene iteration,
 //!   stratification,
@@ -52,6 +54,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use analyze;
 pub use benchmarks;
 pub use chc;
 pub use enumerative;
