@@ -9,6 +9,8 @@
 //! cargo run --release -p bench --bin reproduce -- gen --out DIR [OPTIONS]
 //! cargo run --release -p bench --bin reproduce -- fuzz [OPTIONS]
 //! cargo run --release -p bench --bin reproduce -- presolve-diff [OPTIONS]
+//! cargo run --release -p bench --bin reproduce -- serve [OPTIONS]
+//! cargo run --release -p bench --bin reproduce -- bench-serve [OPTIONS]
 //!
 //! EXPERIMENT: all | table1-plus | table1-if | table1 | table2 | fig2 | fig3 |
 //!             fig4 | fig5 | summary          (default: all)
@@ -60,6 +62,34 @@
 //!   --json PATH         write the aggregate JSON report to PATH
 //!   --require-presolved fail unless the presolve settles at least one
 //!                       instance of every attacked family
+//!
+//! serve OPTIONS:
+//!   --addr HOST:PORT    TCP bind address (default: 127.0.0.1:7171;
+//!                       port 0 picks a free port)
+//!   --unix PATH         bind a Unix-domain socket instead of TCP
+//!   --slots N           warm engine workers (default: 4)
+//!   --cache N           verdict-cache capacity, 0 disables (default: 4096)
+//!   --max-in-flight N   admission bound on queued+running engine jobs
+//!                       (default: 64)
+//!   --deadline-ms MS    default per-request deadline (default: 600000)
+//!   --no-presolve       disable the static presolve stage
+//!
+//! bench-serve OPTIONS:
+//!   --addr HOST:PORT    replay against an external daemon; by default an
+//!                       in-process daemon is started on a free port
+//!   --unix PATH         connect over a Unix-domain socket instead
+//!   --corpus DIR        corpus to replay, gated by its MANIFEST race
+//!                       column (default: corpus)
+//!   --gen-count N       also stream N generated instances (default: 0)
+//!   --seed S            base seed for the generated stream (default: 7)
+//!   --families a,b      restrict the generated stream to these families
+//!   --clients N         concurrent client connections (default: 2)
+//!   --passes N          workload replays; pass 1 fills the cache, later
+//!                       passes must hit it (default: 2)
+//!   --qps Q             per-client request rate cap (default: unlimited)
+//!   --deadline-ms MS    per-request deadline (default: the daemon's)
+//!   --slots N           warm workers for the in-process daemon (default: 4)
+//!   --json PATH         write the runner-schema JSON report to PATH
 //! ```
 //!
 //! `compare` exits 0 when the new report has no regressions against the old
@@ -73,7 +103,11 @@
 //! errors. `presolve-diff` exits 0 when no generated instance's race
 //! verdict changes with the presolve stage toggled, 1 on any flip (or,
 //! with `--require-presolved`, when a family was never settled
-//! statically), and 2 on usage errors.
+//! statically), and 2 on usage errors. `serve` blocks until a client
+//! sends the `shutdown` op, then exits 0. `bench-serve` exits 0 when
+//! every response matches its expectation (the MANIFEST race column for
+//! corpus instances, non-contradiction for generated ones), 1 on any
+//! mismatch or error response, and 2 on usage errors.
 
 use runner::{compare, CompareConfig, PoolConfig, Report};
 use std::path::Path;
@@ -471,6 +505,149 @@ fn run_fuzz(args: &[String]) -> ! {
     std::process::exit(if outcome.violations.is_empty() { 0 } else { 1 });
 }
 
+fn run_serve(args: &[String]) -> ! {
+    let mut config = server::ServerConfig {
+        bind: server::Bind::Tcp("127.0.0.1:7171".into()),
+        ..server::ServerConfig::default()
+    };
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--addr" => {
+                config.bind = server::Bind::Tcp(parse_value::<String>(arg, iter.next()));
+            }
+            "--unix" => {
+                config.bind =
+                    server::Bind::Unix(parse_value::<std::path::PathBuf>(arg, iter.next()));
+            }
+            "--slots" => config.slots = parse_value(arg, iter.next()),
+            "--cache" => config.cache_capacity = parse_value(arg, iter.next()),
+            "--max-in-flight" => config.max_in_flight = parse_value(arg, iter.next()),
+            "--deadline-ms" => {
+                config.default_deadline = Duration::from_millis(parse_value(arg, iter.next()))
+            }
+            "--no-presolve" => config.presolve = false,
+            other => usage_error(&format!("unknown serve option `{other}`")),
+        }
+    }
+    let server = server::Server::bind(config.clone()).unwrap_or_else(|e| {
+        eprintln!("error: cannot bind: {e}");
+        std::process::exit(2);
+    });
+    println!(
+        "serving on {} ({} warm workers, cache capacity {}, presolve {})",
+        server.endpoint(),
+        config.slots,
+        config.cache_capacity,
+        if config.presolve { "on" } else { "off" }
+    );
+    match server.run() {
+        Err(e) => {
+            eprintln!("error: accept loop failed: {e}");
+            std::process::exit(1);
+        }
+        Ok(stats) => {
+            println!(
+                "shut down after {} request(s): {} cache hit(s), {} timeout(s), {} error(s)",
+                stats.requests, stats.cache_hits, stats.timeouts, stats.errors
+            );
+            std::process::exit(0);
+        }
+    }
+}
+
+fn run_bench_serve(args: &[String]) -> ! {
+    let mut endpoint: Option<server::Endpoint> = None;
+    let mut corpus_dir = "corpus".to_string();
+    let mut gen_count = 0usize;
+    let mut seed = 7u64;
+    let mut families: Option<Vec<gen::Family>> = None;
+    let mut slots = 4usize;
+    let mut json_path: Option<String> = None;
+    let mut config = bench::LoadConfig::default();
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--addr" => {
+                let addr: String = parse_value(arg, iter.next());
+                let resolved = addr.parse().unwrap_or_else(|e| {
+                    usage_error(&format!("`--addr` got an unparsable address `{addr}`: {e}"))
+                });
+                endpoint = Some(server::Endpoint::Tcp(resolved));
+            }
+            "--unix" => {
+                endpoint = Some(server::Endpoint::Unix(parse_value(arg, iter.next())));
+            }
+            "--corpus" => corpus_dir = parse_value(arg, iter.next()),
+            "--gen-count" => gen_count = parse_value(arg, iter.next()),
+            "--seed" => seed = parse_value(arg, iter.next()),
+            "--families" => families = Some(parse_families(iter.next())),
+            "--clients" => config.clients = parse_value(arg, iter.next()),
+            "--passes" => config.passes = parse_value(arg, iter.next()),
+            "--qps" => config.qps = Some(parse_value(arg, iter.next())),
+            "--deadline-ms" => config.deadline_ms = Some(parse_value(arg, iter.next())),
+            "--slots" => slots = parse_value(arg, iter.next()),
+            "--json" => json_path = Some(parse_value::<String>(arg, iter.next())),
+            other => usage_error(&format!("unknown bench-serve option `{other}`")),
+        }
+    }
+
+    let mut workload = bench::corpus_workload(Path::new(&corpus_dir)).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    workload.extend(bench::gen_workload(gen_count, seed, families));
+    if workload.is_empty() {
+        usage_error("the workload is empty (no corpus files and --gen-count 0)");
+    }
+
+    // Without --addr/--unix, spin up an in-process daemon on a free port
+    // and shut it down once the replay is done.
+    let own_daemon = endpoint.is_none().then(|| {
+        let server = server::Server::bind(server::ServerConfig {
+            slots,
+            ..server::ServerConfig::default()
+        })
+        .unwrap_or_else(|e| {
+            eprintln!("error: cannot bind the in-process daemon: {e}");
+            std::process::exit(2);
+        });
+        let endpoint = server.endpoint();
+        let handle = std::thread::spawn(move || server.run());
+        (endpoint, handle)
+    });
+    let endpoint = endpoint.unwrap_or_else(|| own_daemon.as_ref().unwrap().0.clone());
+
+    let outcome = bench::run_load(&endpoint, &workload, &config).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+    print!("{}", bench::render_load(&outcome, &config));
+
+    if let Some((endpoint, handle)) = own_daemon {
+        if let Ok(mut client) = server::Client::connect(&endpoint) {
+            let _ = client.shutdown();
+        }
+        let _ = handle.join();
+    }
+
+    for mismatch in &outcome.mismatches {
+        eprintln!("serve mismatch: {mismatch}");
+    }
+    if let Some(path) = &json_path {
+        if let Err(e) = std::fs::write(path, outcome.report.to_json()) {
+            eprintln!("error: cannot write `{path}`: {e}");
+            std::process::exit(2);
+        }
+        eprintln!(
+            "wrote {} entries to {path} (suite: {})",
+            outcome.report.entries.len(),
+            outcome.report.suite
+        );
+    }
+    std::process::exit(if outcome.mismatches.is_empty() { 0 } else { 1 });
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("compare") {
@@ -490,6 +667,12 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("presolve-diff") {
         run_presolve_diff(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("serve") {
+        run_serve(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("bench-serve") {
+        run_bench_serve(&args[1..]);
     }
 
     let mut quick = true;

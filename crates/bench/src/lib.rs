@@ -28,6 +28,7 @@
 
 mod analysis;
 mod fuzz;
+mod serve;
 mod solve;
 mod suite;
 
@@ -35,6 +36,10 @@ pub use analysis::{has_analyze_errors, render_analyze, run_analyze, AnalyzeRow};
 pub use fuzz::{
     render_fuzz, render_presolve_diff, run_fuzz, run_gen, run_presolve_diff, FuzzConfig,
     FuzzEngine, FuzzOutcome, FuzzRow, PresolveDiffOutcome,
+};
+pub use serve::{
+    corpus_workload, gen_workload, render_load, run_load, Expected, LoadConfig, LoadOutcome,
+    PassSummary, WorkItem,
 };
 pub use solve::{
     check_manifest, collect_sl_files, load_problem, problem_name, render_solve, run_solve, Engine,

@@ -1,11 +1,39 @@
 //! The racer: a static presolve in front, then both engines on `runner`'s
 //! pool, first definitive verdict wins, the loser is cancelled
 //! cooperatively.
+//!
+//! # The presolve stage
+//!
+//! Every race starts (unless disabled via [`Portfolio::with_presolve`])
+//! with crate `analyze`'s static presolve: an interval×parity abstract
+//! interpretation plus a finite-language lane that can settle a problem
+//! without dispatching either engine. A definitive presolve verdict is
+//! only trusted after it passes [`Presolver::recheck`], which re-derives
+//! the proof from scratch; a verdict that fails its own recheck is
+//! discarded and the engines race as if the presolve had abstained. The
+//! stage is therefore *verdict-preserving by construction*: it can only
+//! replace an engine verdict with the same verdict, or settle a problem
+//! the engines would have left `unknown` — never flip one.
+//!
+//! # Cancellation and deadlines
+//!
+//! Engines poll one shared [`Cancel`] token once per loop iteration. In a
+//! plain [`Portfolio::race`] the token is internal: the first engine to
+//! reach a definitive verdict trips it and the loser aborts. A serving
+//! layer that needs *deadlines* passes its own token to
+//! [`Portfolio::race_with_cancel`] (or the warm-pool variant
+//! [`Portfolio::race_on_pool`]): tripping that token from outside — e.g.
+//! when a request's deadline expires — cancels **both** engines within
+//! one loop iteration each, and the race returns with verdict `unknown`
+//! and both sides reporting `cancelled`. Because winners also trip the
+//! shared token, a caller must hand each race a fresh token and must not
+//! interpret a tripped token as "deadline exceeded" — the race report's
+//! verdict is the source of truth.
 
 use crate::engines::{solve_nay, solve_nope, NopeEngine, SolveVerdict};
 use analyze::{PresolveVerdict, Presolver};
 use nay::Nay;
-use runner::{measure, run_jobs, Cancel, Job, JobStatus, PoolConfig};
+use runner::{measure, run_jobs, Cancel, Job, JobResult, JobStatus, PoolConfig, WarmPool};
 use std::time::Duration;
 use sygus::{Problem, Term};
 
@@ -156,7 +184,84 @@ impl Portfolio {
     /// an engine's definitive verdict with the same verdict, or adds a
     /// definitive verdict where the engines would have said `Unknown`.
     pub fn race(&self, problem: &Problem) -> RaceReport {
-        let mut presolve_summary = None;
+        self.race_with_cancel(problem, &Cancel::new())
+    }
+
+    /// [`Portfolio::race`] with a caller-supplied cancellation token.
+    ///
+    /// The token is the race's shared token: tripping it from outside
+    /// (e.g. on a request deadline) cancels both engines within one loop
+    /// iteration each, and the race returns verdict `unknown` with both
+    /// sides `cancelled`. The race also trips the token itself the moment
+    /// one engine reaches a definitive verdict, so hand every race a
+    /// fresh token — see the [module docs](self).
+    pub fn race_with_cancel(&self, problem: &Problem, cancel: &Cancel) -> RaceReport {
+        let presolve_summary = match self.presolve_stage(problem) {
+            Ok(report) => return report,
+            Err(summary) => summary,
+        };
+
+        let (nay_job, nope_job) = self.engine_jobs(problem, cancel);
+        let config = PoolConfig {
+            jobs: 2,
+            timeout: self.timeout,
+        };
+        let (mut results, wall) = measure(|| run_jobs(vec![nay_job, nope_job], &config));
+        // A timed-out engine's thread is abandoned, not killed; trip the
+        // token so it exits at its next poll instead of burning CPU for the
+        // rest of the process.
+        cancel.cancel();
+
+        let nope_result = results.pop().expect("two jobs, two results");
+        let nay_result = results.pop().expect("two jobs, two results");
+        assemble_race_report(
+            nay_result,
+            nope_result,
+            wall.as_secs_f64() * 1000.0,
+            presolve_summary,
+        )
+    }
+
+    /// Races both engines as jobs on a persistent [`WarmPool`] instead of
+    /// a per-race scoped pool — the serving path, where engine workers are
+    /// reused across requests.
+    ///
+    /// Differences from [`Portfolio::race`]:
+    ///
+    /// * **no abandonment timeout** — a warm worker cannot be abandoned,
+    ///   so the per-engine budget set by [`Portfolio::with_timeout`] does
+    ///   not apply here; the caller enforces deadlines by tripping
+    ///   `cancel`, which both engines observe within one loop iteration
+    ///   (see [`Portfolio::race_with_cancel`] for the token contract);
+    /// * **queueing** — under load an engine job may wait for a free
+    ///   worker; `wall_millis` then includes queueing time (the serving
+    ///   latency view) while each engine's own `millis` measures its body
+    ///   only, so `loser_cancel_millis` remains an engine-time delta.
+    pub fn race_on_pool(&self, problem: &Problem, pool: &WarmPool, cancel: &Cancel) -> RaceReport {
+        let presolve_summary = match self.presolve_stage(problem) {
+            Ok(report) => return report,
+            Err(summary) => summary,
+        };
+
+        let (nay_job, nope_job) = self.engine_jobs(problem, cancel);
+        let ((nay_result, nope_result), wall) = measure(|| {
+            let nay_ticket = pool.submit(nay_job);
+            let nope_ticket = pool.submit(nope_job);
+            (nay_ticket.wait(), nope_ticket.wait())
+        });
+        assemble_race_report(
+            nay_result,
+            nope_result,
+            wall.as_secs_f64() * 1000.0,
+            presolve_summary,
+        )
+    }
+
+    /// Runs the presolve stage when enabled. `Ok` carries the finished
+    /// race report of a statically settled problem (engines skipped);
+    /// `Err` carries the presolve summary (or `None` when the stage is
+    /// disabled) and the engines must race.
+    fn presolve_stage(&self, problem: &Problem) -> Result<RaceReport, Option<PresolveSummary>> {
         if self.presolve {
             let presolver = Presolver::new();
             let ((outcome, gated), elapsed) = measure(|| {
@@ -171,7 +276,7 @@ impl Portfolio {
                     PresolveVerdict::Unrealizable => SolveVerdict::Unrealizable,
                     PresolveVerdict::Unknown => SolveVerdict::Unknown,
                 };
-                return RaceReport {
+                return Ok(RaceReport {
                     verdict,
                     winner: Some("presolve"),
                     solution: outcome.witness.clone(),
@@ -184,7 +289,7 @@ impl Portfolio {
                         reason: outcome.reason.to_string(),
                         millis,
                     }),
-                };
+                });
             }
             let reason = if outcome.is_definitive() {
                 // a definitive outcome that failed its own recheck is a
@@ -193,15 +298,24 @@ impl Portfolio {
             } else {
                 outcome.reason.to_string()
             };
-            presolve_summary = Some(PresolveSummary {
+            Err(Some(PresolveSummary {
                 verdict: SolveVerdict::Unknown,
                 reason,
                 millis,
-            });
+            }))
+        } else {
+            Err(None)
         }
+    }
 
-        let cancel = Cancel::new();
-
+    /// Builds the two engine jobs sharing one cancellation token. Each
+    /// engine trips the token the moment it reaches a definitive verdict,
+    /// cancelling the other side.
+    fn engine_jobs(
+        &self,
+        problem: &Problem,
+        cancel: &Cancel,
+    ) -> (Job<crate::EngineOutcome>, Job<crate::EngineOutcome>) {
         let nay_job = {
             let problem = problem.clone();
             let cancel = cancel.clone();
@@ -226,75 +340,78 @@ impl Portfolio {
                 outcome
             })
         };
+        (nay_job, nope_job)
+    }
+}
 
-        let config = PoolConfig {
-            jobs: 2,
-            timeout: self.timeout,
-        };
-        let (results, wall) = measure(|| run_jobs(vec![nay_job, nope_job], &config));
-        // A timed-out engine's thread is abandoned, not killed; trip the
-        // token so it exits at its next poll instead of burning CPU for the
-        // rest of the process.
-        cancel.cancel();
-
-        let mut reports = results.into_iter().map(|result| {
-            let millis = result.elapsed.as_secs_f64() * 1000.0;
-            let (engine, verdict, iterations, arena_terms, solution) = match result.output {
-                Some(outcome) => (
-                    outcome.engine,
-                    outcome.verdict,
-                    outcome.iterations,
-                    outcome.arena_terms,
-                    outcome.solution,
-                ),
-                None => (
-                    if result.id == "nay" { "nay" } else { "nope" },
-                    SolveVerdict::Unknown,
-                    0,
-                    0,
-                    None,
-                ),
-            };
-            (
-                EngineReport {
-                    engine,
-                    status: result.status,
-                    verdict,
-                    iterations,
-                    arena_terms,
-                    millis,
-                    tainted: result.tainted,
-                },
-                solution,
-            )
-        });
-        let (nay_report, nay_solution) = reports.next().expect("two jobs, two results");
-        let (nope_report, _) = reports.next().expect("two jobs, two results");
-
-        let (verdict, winner) = pick_winner(&nay_report, &nope_report);
-        let loser_cancel_millis = match winner {
-            Some("nay") if nope_report.was_cancelled() => {
-                Some((nope_report.millis - nay_report.millis).max(0.0))
-            }
-            Some("nope") if nay_report.was_cancelled() => {
-                Some((nay_report.millis - nope_report.millis).max(0.0))
-            }
-            _ => None,
-        };
-        RaceReport {
+/// Turns one engine job result into the race's per-engine view, plus the
+/// solution term when the engine produced one.
+fn engine_report(result: JobResult<crate::EngineOutcome>) -> (EngineReport, Option<Term>) {
+    let millis = result.elapsed.as_secs_f64() * 1000.0;
+    let (engine, verdict, iterations, arena_terms, solution) = match result.output {
+        Some(outcome) => (
+            outcome.engine,
+            outcome.verdict,
+            outcome.iterations,
+            outcome.arena_terms,
+            outcome.solution,
+        ),
+        None => (
+            if result.id == "nay" { "nay" } else { "nope" },
+            SolveVerdict::Unknown,
+            0,
+            0,
+            None,
+        ),
+    };
+    (
+        EngineReport {
+            engine,
+            status: result.status,
             verdict,
-            winner,
-            solution: if verdict == SolveVerdict::Realizable {
-                nay_solution
-            } else {
-                None
-            },
-            nay: nay_report,
-            nope: nope_report,
-            wall_millis: wall.as_secs_f64() * 1000.0,
-            loser_cancel_millis,
-            presolve: presolve_summary,
+            iterations,
+            arena_terms,
+            millis,
+            tainted: result.tainted,
+        },
+        solution,
+    )
+}
+
+/// Assembles the final [`RaceReport`] from the two engines' job results —
+/// the tail shared by the scoped-pool and warm-pool race paths.
+fn assemble_race_report(
+    nay_result: JobResult<crate::EngineOutcome>,
+    nope_result: JobResult<crate::EngineOutcome>,
+    wall_millis: f64,
+    presolve_summary: Option<PresolveSummary>,
+) -> RaceReport {
+    let (nay_report, nay_solution) = engine_report(nay_result);
+    let (nope_report, _) = engine_report(nope_result);
+
+    let (verdict, winner) = pick_winner(&nay_report, &nope_report);
+    let loser_cancel_millis = match winner {
+        Some("nay") if nope_report.was_cancelled() => {
+            Some((nope_report.millis - nay_report.millis).max(0.0))
         }
+        Some("nope") if nay_report.was_cancelled() => {
+            Some((nay_report.millis - nope_report.millis).max(0.0))
+        }
+        _ => None,
+    };
+    RaceReport {
+        verdict,
+        winner,
+        solution: if verdict == SolveVerdict::Realizable {
+            nay_solution
+        } else {
+            None
+        },
+        nay: nay_report,
+        nope: nope_report,
+        wall_millis,
+        loser_cancel_millis,
+        presolve: presolve_summary,
     }
 }
 
@@ -415,6 +532,37 @@ mod tests {
         assert_eq!(report.winner, Some("nay"));
         let summary = report.presolve.as_ref().expect("presolve ran");
         assert_eq!(summary.verdict, SolveVerdict::Unknown);
+    }
+
+    #[test]
+    fn warm_pool_race_matches_the_scoped_race() {
+        let pool = WarmPool::new(2);
+        for problem in [section2_lia(), realizable_xplus2()] {
+            let scoped = Portfolio::new().race(&problem);
+            let warm = Portfolio::new().race_on_pool(&problem, &pool, &Cancel::new());
+            assert_eq!(
+                warm.verdict,
+                scoped.verdict,
+                "warm-pool race disagreed on {}",
+                problem.name()
+            );
+        }
+        // the same pool serves many races without respawning workers
+        assert_eq!(pool.workers(), 2);
+        assert_eq!(pool.in_flight(), 0);
+    }
+
+    #[test]
+    fn pre_tripped_cancel_returns_unknown_with_both_engines_cancelled() {
+        let cancel = Cancel::new();
+        cancel.cancel();
+        let report = Portfolio::new()
+            .with_presolve(false)
+            .race_with_cancel(&section2_lia(), &cancel);
+        assert_eq!(report.verdict, SolveVerdict::Unknown);
+        assert_eq!(report.winner, None);
+        assert_eq!(report.nay.verdict, SolveVerdict::Cancelled);
+        assert_eq!(report.nope.verdict, SolveVerdict::Cancelled);
     }
 
     #[test]

@@ -26,6 +26,7 @@ pub mod json;
 pub mod pool;
 pub mod report;
 pub mod timing;
+pub mod warm;
 
 pub use cancel::Cancel;
 pub use json::Json;
@@ -34,3 +35,4 @@ pub use report::{
     compare, Aggregates, CompareConfig, Entry, Regression, RegressionKind, Report, SCHEMA_VERSION,
 };
 pub use timing::measure;
+pub use warm::{Ticket, WarmPool};

@@ -78,6 +78,12 @@ impl<T> Job<T> {
             run: Box::new(run),
         }
     }
+
+    /// Splits the job into its identifier and body (for executors outside
+    /// this module, e.g. the warm pool).
+    pub(crate) fn into_parts(self) -> (String, Box<dyn FnOnce() -> T + Send + 'static>) {
+        (self.id, self.run)
+    }
 }
 
 /// How a job's execution ended.

@@ -1,0 +1,342 @@
+//! A long-lived worker pool for serving workloads: threads persist across
+//! submissions instead of being scoped to one batch.
+//!
+//! [`run_jobs`](crate::pool::run_jobs) is batch-shaped — it spawns scoped
+//! workers, drains a fixed job list, and joins. A daemon serving requests
+//! over a socket needs the opposite: a fixed set of *warm* workers that
+//! outlive any individual request, a shared queue that concurrent
+//! connection handlers push into, and per-job result delivery. That is
+//! [`WarmPool`]:
+//!
+//! * workers are spawned once at construction and reused for every job
+//!   until the pool is dropped — no per-request thread spawn;
+//! * [`WarmPool::submit`] enqueues a [`Job`] and returns a [`Ticket`]
+//!   that the submitter can [`wait`](Ticket::wait) on, or
+//!   [`wait_for`](Ticket::wait_for) with a deadline;
+//! * panics are contained per job ([`JobStatus::Crashed`]), like the
+//!   batch pool;
+//! * there is **no abandonment-based timeout**: a warm worker can never be
+//!   abandoned mid-job without shrinking the pool, so deadline enforcement
+//!   is the caller's job via a [`Cancel`](crate::Cancel) token the job
+//!   polls — trip the token, then keep or drop the ticket. The worker
+//!   finishes the (now fast-exiting) job and moves on.
+//!
+//! Queueing is FIFO and [`WarmPool::queue_depth`] exposes the backlog, so
+//! an admission-control layer can shed load before the queue grows
+//! unboundedly.
+
+use crate::pool::{Job, JobResult, JobStatus};
+use crate::timing::measure;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A queued unit of work: the erased job body plus bookkeeping. The
+/// closure carries its own result channel, so the queue is homogeneous
+/// even though submitted jobs produce different output types. Running the
+/// body returns the *publish* step separately, so the worker can mark the
+/// job finished before its result becomes observable — a submitter that
+/// sees the ticket resolve must also see `in_flight` decremented.
+type QueuedJob = Box<dyn FnOnce() -> Publish + Send + 'static>;
+type Publish = Box<dyn FnOnce() + Send + 'static>;
+
+/// The state shared between submitters and workers.
+struct Shared {
+    state: Mutex<QueueState>,
+    /// Signalled on every push and on shutdown.
+    wake: Condvar,
+}
+
+struct QueueState {
+    queue: VecDeque<QueuedJob>,
+    /// The number of jobs currently executing on a worker (admitted but
+    /// not yet finished); `queue.len() + running` is the pool's in-flight
+    /// load.
+    running: usize,
+    shutdown: bool,
+}
+
+/// A persistent worker pool; see the [module docs](self).
+///
+/// Dropping the pool shuts it down: workers finish the jobs they are
+/// running, drain nothing further, and are joined. Tickets of jobs still
+/// queued at shutdown resolve as [`JobStatus::Crashed`] (their closures
+/// are dropped unrun and the result channel disconnects).
+pub struct WarmPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WarmPool {
+    /// Spawns `workers` persistent worker threads (clamped to at least 1).
+    pub fn new(workers: usize) -> WarmPool {
+        let workers = workers.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                running: 0,
+                shutdown: false,
+            }),
+            wake: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("warm-worker-{index}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawning a warm worker thread")
+            })
+            .collect();
+        WarmPool {
+            shared,
+            workers: handles,
+        }
+    }
+
+    /// The number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Jobs admitted but not yet finished: queued plus currently running.
+    /// This is the load an admission controller compares against its bound
+    /// before accepting more work.
+    pub fn in_flight(&self) -> usize {
+        let state = self.shared.state.lock().unwrap();
+        state.queue.len() + state.running
+    }
+
+    /// Jobs waiting in the queue (not yet picked up by a worker).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.state.lock().unwrap().queue.len()
+    }
+
+    /// Enqueues a job and returns the ticket its result arrives on.
+    ///
+    /// The job runs on the next free worker, FIFO. Its wall-clock
+    /// `elapsed` measures the job body only — queueing time is visible to
+    /// the submitter as the gap between `submit` and the ticket
+    /// resolving, which is exactly the latency a serving layer reports.
+    pub fn submit<T: Send + 'static>(&self, job: Job<T>) -> Ticket<T> {
+        let (id, run) = job.into_parts();
+        let (tx, rx) = channel();
+        let body: QueuedJob = Box::new(move || {
+            let (outcome, elapsed) = measure(|| catch_unwind(AssertUnwindSafe(run)));
+            Box::new(move || {
+                // The submitter may have dropped the ticket (e.g. a request
+                // whose deadline expired); the result is simply discarded.
+                let _ = tx.send((outcome.ok(), elapsed));
+            })
+        });
+        {
+            let mut state = self.shared.state.lock().unwrap();
+            if state.shutdown {
+                // The pool is shutting down: drop the body unrun; the
+                // receiver disconnects and the ticket resolves Crashed.
+                drop(body);
+            } else {
+                state.queue.push_back(body);
+            }
+        }
+        self.shared.wake.notify_one();
+        Ticket {
+            id,
+            rx,
+            submitted: Instant::now(),
+        }
+    }
+}
+
+impl Drop for WarmPool {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock().unwrap();
+            state.shutdown = true;
+            // Queued-but-unstarted jobs are dropped; their tickets resolve
+            // as Crashed via channel disconnect.
+            state.queue.clear();
+        }
+        self.shared.wake.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let body = {
+            let mut state = shared.state.lock().unwrap();
+            loop {
+                if let Some(body) = state.queue.pop_front() {
+                    state.running += 1;
+                    break body;
+                }
+                if state.shutdown {
+                    return;
+                }
+                state = shared.wake.wait(state).unwrap();
+            }
+        };
+        let publish = body();
+        // Decrement before publishing: once a waiter observes the result,
+        // the pool must already account the job as finished.
+        shared.state.lock().unwrap().running -= 1;
+        publish();
+    }
+}
+
+/// The submitter's handle to one queued job's eventual result.
+pub struct Ticket<T> {
+    id: String,
+    rx: Receiver<(Option<T>, Duration)>,
+    submitted: Instant,
+}
+
+impl<T> Ticket<T> {
+    /// The job's identifier, echoed into the [`JobResult`].
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// Blocks until the job finishes and returns its result.
+    ///
+    /// `status` is [`JobStatus::Ok`] or [`JobStatus::Crashed`] (panic, or
+    /// pool shutdown before the job ran) — never `TimedOut`: the warm pool
+    /// does not abandon jobs, see the [module docs](self).
+    pub fn wait(self) -> JobResult<T> {
+        let id = self.id;
+        match self.rx.recv() {
+            Ok((output, elapsed)) => resolve(id, output, elapsed),
+            Err(_) => crashed(id, self.submitted.elapsed()),
+        }
+    }
+
+    /// Waits up to `budget` for the job to finish.
+    ///
+    /// Returns `Ok` with the result when the job finished in time, and
+    /// `Err(self)` — the still-live ticket — when the budget elapsed
+    /// first. Expiry does **not** stop the job; the caller decides whether
+    /// to trip its cancellation token, keep waiting, or drop the ticket
+    /// and let the result be discarded.
+    pub fn wait_for(self, budget: Duration) -> Result<JobResult<T>, Ticket<T>> {
+        match self.rx.recv_timeout(budget) {
+            Ok((output, elapsed)) => Ok(resolve(self.id, output, elapsed)),
+            Err(RecvTimeoutError::Timeout) => Err(self),
+            Err(RecvTimeoutError::Disconnected) => Ok(crashed(self.id, self.submitted.elapsed())),
+        }
+    }
+}
+
+fn resolve<T>(id: String, output: Option<T>, elapsed: Duration) -> JobResult<T> {
+    let status = if output.is_some() {
+        JobStatus::Ok
+    } else {
+        JobStatus::Crashed
+    };
+    JobResult {
+        id,
+        status,
+        output,
+        elapsed,
+        tainted: false,
+    }
+}
+
+fn crashed<T>(id: String, elapsed: Duration) -> JobResult<T> {
+    JobResult {
+        id,
+        status: JobStatus::Crashed,
+        output: None,
+        elapsed,
+        tainted: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jobs_run_and_results_come_back() {
+        let pool = WarmPool::new(2);
+        let tickets: Vec<Ticket<usize>> = (0..16)
+            .map(|i| pool.submit(Job::new(format!("job-{i}"), move || i * i)))
+            .collect();
+        for (i, ticket) in tickets.into_iter().enumerate() {
+            let result = ticket.wait();
+            assert_eq!(result.status, JobStatus::Ok);
+            assert_eq!(result.output, Some(i * i));
+            assert_eq!(result.id, format!("job-{i}"));
+        }
+    }
+
+    #[test]
+    fn workers_persist_across_submissions() {
+        let pool = WarmPool::new(1);
+        for round in 0..8 {
+            let result = pool.submit(Job::new("round", move || round)).wait();
+            assert_eq!(result.output, Some(round));
+        }
+        assert_eq!(pool.workers(), 1);
+    }
+
+    #[test]
+    fn panics_are_contained() {
+        let pool = WarmPool::new(1);
+        let boom: Ticket<()> = pool.submit(Job::new("boom", || panic!("contained")));
+        assert_eq!(boom.wait().status, JobStatus::Crashed);
+        // the worker survives and keeps serving
+        let after = pool.submit(Job::new("after", || 7)).wait();
+        assert_eq!(after.output, Some(7));
+    }
+
+    #[test]
+    fn wait_for_returns_the_ticket_on_expiry() {
+        let pool = WarmPool::new(1);
+        let gate = Arc::new(Mutex::new(()));
+        let held = gate.lock().unwrap();
+        let slow = {
+            let gate = Arc::clone(&gate);
+            pool.submit(Job::new("slow", move || {
+                let _released = gate.lock().unwrap();
+                42
+            }))
+        };
+        let ticket = match slow.wait_for(Duration::from_millis(20)) {
+            Err(ticket) => ticket,
+            Ok(result) => panic!("job should still be blocked, got {:?}", result.status),
+        };
+        drop(held);
+        let result = ticket.wait();
+        assert_eq!(result.output, Some(42));
+    }
+
+    #[test]
+    fn in_flight_counts_queued_and_running() {
+        let pool = WarmPool::new(1);
+        let gate = Arc::new(Mutex::new(()));
+        let held = gate.lock().unwrap();
+        let blocker = {
+            let gate = Arc::clone(&gate);
+            pool.submit(Job::new("blocker", move || {
+                let _released = gate.lock().unwrap();
+            }))
+        };
+        // Wait until the worker has actually picked the blocker up.
+        while pool.queue_depth() > 0 {
+            std::thread::yield_now();
+        }
+        let queued = pool.submit(Job::new("queued", || ()));
+        assert!(pool.in_flight() >= 1);
+        assert_eq!(pool.queue_depth(), 1);
+        drop(held);
+        assert_eq!(blocker.wait().status, JobStatus::Ok);
+        assert_eq!(queued.wait().status, JobStatus::Ok);
+        assert_eq!(pool.in_flight(), 0);
+    }
+}

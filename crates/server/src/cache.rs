@@ -1,0 +1,255 @@
+//! The fingerprint-keyed verdict cache: bounded, LRU-evicting, and
+//! collision-safe.
+//!
+//! Keys are [`sygus::Problem::fingerprint`] values — a 64-bit FNV-1a hash
+//! of the problem's canonical SyGuS-IF printed form. Two problems
+//! fingerprint equal iff they print identically, **modulo hash
+//! collisions**; since a verdict served for the wrong problem would be a
+//! soundness bug, every entry stores the full canonical form and a lookup
+//! only hits when the stored form is byte-identical to the query's. A
+//! fingerprint match with a different canonical form is a genuine 64-bit
+//! collision: it is counted ([`CacheStats::collisions`]), served as a
+//! miss, and the colliding insert replaces the older entry (latest wins —
+//! a 64-bit collision is rare enough that splitting the slot is not worth
+//! the complexity).
+//!
+//! Only *deterministic* verdicts belong in the cache: the daemon inserts
+//! definitive race verdicts (`realizable` / `unrealizable`, which are
+//! sound and budget-independent) and never `unknown` or `cancelled`
+//! outcomes, whose answer depends on the budget the request happened to
+//! run under.
+//!
+//! Eviction is least-recently-*used* (lookup hits refresh recency, not
+//! just inserts), implemented with a recency-tick `BTreeMap` index — no
+//! unsafe, O(log n) per operation.
+
+use std::collections::{BTreeMap, HashMap};
+
+/// A cached race outcome.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CachedVerdict {
+    /// The definitive verdict (`realizable` or `unrealizable`).
+    pub verdict: String,
+    /// Who produced it originally (`presolve`, `nay`, `nope`).
+    pub winner: Option<String>,
+    /// What the original solve cost, in milliseconds — the work a cache
+    /// hit saves.
+    pub solve_millis: f64,
+}
+
+/// Cumulative cache counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that returned a verdict.
+    pub hits: u64,
+    /// Lookups that found nothing (or a colliding entry).
+    pub misses: u64,
+    /// Lookups/inserts whose fingerprint matched an entry with a
+    /// *different* canonical form — genuine 64-bit collisions.
+    pub collisions: u64,
+    /// Entries inserted.
+    pub insertions: u64,
+    /// Entries evicted by the capacity bound.
+    pub evictions: u64,
+}
+
+struct Slot {
+    tick: u64,
+    canonical: String,
+    value: CachedVerdict,
+}
+
+/// The bounded LRU verdict cache; see the [module docs](self).
+pub struct VerdictCache {
+    capacity: usize,
+    next_tick: u64,
+    by_key: HashMap<u64, Slot>,
+    /// recency index: tick → key, oldest tick first.
+    recency: BTreeMap<u64, u64>,
+    stats: CacheStats,
+}
+
+impl VerdictCache {
+    /// A cache holding at most `capacity` verdicts. Capacity 0 disables
+    /// caching (every lookup misses, inserts are dropped).
+    pub fn new(capacity: usize) -> VerdictCache {
+        VerdictCache {
+            capacity,
+            next_tick: 0,
+            by_key: HashMap::new(),
+            recency: BTreeMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Live entries.
+    pub fn len(&self) -> usize {
+        self.by_key.len()
+    }
+
+    /// `true` when no entry is cached.
+    pub fn is_empty(&self) -> bool {
+        self.by_key.is_empty()
+    }
+
+    /// The capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The cumulative counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Looks up `key`, serving a hit only when the stored canonical form
+    /// is byte-identical to `canonical` (collision safety). A hit
+    /// refreshes the entry's recency.
+    pub fn lookup(&mut self, key: u64, canonical: &str) -> Option<CachedVerdict> {
+        let Some(slot) = self.by_key.get_mut(&key) else {
+            self.stats.misses += 1;
+            return None;
+        };
+        if slot.canonical != canonical {
+            self.stats.collisions += 1;
+            self.stats.misses += 1;
+            return None;
+        }
+        self.stats.hits += 1;
+        // refresh recency: move the slot's tick to the newest position
+        let old_tick = slot.tick;
+        let new_tick = self.next_tick;
+        self.next_tick += 1;
+        slot.tick = new_tick;
+        self.recency.remove(&old_tick);
+        self.recency.insert(new_tick, key);
+        Some(slot.value.clone())
+    }
+
+    /// Inserts a verdict, evicting the least-recently-used entry when the
+    /// cache is full. Re-inserting an existing key replaces its value and
+    /// refreshes recency; a colliding key (same fingerprint, different
+    /// canonical form) is counted and replaced, latest wins.
+    pub fn insert(&mut self, key: u64, canonical: String, value: CachedVerdict) {
+        if self.capacity == 0 {
+            return;
+        }
+        let tick = self.next_tick;
+        self.next_tick += 1;
+        if let Some(old) = self.by_key.remove(&key) {
+            if old.canonical != canonical {
+                self.stats.collisions += 1;
+            }
+            self.recency.remove(&old.tick);
+        } else if self.by_key.len() >= self.capacity {
+            // evict the oldest tick (the least recently used entry)
+            if let Some((&oldest_tick, &oldest_key)) = self.recency.iter().next() {
+                self.recency.remove(&oldest_tick);
+                self.by_key.remove(&oldest_key);
+                self.stats.evictions += 1;
+            }
+        }
+        self.stats.insertions += 1;
+        self.recency.insert(tick, key);
+        self.by_key.insert(
+            key,
+            Slot {
+                tick,
+                canonical,
+                value,
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn verdict(name: &str) -> CachedVerdict {
+        CachedVerdict {
+            verdict: name.into(),
+            winner: Some("nay".into()),
+            solve_millis: 1.0,
+        }
+    }
+
+    #[test]
+    fn hits_require_a_byte_identical_canonical_form() {
+        let mut cache = VerdictCache::new(4);
+        cache.insert(42, "(problem a)".into(), verdict("unrealizable"));
+        assert_eq!(
+            cache.lookup(42, "(problem a)").unwrap().verdict,
+            "unrealizable"
+        );
+        // same fingerprint, different canonical form: a collision, not a hit
+        assert_eq!(cache.lookup(42, "(problem b)"), None);
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.collisions, 1);
+    }
+
+    #[test]
+    fn colliding_inserts_replace_and_are_counted() {
+        let mut cache = VerdictCache::new(4);
+        cache.insert(42, "(problem a)".into(), verdict("unrealizable"));
+        cache.insert(42, "(problem b)".into(), verdict("realizable"));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().collisions, 1);
+        assert_eq!(cache.lookup(42, "(problem a)"), None);
+        assert_eq!(
+            cache.lookup(42, "(problem b)").unwrap().verdict,
+            "realizable"
+        );
+    }
+
+    #[test]
+    fn lru_eviction_under_a_small_capacity() {
+        let mut cache = VerdictCache::new(2);
+        cache.insert(1, "one".into(), verdict("unrealizable"));
+        cache.insert(2, "two".into(), verdict("unrealizable"));
+        // touch 1 so that 2 becomes the least recently used
+        assert!(cache.lookup(1, "one").is_some());
+        cache.insert(3, "three".into(), verdict("unrealizable"));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.lookup(1, "one").is_some(), "recently used survives");
+        assert!(cache.lookup(2, "two").is_none(), "LRU entry was evicted");
+        assert!(cache.lookup(3, "three").is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn reinsertion_refreshes_recency_without_growing() {
+        let mut cache = VerdictCache::new(2);
+        cache.insert(1, "one".into(), verdict("unrealizable"));
+        cache.insert(2, "two".into(), verdict("unrealizable"));
+        cache.insert(1, "one".into(), verdict("realizable")); // refresh + replace
+        cache.insert(3, "three".into(), verdict("unrealizable"));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.lookup(1, "one").unwrap().verdict, "realizable");
+        assert!(cache.lookup(2, "two").is_none(), "2 was the LRU entry");
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_cache() {
+        let mut cache = VerdictCache::new(0);
+        cache.insert(1, "one".into(), verdict("unrealizable"));
+        assert!(cache.is_empty());
+        assert!(cache.lookup(1, "one").is_none());
+    }
+
+    #[test]
+    fn eviction_scales_past_the_capacity() {
+        let mut cache = VerdictCache::new(8);
+        for i in 0..100u64 {
+            cache.insert(i, format!("problem {i}"), verdict("unrealizable"));
+        }
+        assert_eq!(cache.len(), 8);
+        assert_eq!(cache.stats().evictions, 92);
+        // exactly the 8 newest survive
+        for i in 92..100 {
+            assert!(cache.lookup(i, &format!("problem {i}")).is_some());
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! A blocking client for the daemon's framed protocol.
+//!
+//! One [`Client`] owns one connection and multiplexes requests over it
+//! sequentially (one frame out, one frame in). The bench-serve load
+//! generator opens one client per simulated worker.
+
+use crate::daemon::Endpoint;
+use crate::protocol::{read_frame, write_frame, FrameError, Request, Response};
+use runner::Json;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+use std::time::{Duration, Instant};
+
+/// What a request can fail with on the client side (server-side failures
+/// arrive as [`Response`]s with `status: "error"`, not as `ClientError`s).
+#[derive(Debug)]
+pub enum ClientError {
+    /// The socket failed or closed mid-exchange.
+    Io(io::Error),
+    /// The server closed the connection instead of answering.
+    ConnectionClosed,
+    /// The server's reply frame was not a valid response.
+    MalformedResponse(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::ConnectionClosed => write!(f, "the server closed the connection"),
+            ClientError::MalformedResponse(msg) => write!(f, "malformed response: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> ClientError {
+        match e {
+            FrameError::Io(e) => ClientError::Io(e),
+            FrameError::TooLarge(len) => ClientError::MalformedResponse(format!(
+                "the server sent an oversized {len}-byte frame"
+            )),
+        }
+    }
+}
+
+enum Stream {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// A blocking connection to the daemon; see the [module docs](self).
+pub struct Client {
+    stream: Stream,
+}
+
+impl Client {
+    /// Connects to a daemon endpoint.
+    ///
+    /// # Errors
+    /// Propagates connection errors (refused, missing socket file, …).
+    pub fn connect(endpoint: &Endpoint) -> io::Result<Client> {
+        let stream = match endpoint {
+            Endpoint::Tcp(addr) => {
+                let stream = TcpStream::connect(addr)?;
+                // Frames go out as header + payload; Nagle would hold
+                // the payload for the peer's delayed ACK.
+                stream.set_nodelay(true)?;
+                Stream::Tcp(stream)
+            }
+            #[cfg(unix)]
+            Endpoint::Unix(path) => Stream::Unix(UnixStream::connect(path)?),
+        };
+        Ok(Client { stream })
+    }
+
+    /// Connects, retrying on refusal until `budget` elapses — for racing
+    /// a daemon that is still binding its socket.
+    ///
+    /// # Errors
+    /// Returns the last connection error once the budget is exhausted.
+    pub fn connect_retry(endpoint: &Endpoint, budget: Duration) -> io::Result<Client> {
+        let deadline = Instant::now() + budget;
+        loop {
+            match Client::connect(endpoint) {
+                Ok(client) => return Ok(client),
+                Err(e) if Instant::now() < deadline => {
+                    let _ = e;
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Sends one request and blocks for its response.
+    ///
+    /// # Errors
+    /// See [`ClientError`]; server-side failures are `Ok` responses with
+    /// an error status.
+    pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let payload = request.to_json().to_string_pretty();
+        write_frame(&mut self.stream, payload.as_bytes())?;
+        let frame = read_frame(&mut self.stream, crate::protocol::DEFAULT_MAX_FRAME_BYTES)?
+            .ok_or(ClientError::ConnectionClosed)?;
+        let text = std::str::from_utf8(&frame)
+            .map_err(|e| ClientError::MalformedResponse(e.to_string()))?;
+        let json = Json::parse(text).map_err(|e| ClientError::MalformedResponse(e.to_string()))?;
+        Response::from_json(&json).map_err(ClientError::MalformedResponse)
+    }
+
+    /// Solves one SyGuS-IF problem under the server's default deadline.
+    ///
+    /// # Errors
+    /// See [`Client::request`].
+    pub fn solve(&mut self, id: &str, problem: &str) -> Result<Response, ClientError> {
+        self.request(&Request::solve(id, problem))
+    }
+
+    /// Round-trips a `ping`.
+    ///
+    /// # Errors
+    /// See [`Client::request`].
+    pub fn ping(&mut self) -> Result<Response, ClientError> {
+        self.request(&Request::plain(crate::protocol::Op::Ping, "ping"))
+    }
+
+    /// Fetches the server's counters.
+    ///
+    /// # Errors
+    /// See [`Client::request`].
+    pub fn stats(&mut self) -> Result<Response, ClientError> {
+        self.request(&Request::plain(crate::protocol::Op::Stats, "stats"))
+    }
+
+    /// Asks the daemon to shut down (acknowledged before the accept loop
+    /// exits).
+    ///
+    /// # Errors
+    /// See [`Client::request`].
+    pub fn shutdown(&mut self) -> Result<Response, ClientError> {
+        self.request(&Request::plain(crate::protocol::Op::Shutdown, "shutdown"))
+    }
+}

@@ -1,0 +1,547 @@
+//! The daemon: socket accept loop, admission control, deadline
+//! enforcement, and the warm solve path.
+//!
+//! One [`Server`] owns
+//!
+//! * a persistent [`WarmPool`] of engine workers — engines run warm
+//!   across requests instead of cold-starting a process per verdict,
+//! * a bounded, collision-safe [`VerdictCache`] keyed by
+//!   [`sygus::Problem::fingerprint`],
+//! * a single deadline-monitor thread that trips each request's
+//!   [`Cancel`] token when its deadline expires, and
+//! * one handler thread per client connection, each multiplexing
+//!   requests sequentially over its socket.
+//!
+//! A solve request flows: decode frame → parse problem → canonical
+//! print and fingerprint → cache lookup (byte-identical canonical form
+//! required) → admission check against the pool's in-flight bound →
+//! race on the warm pool via [`Portfolio::race_on_pool`] with the
+//! request's cancel token registered at `now + deadline` → definitive
+//! verdicts are inserted into the cache and served; a deadline expiry
+//! cancels both engines cooperatively and returns a `timeout` response
+//! — the connection is never left hanging.
+
+use crate::cache::{CachedVerdict, VerdictCache};
+use crate::protocol::{
+    fingerprint_hex, read_frame, write_frame, ErrorCode, FrameError, Op, Request, Response,
+    ResponseStatus, StatsSnapshot, DEFAULT_MAX_FRAME_BYTES,
+};
+use portfolio::{Portfolio, SolveVerdict};
+use runner::{Cancel, Json, WarmPool};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+#[cfg(unix)]
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Where the daemon listens.
+#[derive(Clone, Debug)]
+pub enum Bind {
+    /// A TCP address in `host:port` form; port 0 picks a free port.
+    Tcp(String),
+    /// A Unix-domain socket path; a stale socket file is removed first.
+    #[cfg(unix)]
+    Unix(PathBuf),
+}
+
+/// A connectable endpoint: what [`Server::endpoint`] reports after
+/// binding (the TCP variant carries the *resolved* address, so binding
+/// port 0 yields the actual port).
+#[derive(Clone, Debug)]
+pub enum Endpoint {
+    /// A resolved TCP address.
+    Tcp(SocketAddr),
+    /// A Unix-domain socket path.
+    #[cfg(unix)]
+    Unix(PathBuf),
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Endpoint::Tcp(addr) => write!(f, "{addr}"),
+            #[cfg(unix)]
+            Endpoint::Unix(path) => write!(f, "unix:{}", path.display()),
+        }
+    }
+}
+
+/// The daemon configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Where to listen.
+    pub bind: Bind,
+    /// Warm engine workers. A race consumes two (one per engine), so
+    /// `slots / 2` races run truly concurrently; further races queue
+    /// FIFO. Default 4.
+    pub slots: usize,
+    /// Admission bound: a solve request arriving while this many engine
+    /// jobs are in flight (queued + running) is shed with an
+    /// `overloaded` error instead of growing the queue without bound.
+    /// Default 64.
+    pub max_in_flight: usize,
+    /// Verdict-cache capacity (entries); 0 disables caching. Default 4096.
+    pub cache_capacity: usize,
+    /// Deadline applied to solve requests that do not carry their own
+    /// `deadline_ms`. Default 600 s, matching
+    /// `bench::DEFAULT_SOLVE_TIMEOUT`.
+    pub default_deadline: Duration,
+    /// Ceiling on one frame's payload size.
+    pub max_frame_bytes: usize,
+    /// Whether races run the static presolve stage (requests can opt out
+    /// individually via `no_presolve`). Default true.
+    pub presolve: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            bind: Bind::Tcp("127.0.0.1:0".into()),
+            slots: 4,
+            max_in_flight: 64,
+            cache_capacity: 4096,
+            default_deadline: Duration::from_secs(600),
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            presolve: true,
+        }
+    }
+}
+
+/// Counters the `stats` op reports (cache counters live in the cache).
+#[derive(Default)]
+struct Counters {
+    requests: AtomicU64,
+    timeouts: AtomicU64,
+    errors: AtomicU64,
+    shed: AtomicU64,
+}
+
+/// The single deadline-monitor thread: requests register `(when, token)`
+/// pairs; the monitor trips each token at its deadline. Tokens of
+/// requests that finish early are tripped anyway — harmless, because
+/// every request owns a fresh token that is never reused.
+struct DeadlineMonitor {
+    state: Arc<(Mutex<MonitorState>, Condvar)>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+#[derive(Default)]
+struct MonitorState {
+    pending: Vec<(Instant, Cancel)>,
+    shutdown: bool,
+}
+
+impl DeadlineMonitor {
+    fn new() -> DeadlineMonitor {
+        let state = Arc::new((Mutex::new(MonitorState::default()), Condvar::new()));
+        let thread_state = Arc::clone(&state);
+        let handle = std::thread::Builder::new()
+            .name("deadline-monitor".into())
+            .spawn(move || {
+                let (lock, cv) = &*thread_state;
+                let mut state = lock.lock().unwrap();
+                loop {
+                    if state.shutdown {
+                        return;
+                    }
+                    let now = Instant::now();
+                    // trip and drop every expired token
+                    state.pending.retain(|(when, cancel)| {
+                        if *when <= now {
+                            cancel.cancel();
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                    let next = state.pending.iter().map(|(when, _)| *when).min();
+                    state = match next {
+                        Some(when) => {
+                            let wait = when.saturating_duration_since(now);
+                            cv.wait_timeout(state, wait).unwrap().0
+                        }
+                        None => cv.wait(state).unwrap(),
+                    };
+                }
+            })
+            .expect("spawning the deadline monitor");
+        DeadlineMonitor {
+            state,
+            handle: Some(handle),
+        }
+    }
+
+    fn register(&self, when: Instant, cancel: Cancel) {
+        let (lock, cv) = &*self.state;
+        lock.lock().unwrap().pending.push((when, cancel));
+        cv.notify_one();
+    }
+}
+
+impl Drop for DeadlineMonitor {
+    fn drop(&mut self) {
+        let (lock, cv) = &*self.state;
+        lock.lock().unwrap().shutdown = true;
+        cv.notify_all();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// State shared between the accept loop and every connection handler.
+struct Shared {
+    pool: WarmPool,
+    cache: Mutex<VerdictCache>,
+    counters: Counters,
+    deadlines: DeadlineMonitor,
+    shutdown: AtomicBool,
+    endpoint: Endpoint,
+    max_in_flight: usize,
+    default_deadline: Duration,
+    max_frame_bytes: usize,
+    presolve: bool,
+}
+
+impl Shared {
+    /// Wakes the accept loop by connecting to the daemon's own endpoint
+    /// (the accepted connection immediately sees EOF and is dropped).
+    fn wake_accept_loop(&self) {
+        match &self.endpoint {
+            Endpoint::Tcp(addr) => {
+                let _ = TcpStream::connect_timeout(addr, Duration::from_secs(1));
+            }
+            #[cfg(unix)]
+            Endpoint::Unix(path) => {
+                let _ = UnixStream::connect(path);
+            }
+        }
+    }
+
+    fn snapshot(&self) -> StatsSnapshot {
+        let (cache_stats, cache_entries) = {
+            let cache = self.cache.lock().unwrap();
+            (cache.stats(), cache.len() as u64)
+        };
+        StatsSnapshot {
+            requests: self.counters.requests.load(Ordering::Relaxed),
+            cache_hits: cache_stats.hits,
+            cache_misses: cache_stats.misses,
+            cache_collisions: cache_stats.collisions,
+            cache_entries,
+            timeouts: self.counters.timeouts.load(Ordering::Relaxed),
+            errors: self.counters.errors.load(Ordering::Relaxed),
+            shed: self.counters.shed.load(Ordering::Relaxed),
+            in_flight: self.pool.in_flight() as u64,
+            workers: self.pool.workers() as u64,
+        }
+    }
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener),
+}
+
+/// The warm-engine daemon; see the [module docs](self).
+pub struct Server {
+    listener: Listener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds the listening socket and spins up the warm pool and the
+    /// deadline monitor. The daemon serves nothing until [`Server::run`].
+    ///
+    /// # Errors
+    /// Propagates socket bind errors (address in use, bad address, …).
+    pub fn bind(config: ServerConfig) -> io::Result<Server> {
+        let (listener, endpoint) = match &config.bind {
+            Bind::Tcp(addr) => {
+                let listener = TcpListener::bind(addr.as_str())?;
+                let endpoint = Endpoint::Tcp(listener.local_addr()?);
+                (Listener::Tcp(listener), endpoint)
+            }
+            #[cfg(unix)]
+            Bind::Unix(path) => {
+                // A stale socket file from a crashed daemon would fail the
+                // bind; remove it. (A *live* daemon also leaves a file —
+                // callers wanting exclusivity should pick unique paths.)
+                let _ = std::fs::remove_file(path);
+                let listener = UnixListener::bind(path)?;
+                (Listener::Unix(listener), Endpoint::Unix(path.clone()))
+            }
+        };
+        let shared = Arc::new(Shared {
+            pool: WarmPool::new(config.slots),
+            cache: Mutex::new(VerdictCache::new(config.cache_capacity)),
+            counters: Counters::default(),
+            deadlines: DeadlineMonitor::new(),
+            shutdown: AtomicBool::new(false),
+            endpoint,
+            max_in_flight: config.max_in_flight,
+            default_deadline: config.default_deadline,
+            max_frame_bytes: config.max_frame_bytes,
+            presolve: config.presolve,
+        });
+        Ok(Server { listener, shared })
+    }
+
+    /// The endpoint clients connect to (with the resolved TCP port).
+    pub fn endpoint(&self) -> Endpoint {
+        self.shared.endpoint.clone()
+    }
+
+    /// Serves connections until a `shutdown` request arrives, then
+    /// returns the final counters. Each connection gets its own handler
+    /// thread; handlers of connections still open at shutdown keep
+    /// serving in-flight requests and exit when their client disconnects.
+    ///
+    /// # Errors
+    /// Propagates fatal accept-loop errors (per-connection I/O errors
+    /// only close that connection).
+    pub fn run(self) -> io::Result<StatsSnapshot> {
+        let shared = self.shared;
+        match self.listener {
+            Listener::Tcp(listener) => {
+                for stream in listener.incoming() {
+                    if shared.shutdown.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    // A frame is written as header + payload: without
+                    // nodelay, Nagle holds the payload for the delayed
+                    // ACK and every response eats ~40ms on loopback.
+                    let _ = stream.set_nodelay(true);
+                    spawn_handler(stream, Arc::clone(&shared));
+                }
+            }
+            #[cfg(unix)]
+            Listener::Unix(listener) => {
+                for stream in listener.incoming() {
+                    if shared.shutdown.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    spawn_handler(stream, Arc::clone(&shared));
+                }
+                if let Endpoint::Unix(path) = &shared.endpoint {
+                    let _ = std::fs::remove_file(path);
+                }
+            }
+        }
+        Ok(shared.snapshot())
+    }
+}
+
+fn spawn_handler<S: Read + Write + Send + 'static>(stream: S, shared: Arc<Shared>) {
+    // Handler threads are detached: they exit on client EOF, and at
+    // process exit. `run` does not join them — a handler blocked on a
+    // silent client must not wedge shutdown.
+    let _ = std::thread::Builder::new()
+        .name("serve-conn".into())
+        .spawn(move || handle_connection(stream, &shared));
+}
+
+fn handle_connection<S: Read + Write>(mut stream: S, shared: &Arc<Shared>) {
+    loop {
+        match read_frame(&mut stream, shared.max_frame_bytes) {
+            Ok(None) => return,
+            Ok(Some(payload)) => {
+                let response = dispatch(&payload, shared);
+                let text = response.to_json().to_string_pretty();
+                let written = write_frame(&mut stream, text.as_bytes());
+                // Wake the accept loop only after the response frame is
+                // on the wire: a `shutdown` requester must see its ack
+                // before the daemon process can exit.
+                if shared.shutdown.load(Ordering::Acquire) {
+                    shared.wake_accept_loop();
+                }
+                if written.is_err() {
+                    return;
+                }
+            }
+            Err(FrameError::TooLarge(len)) => {
+                // The oversized payload was never read, so the stream
+                // cannot be resynchronized: answer and close.
+                shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                let response = Response::error(
+                    "",
+                    ErrorCode::FrameTooLarge,
+                    format!(
+                        "frame of {len} bytes exceeds the {} byte ceiling",
+                        shared.max_frame_bytes
+                    ),
+                );
+                let text = response.to_json().to_string_pretty();
+                let _ = write_frame(&mut stream, text.as_bytes());
+                return;
+            }
+            Err(FrameError::Io(_)) => return,
+        }
+    }
+}
+
+fn dispatch(payload: &[u8], shared: &Arc<Shared>) -> Response {
+    shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+    let error = |code, detail: String| {
+        shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+        Response::error("", code, detail)
+    };
+    let text = match std::str::from_utf8(payload) {
+        Ok(text) => text,
+        Err(e) => {
+            return error(
+                ErrorCode::MalformedJson,
+                format!("payload is not UTF-8: {e}"),
+            )
+        }
+    };
+    let json = match Json::parse(text) {
+        Ok(json) => json,
+        Err(e) => return error(ErrorCode::MalformedJson, e.to_string()),
+    };
+    let request = match Request::from_json(&json) {
+        Ok(request) => request,
+        Err(e) => return error(ErrorCode::MalformedRequest, e),
+    };
+    match request.op {
+        Op::Ping => Response::ok(request.id),
+        Op::Stats => {
+            let mut response = Response::ok(request.id);
+            response.stats = Some(shared.snapshot());
+            response
+        }
+        Op::Shutdown => {
+            // The connection loop wakes the accept loop *after* writing
+            // this ack, so the requester always receives it.
+            shared.shutdown.store(true, Ordering::Release);
+            Response::ok(request.id)
+        }
+        Op::Solve => handle_solve(request, shared),
+    }
+}
+
+fn handle_solve(request: Request, shared: &Arc<Shared>) -> Response {
+    let started = Instant::now();
+    let id = request.id.clone();
+    let fail = |code, detail: String| {
+        shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+        Response::error(id.clone(), code, detail)
+    };
+    if shared.shutdown.load(Ordering::Acquire) {
+        return fail(
+            ErrorCode::ShuttingDown,
+            "the daemon is shutting down".into(),
+        );
+    }
+    let text = request.problem.as_deref().expect("validated by from_json");
+    let problem = match sygus::parser::parse_problem(text, "request") {
+        Ok(problem) => problem,
+        Err(sygus::SygusError::ParseError(p)) => {
+            return fail(
+                ErrorCode::ParseError,
+                format!("{}:{}: {}", p.line, p.col, p.msg),
+            )
+        }
+        Err(other) => return fail(ErrorCode::ParseError, other.to_string()),
+    };
+    let canonical = sygus::parser::problem_to_sygus(&problem, "f");
+    let fingerprint = problem.fingerprint();
+
+    if !request.no_cache {
+        let hit = shared.cache.lock().unwrap().lookup(fingerprint, &canonical);
+        if let Some(cached) = hit {
+            let mut response = Response::ok(id);
+            response.verdict = Some(cached.verdict);
+            response.winner = cached.winner;
+            response.cached = true;
+            response.fingerprint = Some(fingerprint_hex(fingerprint));
+            response.millis = started.elapsed().as_secs_f64() * 1000.0;
+            return response;
+        }
+    }
+
+    // Admission control: shed rather than queue without bound.
+    if shared.pool.in_flight() >= shared.max_in_flight {
+        shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+        shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+        return Response::error(
+            id,
+            ErrorCode::Overloaded,
+            format!(
+                "{} engine jobs in flight (bound {})",
+                shared.pool.in_flight(),
+                shared.max_in_flight
+            ),
+        );
+    }
+
+    let deadline = request
+        .deadline_ms
+        .map(Duration::from_millis)
+        .unwrap_or(shared.default_deadline);
+    let cancel = Cancel::new();
+    shared
+        .deadlines
+        .register(started + deadline, cancel.clone());
+
+    let portfolio = Portfolio::new().with_presolve(shared.presolve && !request.no_presolve);
+    let report = portfolio.race_on_pool(&problem, &shared.pool, &cancel);
+    let millis = started.elapsed().as_secs_f64() * 1000.0;
+
+    if report.verdict.is_definitive() {
+        if !request.no_cache {
+            shared.cache.lock().unwrap().insert(
+                fingerprint,
+                canonical,
+                CachedVerdict {
+                    verdict: report.verdict.name().into(),
+                    winner: report.winner.map(str::to_string),
+                    solve_millis: report.wall_millis,
+                },
+            );
+        }
+        let mut response = Response::ok(id);
+        response.verdict = Some(report.verdict.name().into());
+        response.winner = report.winner.map(str::to_string);
+        response.fingerprint = Some(fingerprint_hex(fingerprint));
+        response.millis = millis;
+        return response;
+    }
+
+    // Not definitive. A tripped token means the deadline monitor fired
+    // (winners only trip the token alongside a definitive verdict).
+    if cancel.is_cancelled() {
+        shared.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+        let mut response = Response::ok(id);
+        response.status = ResponseStatus::Timeout;
+        response.verdict = Some(SolveVerdict::Unknown.name().into());
+        response.fingerprint = Some(fingerprint_hex(fingerprint));
+        response.millis = millis;
+        return response;
+    }
+
+    // A crashed engine with no verdict is an internal error; a clean
+    // double-unknown is a genuine (budget-independent) `unknown`.
+    if report.nay.status != runner::JobStatus::Ok || report.nope.status != runner::JobStatus::Ok {
+        return fail(
+            ErrorCode::Internal,
+            format!(
+                "engine jobs ended {} / {}",
+                report.nay.status.as_str(),
+                report.nope.status.as_str()
+            ),
+        );
+    }
+    let mut response = Response::ok(id);
+    response.verdict = Some(SolveVerdict::Unknown.name().into());
+    response.fingerprint = Some(fingerprint_hex(fingerprint));
+    response.millis = millis;
+    response
+}

@@ -1,0 +1,40 @@
+//! Solver-as-a-service: a warm-engine daemon for the unrealizability
+//! portfolio.
+//!
+//! The batch pipeline (`reproduce solve`) pays engine start-up cost per
+//! instance and forgets every verdict it computes. This crate keeps the
+//! engines *warm* and the verdicts *memoized*:
+//!
+//! * [`Server`] accepts SyGuS-IF problems over a length-prefixed
+//!   TCP/Unix-socket protocol ([`protocol`]) and dispatches them onto a
+//!   persistent [`runner::WarmPool`] through
+//!   [`portfolio::Portfolio::race_on_pool`] — presolve stage included.
+//! * Definitive verdicts are memoized in a bounded LRU [`VerdictCache`]
+//!   keyed by [`sygus::Problem::fingerprint`]; a lookup only hits when
+//!   the stored canonical form is byte-identical, so a 64-bit hash
+//!   collision can never serve the wrong verdict.
+//! * Every request runs under a deadline wired to a [`runner::Cancel`]
+//!   token: expiry cancels both engines cooperatively and the client
+//!   receives a `timeout` response — the connection never hangs.
+//!
+//! The protocol is documented normatively in `docs/PROTOCOL.md`; the
+//! serving architecture in `docs/ARCHITECTURE.md`. `reproduce serve`
+//! runs the daemon and `reproduce bench-serve` replays corpus and
+//! generated streams against it.
+//!
+//! Everything is `std`-only, like the rest of the workspace.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod daemon;
+pub mod protocol;
+
+pub use cache::{CacheStats, CachedVerdict, VerdictCache};
+pub use client::{Client, ClientError};
+pub use daemon::{Bind, Endpoint, Server, ServerConfig};
+pub use protocol::{
+    ErrorCode, Op, Request, Response, ResponseStatus, StatsSnapshot, PROTOCOL_VERSION,
+};

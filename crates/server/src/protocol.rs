@@ -1,0 +1,688 @@
+//! The wire protocol: length-prefixed JSON frames, request/response
+//! shapes, and the stable error-code catalogue.
+//!
+//! The format is documented normatively in `docs/PROTOCOL.md`; this module
+//! is the single implementation both the daemon and the client use, so the
+//! two can never drift apart. In short:
+//!
+//! * a **frame** is a 4-byte big-endian payload length followed by that
+//!   many bytes of UTF-8 JSON (one object per frame);
+//! * a **request** names an [`Op`] plus its arguments; a **response**
+//!   echoes the request `id` and carries a [`ResponseStatus`], the
+//!   verdict fields, and — on errors — a stable kebab-case [`ErrorCode`];
+//! * [`PROTOCOL_VERSION`] is stamped into every response and bumps on any
+//!   breaking change, in the same spirit as
+//!   [`runner::report::SCHEMA_VERSION`] for on-disk reports.
+
+use runner::Json;
+use std::io::{self, Read, Write};
+
+/// Version of the wire format; bump on any breaking change.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// The default ceiling on one frame's payload size (1 MiB): far above any
+/// sane SyGuS-IF problem, small enough that a corrupt length prefix
+/// cannot make the daemon allocate gigabytes.
+pub const DEFAULT_MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// What a request asks the daemon to do.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Solve a SyGuS-IF problem (the `problem` field carries its text).
+    Solve,
+    /// Liveness probe; the response carries no verdict.
+    Ping,
+    /// Return the daemon's counters as a [`StatsSnapshot`].
+    Stats,
+    /// Stop accepting connections and shut the daemon down.
+    Shutdown,
+}
+
+impl Op {
+    /// Stable wire name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Op::Solve => "solve",
+            Op::Ping => "ping",
+            Op::Stats => "stats",
+            Op::Shutdown => "shutdown",
+        }
+    }
+
+    /// Inverse of [`Op::as_str`].
+    pub fn parse(s: &str) -> Option<Op> {
+        match s {
+            "solve" => Some(Op::Solve),
+            "ping" => Some(Op::Ping),
+            "stats" => Some(Op::Stats),
+            "shutdown" => Some(Op::Shutdown),
+            _ => None,
+        }
+    }
+}
+
+/// The stable error-code catalogue (kebab-case, like crate `analyze`'s
+/// diagnostic codes). Codes are part of the wire contract: clients may
+/// dispatch on them, so existing codes never change meaning.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The frame's declared payload length exceeds the daemon's ceiling.
+    /// The daemon closes the connection after this error (the payload was
+    /// never read, so the stream cannot be resynchronized).
+    FrameTooLarge,
+    /// The payload is not valid JSON.
+    MalformedJson,
+    /// The payload is JSON but not a valid request (unknown `op`, missing
+    /// or ill-typed field).
+    MalformedRequest,
+    /// The `problem` text is not a parseable SyGuS-IF document; the
+    /// message carries the `line:col` parse diagnostic.
+    ParseError,
+    /// Admission control shed the request: the engine pool's in-flight
+    /// load was at its bound. Retry later.
+    Overloaded,
+    /// The daemon is shutting down and no longer accepts work.
+    ShuttingDown,
+    /// An engine job crashed or another invariant broke inside the
+    /// daemon. The request may or may not be retryable.
+    Internal,
+}
+
+impl ErrorCode {
+    /// Stable wire name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ErrorCode::FrameTooLarge => "frame-too-large",
+            ErrorCode::MalformedJson => "malformed-json",
+            ErrorCode::MalformedRequest => "malformed-request",
+            ErrorCode::ParseError => "parse-error",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::ShuttingDown => "shutting-down",
+            ErrorCode::Internal => "internal",
+        }
+    }
+
+    /// Inverse of [`ErrorCode::as_str`].
+    pub fn parse(s: &str) -> Option<ErrorCode> {
+        match s {
+            "frame-too-large" => Some(ErrorCode::FrameTooLarge),
+            "malformed-json" => Some(ErrorCode::MalformedJson),
+            "malformed-request" => Some(ErrorCode::MalformedRequest),
+            "parse-error" => Some(ErrorCode::ParseError),
+            "overloaded" => Some(ErrorCode::Overloaded),
+            "shutting-down" => Some(ErrorCode::ShuttingDown),
+            "internal" => Some(ErrorCode::Internal),
+            _ => None,
+        }
+    }
+}
+
+/// How a request ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ResponseStatus {
+    /// The request was served; the verdict fields are meaningful.
+    Ok,
+    /// The request's deadline expired before the engines settled the
+    /// problem; both engines were cancelled and the verdict is `unknown`.
+    Timeout,
+    /// The request failed; `error_code` and `error` say why.
+    Error,
+}
+
+impl ResponseStatus {
+    /// Stable wire name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ResponseStatus::Ok => "ok",
+            ResponseStatus::Timeout => "timeout",
+            ResponseStatus::Error => "error",
+        }
+    }
+
+    /// Inverse of [`ResponseStatus::as_str`].
+    pub fn parse(s: &str) -> Option<ResponseStatus> {
+        match s {
+            "ok" => Some(ResponseStatus::Ok),
+            "timeout" => Some(ResponseStatus::Timeout),
+            "error" => Some(ResponseStatus::Error),
+            _ => None,
+        }
+    }
+}
+
+/// One request frame's decoded content.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Request {
+    /// What to do.
+    pub op: Op,
+    /// Client-chosen correlation id, echoed verbatim into the response.
+    pub id: String,
+    /// The SyGuS-IF problem text (required for [`Op::Solve`]).
+    pub problem: Option<String>,
+    /// Per-request deadline in milliseconds, counted from admission; the
+    /// daemon's default applies when absent.
+    pub deadline_ms: Option<u64>,
+    /// Skip the verdict cache entirely (neither look up nor store).
+    pub no_cache: bool,
+    /// Disable the race's static presolve stage for this request.
+    pub no_presolve: bool,
+}
+
+impl Request {
+    /// A solve request with the daemon's default deadline.
+    pub fn solve(id: impl Into<String>, problem: impl Into<String>) -> Request {
+        Request {
+            op: Op::Solve,
+            id: id.into(),
+            problem: Some(problem.into()),
+            deadline_ms: None,
+            no_cache: false,
+            no_presolve: false,
+        }
+    }
+
+    /// An argument-less request (`ping`, `stats`, `shutdown`).
+    pub fn plain(op: Op, id: impl Into<String>) -> Request {
+        Request {
+            op,
+            id: id.into(),
+            problem: None,
+            deadline_ms: None,
+            no_cache: false,
+            no_presolve: false,
+        }
+    }
+
+    /// Overrides the deadline.
+    pub fn with_deadline_ms(mut self, deadline_ms: u64) -> Request {
+        self.deadline_ms = Some(deadline_ms);
+        self
+    }
+
+    /// Bypasses the verdict cache.
+    pub fn with_no_cache(mut self) -> Request {
+        self.no_cache = true;
+        self
+    }
+
+    /// Serializes to the wire JSON object.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("op".into(), Json::Str(self.op.as_str().into())),
+            ("id".into(), Json::Str(self.id.clone())),
+        ];
+        if let Some(problem) = &self.problem {
+            fields.push(("problem".into(), Json::Str(problem.clone())));
+        }
+        if let Some(deadline) = self.deadline_ms {
+            fields.push(("deadline_ms".into(), Json::Num(deadline as f64)));
+        }
+        if self.no_cache {
+            fields.push(("no_cache".into(), Json::Bool(true)));
+        }
+        if self.no_presolve {
+            fields.push(("no_presolve".into(), Json::Bool(true)));
+        }
+        Json::Obj(fields)
+    }
+
+    /// Decodes a request object.
+    ///
+    /// # Errors
+    /// Returns a human-readable message on an unknown op or an ill-typed
+    /// field (the daemon maps it to [`ErrorCode::MalformedRequest`]).
+    pub fn from_json(value: &Json) -> Result<Request, String> {
+        let op_name = value
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or("request is missing the string field `op`")?;
+        let op = Op::parse(op_name).ok_or_else(|| format!("unknown op `{op_name}`"))?;
+        let id = value
+            .get("id")
+            .map(|v| v.as_str().ok_or("`id` is not a string"))
+            .transpose()?
+            .unwrap_or("")
+            .to_string();
+        let problem = value
+            .get("problem")
+            .map(|v| v.as_str().ok_or("`problem` is not a string"))
+            .transpose()?
+            .map(str::to_string);
+        let deadline_ms = value
+            .get("deadline_ms")
+            .map(|v| v.as_u64().ok_or("`deadline_ms` is not an integer"))
+            .transpose()?;
+        let no_cache = value
+            .get("no_cache")
+            .map(|v| v.as_bool().ok_or("`no_cache` is not a boolean"))
+            .transpose()?
+            .unwrap_or(false);
+        let no_presolve = value
+            .get("no_presolve")
+            .map(|v| v.as_bool().ok_or("`no_presolve` is not a boolean"))
+            .transpose()?
+            .unwrap_or(false);
+        if op == Op::Solve && problem.is_none() {
+            return Err("solve requests need a `problem` field".into());
+        }
+        Ok(Request {
+            op,
+            id,
+            problem,
+            deadline_ms,
+            no_cache,
+            no_presolve,
+        })
+    }
+}
+
+/// The daemon's counters, as carried by a `stats` response.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Total requests decoded (all ops).
+    pub requests: u64,
+    /// Solve requests answered from the verdict cache.
+    pub cache_hits: u64,
+    /// Solve requests that missed the cache (raced the engines).
+    pub cache_misses: u64,
+    /// Cache lookups whose fingerprint matched but whose canonical form
+    /// did not — genuine 64-bit collisions, served as misses.
+    pub cache_collisions: u64,
+    /// Entries currently live in the cache.
+    pub cache_entries: u64,
+    /// Solve requests that hit their deadline.
+    pub timeouts: u64,
+    /// Requests answered with an error response.
+    pub errors: u64,
+    /// Solve requests shed by admission control (`overloaded`).
+    pub shed: u64,
+    /// Engine jobs admitted but not yet finished, at snapshot time.
+    pub in_flight: u64,
+    /// Warm engine workers.
+    pub workers: u64,
+}
+
+impl StatsSnapshot {
+    fn to_json(self) -> Json {
+        Json::Obj(vec![
+            ("requests".into(), Json::Num(self.requests as f64)),
+            ("cache_hits".into(), Json::Num(self.cache_hits as f64)),
+            ("cache_misses".into(), Json::Num(self.cache_misses as f64)),
+            (
+                "cache_collisions".into(),
+                Json::Num(self.cache_collisions as f64),
+            ),
+            ("cache_entries".into(), Json::Num(self.cache_entries as f64)),
+            ("timeouts".into(), Json::Num(self.timeouts as f64)),
+            ("errors".into(), Json::Num(self.errors as f64)),
+            ("shed".into(), Json::Num(self.shed as f64)),
+            ("in_flight".into(), Json::Num(self.in_flight as f64)),
+            ("workers".into(), Json::Num(self.workers as f64)),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Result<StatsSnapshot, String> {
+        let num = |key: &str| {
+            value
+                .get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("stats field `{key}` is missing or not an integer"))
+        };
+        Ok(StatsSnapshot {
+            requests: num("requests")?,
+            cache_hits: num("cache_hits")?,
+            cache_misses: num("cache_misses")?,
+            cache_collisions: num("cache_collisions")?,
+            cache_entries: num("cache_entries")?,
+            timeouts: num("timeouts")?,
+            errors: num("errors")?,
+            shed: num("shed")?,
+            in_flight: num("in_flight")?,
+            workers: num("workers")?,
+        })
+    }
+}
+
+/// One response frame's decoded content.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Response {
+    /// The request's correlation id, echoed verbatim.
+    pub id: String,
+    /// How the request ended.
+    pub status: ResponseStatus,
+    /// The race verdict (`unrealizable`, `realizable`, `unknown`); absent
+    /// on non-solve ops and on errors.
+    pub verdict: Option<String>,
+    /// Who produced the verdict originally: `presolve`, `nay`, or `nope`.
+    /// Preserved on cache hits (`cached` says whether this request hit).
+    pub winner: Option<String>,
+    /// `true` when the verdict was served from the cache.
+    pub cached: bool,
+    /// The problem's fingerprint as 16 lowercase hex digits (solve only).
+    pub fingerprint: Option<String>,
+    /// Server-side service time of this request in milliseconds (queueing
+    /// and solving; a cache hit is typically well under a millisecond).
+    pub millis: f64,
+    /// Stable error code, present iff `status` is `error`.
+    pub error_code: Option<ErrorCode>,
+    /// Human-readable error detail, present iff `status` is `error`.
+    pub error: Option<String>,
+    /// Daemon counters, present on `stats` responses.
+    pub stats: Option<StatsSnapshot>,
+}
+
+impl Response {
+    /// A minimal `ok` response echoing `id`.
+    pub fn ok(id: impl Into<String>) -> Response {
+        Response {
+            id: id.into(),
+            status: ResponseStatus::Ok,
+            verdict: None,
+            winner: None,
+            cached: false,
+            fingerprint: None,
+            millis: 0.0,
+            error_code: None,
+            error: None,
+            stats: None,
+        }
+    }
+
+    /// An error response with a stable code and a human-readable detail.
+    pub fn error(id: impl Into<String>, code: ErrorCode, detail: impl Into<String>) -> Response {
+        Response {
+            status: ResponseStatus::Error,
+            error_code: Some(code),
+            error: Some(detail.into()),
+            ..Response::ok(id)
+        }
+    }
+
+    /// Serializes to the wire JSON object. Optional fields are omitted
+    /// when absent, so responses stay small and additive fields can be
+    /// introduced without breaking old clients.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            (
+                "protocol_version".into(),
+                Json::Num(PROTOCOL_VERSION as f64),
+            ),
+            ("id".into(), Json::Str(self.id.clone())),
+            ("status".into(), Json::Str(self.status.as_str().into())),
+        ];
+        if let Some(verdict) = &self.verdict {
+            fields.push(("verdict".into(), Json::Str(verdict.clone())));
+        }
+        if let Some(winner) = &self.winner {
+            fields.push(("winner".into(), Json::Str(winner.clone())));
+        }
+        fields.push(("cached".into(), Json::Bool(self.cached)));
+        if let Some(fingerprint) = &self.fingerprint {
+            fields.push(("fingerprint".into(), Json::Str(fingerprint.clone())));
+        }
+        fields.push(("millis".into(), Json::Num(self.millis)));
+        if let Some(code) = self.error_code {
+            fields.push(("error_code".into(), Json::Str(code.as_str().into())));
+        }
+        if let Some(error) = &self.error {
+            fields.push(("error".into(), Json::Str(error.clone())));
+        }
+        if let Some(stats) = self.stats {
+            fields.push(("stats".into(), stats.to_json()));
+        }
+        Json::Obj(fields)
+    }
+
+    /// Decodes a response object.
+    ///
+    /// # Errors
+    /// Returns a human-readable message on missing or ill-typed fields.
+    pub fn from_json(value: &Json) -> Result<Response, String> {
+        let status_name = value
+            .get("status")
+            .and_then(Json::as_str)
+            .ok_or("response is missing the string field `status`")?;
+        let status = ResponseStatus::parse(status_name)
+            .ok_or_else(|| format!("unknown status `{status_name}`"))?;
+        let opt_str = |key: &str| {
+            value
+                .get(key)
+                .map(|v| {
+                    v.as_str()
+                        .map(str::to_string)
+                        .ok_or(format!("`{key}` is not a string"))
+                })
+                .transpose()
+        };
+        let error_code = match opt_str("error_code")? {
+            None => None,
+            Some(name) => Some(
+                ErrorCode::parse(&name).ok_or_else(|| format!("unknown error code `{name}`"))?,
+            ),
+        };
+        Ok(Response {
+            id: opt_str("id")?.unwrap_or_default(),
+            status,
+            verdict: opt_str("verdict")?,
+            winner: opt_str("winner")?,
+            cached: value
+                .get("cached")
+                .map(|v| v.as_bool().ok_or("`cached` is not a boolean"))
+                .transpose()?
+                .unwrap_or(false),
+            fingerprint: opt_str("fingerprint")?,
+            millis: value
+                .get("millis")
+                .map(|v| v.as_f64().ok_or("`millis` is not a number"))
+                .transpose()?
+                .unwrap_or(0.0),
+            error_code,
+            error: opt_str("error")?,
+            stats: value
+                .get("stats")
+                .map(StatsSnapshot::from_json)
+                .transpose()?,
+        })
+    }
+}
+
+/// Renders a fingerprint as the wire's 16-lowercase-hex-digit form.
+pub fn fingerprint_hex(fingerprint: u64) -> String {
+    format!("{fingerprint:016x}")
+}
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying stream failed.
+    Io(io::Error),
+    /// The declared payload length exceeds the ceiling; carries the
+    /// declared length. The stream is no longer in sync — close it.
+    TooLarge(usize),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "i/o error: {e}"),
+            FrameError::TooLarge(len) => write!(f, "frame of {len} bytes exceeds the ceiling"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Writes one frame: big-endian `u32` length, then the payload.
+///
+/// # Errors
+/// Propagates stream write errors.
+pub fn write_frame(stream: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len()).map_err(|_| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "frame payload exceeds u32::MAX",
+        )
+    })?;
+    stream.write_all(&len.to_be_bytes())?;
+    stream.write_all(payload)?;
+    stream.flush()
+}
+
+/// Reads one frame; `Ok(None)` on clean end-of-stream (the peer closed
+/// between frames).
+///
+/// # Errors
+/// [`FrameError::TooLarge`] when the declared length exceeds `max_bytes`
+/// (the payload is *not* consumed — close the stream), [`FrameError::Io`]
+/// on stream errors, including an EOF in the middle of a frame
+/// (`UnexpectedEof`).
+pub fn read_frame(stream: &mut impl Read, max_bytes: usize) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut header = [0u8; 4];
+    // A clean EOF before any header byte means the peer is done.
+    let mut filled = 0;
+    while filled < header.len() {
+        match stream.read(&mut header[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(FrameError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "end of stream inside a frame header",
+                )))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let len = u32::from_be_bytes(header) as usize;
+    if len > max_bytes {
+        return Err(FrameError::TooLarge(len));
+    }
+    let mut payload = vec![0u8; len];
+    stream.read_exact(&mut payload).map_err(FrameError::Io)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        let mut reader: &[u8] = &wire;
+        assert_eq!(
+            read_frame(&mut reader, 64).unwrap(),
+            Some(b"hello".to_vec())
+        );
+        assert_eq!(read_frame(&mut reader, 64).unwrap(), Some(Vec::new()));
+        assert_eq!(read_frame(&mut reader, 64).unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected_without_reading_the_payload() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &[0u8; 100]).unwrap();
+        let mut reader: &[u8] = &wire;
+        match read_frame(&mut reader, 10) {
+            Err(FrameError::TooLarge(100)) => {}
+            other => panic!("expected TooLarge(100), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_frames_are_io_errors() {
+        let wire = [0, 0, 0, 9, b'x'];
+        let mut reader: &[u8] = &wire;
+        match read_frame(&mut reader, 64) {
+            Err(FrameError::Io(e)) => assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof),
+            other => panic!("expected UnexpectedEof, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn requests_round_trip_through_json() {
+        let requests = [
+            Request::solve("r-1", "(set-logic LIA)").with_deadline_ms(250),
+            Request::solve("r-2", "(set-logic LIA)").with_no_cache(),
+            Request::plain(Op::Ping, "p-1"),
+            Request::plain(Op::Stats, "s-1"),
+            Request::plain(Op::Shutdown, ""),
+        ];
+        for request in requests {
+            let json = request.to_json();
+            let text = json.to_string_pretty();
+            let reparsed = Request::from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(reparsed, request);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_through_json() {
+        let mut verdict = Response::ok("r-1");
+        verdict.verdict = Some("unrealizable".into());
+        verdict.winner = Some("presolve".into());
+        verdict.cached = true;
+        verdict.fingerprint = Some(fingerprint_hex(0xdead_beef));
+        verdict.millis = 1.5;
+        let mut stats = Response::ok("s-1");
+        stats.stats = Some(StatsSnapshot {
+            requests: 10,
+            cache_hits: 4,
+            ..StatsSnapshot::default()
+        });
+        let responses = [
+            verdict,
+            stats,
+            Response::error("r-2", ErrorCode::Overloaded, "72 jobs in flight"),
+        ];
+        for response in responses {
+            let text = response.to_json().to_string_pretty();
+            let reparsed = Response::from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(reparsed, response);
+        }
+    }
+
+    #[test]
+    fn solve_requests_without_a_problem_are_rejected() {
+        let json = Json::Obj(vec![
+            ("op".into(), Json::Str("solve".into())),
+            ("id".into(), Json::Str("r".into())),
+        ]);
+        assert!(Request::from_json(&json).is_err());
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for op in [Op::Solve, Op::Ping, Op::Stats, Op::Shutdown] {
+            assert_eq!(Op::parse(op.as_str()), Some(op));
+        }
+        for code in [
+            ErrorCode::FrameTooLarge,
+            ErrorCode::MalformedJson,
+            ErrorCode::MalformedRequest,
+            ErrorCode::ParseError,
+            ErrorCode::Overloaded,
+            ErrorCode::ShuttingDown,
+            ErrorCode::Internal,
+        ] {
+            assert_eq!(ErrorCode::parse(code.as_str()), Some(code));
+        }
+        for status in [
+            ResponseStatus::Ok,
+            ResponseStatus::Timeout,
+            ResponseStatus::Error,
+        ] {
+            assert_eq!(ResponseStatus::parse(status.as_str()), Some(status));
+        }
+    }
+
+    #[test]
+    fn fingerprints_render_as_16_hex_digits() {
+        assert_eq!(fingerprint_hex(0), "0000000000000000");
+        assert_eq!(fingerprint_hex(u64::MAX), "ffffffffffffffff");
+        assert_eq!(fingerprint_hex(0xdead_beef), "00000000deadbeef");
+    }
+}
