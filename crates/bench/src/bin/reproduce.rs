@@ -22,8 +22,13 @@
 //!   --json PATH       write the suite's JSON report to PATH (with `all`)
 //!
 //! compare OPTIONS:
-//!   --threshold-pct P   flag slowdowns beyond P percent (default: 25)
-//!   --min-millis M      ignore entries faster than M ms (default: 50)
+//!   --threshold-pct P        flag slowdowns beyond P percent (default: 25)
+//!   --min-millis M           ignore entries faster than M ms (default: 50)
+//!   --throughput-drop-pct P  flag fuzz-throughput drops beyond P percent
+//!                            (default: 50; only reports carrying a
+//!                            `throughput` block participate)
+//!   --throughput-only        gate on throughput alone, skipping the
+//!                            per-entry time/verdict comparison
 //!
 //! solve OPTIONS:
 //!   --engine nay|nope|race   which engine to drive (default: race)
@@ -43,16 +48,27 @@
 //!   --list-families     print the family catalogue and exit
 //!
 //! fuzz OPTIONS:
-//!   --count N                      instances to generate (default: 200)
-//!   --seed S                       base seed (default: 7)
-//!   --engine both|race|nay|nope    engines to drive (default: both)
-//!   --jobs N                       pool workers for both/solo (default: 1)
-//!   --timeout-ms MS                per-engine budget (default: 10000; a
-//!                                  timeout is an `unknown` claim, never a
-//!                                  violation)
-//!   --json PATH                    write the aggregate JSON report to PATH
-//!   --families a,b                 restrict to these families
-//!   --no-presolve                  disable the presolve stage when racing
+//!   --count N                 instances to generate (default: 200)
+//!   --seed S                  base seed (default: 7)
+//!   --engine E                engines to drive: both | race | nay | nope |
+//!                             check (default: both; `check` skips solving
+//!                             and only validates generation + round-trip)
+//!   --jobs N                  worker threads (default: 1)
+//!   --shards N                split the index space into N shards
+//!                             (default: one per worker; any N merges to
+//!                             the identical aggregate)
+//!   --timeout-ms MS           per-engine budget (default: 10000; a
+//!                             timeout is an `unknown` claim, never a
+//!                             violation)
+//!   --json PATH               write the aggregate JSON report to PATH
+//!   --failures PATH           write a reproducing-seed failure report for
+//!                             every kept violation (first 64)
+//!   --throughput-baseline B   gate this sweep's instances/sec against the
+//!                             committed report B (exit 1 on a drop beyond
+//!                             the threshold)
+//!   --throughput-drop-pct P   threshold for the baseline gate (default: 50)
+//!   --families a,b            restrict to these families
+//!   --no-presolve             disable the presolve stage when racing
 //!
 //! presolve-diff OPTIONS:
 //!   --count N           instances to generate (default: 200)
@@ -133,11 +149,14 @@ fn parse_value<T: std::str::FromStr>(flag: &str, value: Option<&String>) -> T {
 fn run_compare(args: &[String]) -> ! {
     let mut paths: Vec<&String> = Vec::new();
     let mut config = CompareConfig::default();
+    let mut throughput_only = false;
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--threshold-pct" => config.threshold_pct = parse_value(arg, iter.next()),
             "--min-millis" => config.min_millis = parse_value(arg, iter.next()),
+            "--throughput-drop-pct" => config.throughput_drop_pct = parse_value(arg, iter.next()),
+            "--throughput-only" => throughput_only = true,
             flag if flag.starts_with("--") => {
                 usage_error(&format!("unknown compare option `{flag}`"))
             }
@@ -159,14 +178,29 @@ fn run_compare(args: &[String]) -> ! {
     };
     let old = load(old_path);
     let new = load(new_path);
-    let regressions = compare(&old, &new, &config);
+    let regressions = if throughput_only {
+        if old.throughput.is_none() {
+            eprintln!("error: `{old_path}` carries no throughput block to gate against");
+            std::process::exit(2);
+        }
+        runner::compare_throughput(&old, &new, &config)
+    } else {
+        compare(&old, &new, &config)
+    };
     if regressions.is_empty() {
-        println!(
-            "no regressions: {} entries compared (threshold {}%, floor {}ms)",
-            old.entries.len(),
-            config.threshold_pct,
-            config.min_millis
-        );
+        if throughput_only {
+            println!(
+                "no throughput regressions (drop threshold {}%)",
+                config.throughput_drop_pct
+            );
+        } else {
+            println!(
+                "no regressions: {} entries compared (threshold {}%, floor {}ms)",
+                old.entries.len(),
+                config.threshold_pct,
+                config.min_millis
+            );
+        }
         std::process::exit(0);
     }
     println!("{} regression(s) against `{old_path}`:", regressions.len());
@@ -457,21 +491,30 @@ fn run_gen(args: &[String]) -> ! {
 fn run_fuzz(args: &[String]) -> ! {
     let mut config = bench::FuzzConfig::default();
     let mut json_path: Option<String> = None;
+    let mut failures_path: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
+    let mut drop_pct: Option<f64> = None;
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--count" => config.count = parse_value(arg, iter.next()),
             "--seed" => config.seed = parse_value(arg, iter.next()),
             "--jobs" => config.jobs = parse_value(arg, iter.next()),
+            "--shards" => config.shards = parse_value(arg, iter.next()),
             "--timeout-ms" => config.timeout = Duration::from_millis(parse_value(arg, iter.next())),
             "--json" => json_path = Some(parse_value::<String>(arg, iter.next())),
+            "--failures" => failures_path = Some(parse_value::<String>(arg, iter.next())),
+            "--throughput-baseline" => {
+                baseline_path = Some(parse_value::<String>(arg, iter.next()))
+            }
+            "--throughput-drop-pct" => drop_pct = Some(parse_value(arg, iter.next())),
             "--families" => config.families = Some(parse_families(iter.next())),
             "--no-presolve" => config.presolve = false,
             "--engine" => {
                 let name: String = parse_value(arg, iter.next());
                 config.engine = bench::FuzzEngine::parse(&name).unwrap_or_else(|| {
                     usage_error(&format!(
-                        "unknown fuzz engine `{name}` (expected both, race, nay, or nope)"
+                        "unknown fuzz engine `{name}` (expected both, race, nay, nope, or check)"
                     ))
                 });
             }
@@ -482,13 +525,64 @@ fn run_fuzz(args: &[String]) -> ! {
     // Violations first: they are the sweep's whole point, and must reach
     // the user even when the JSON report cannot be written.
     println!("{}", bench::render_fuzz(&outcome, &config));
-    if !outcome.violations.is_empty() {
+    if outcome.violations_total > 0 {
         for violation in &outcome.violations {
             eprintln!("{violation}");
         }
+        if outcome.violations_total > outcome.violations.len() {
+            eprintln!(
+                "... and {} more (first {} kept)",
+                outcome.violations_total - outcome.violations.len(),
+                outcome.violations.len()
+            );
+        }
         eprintln!(
             "{} oracle violation(s) — the solver stack is unsound on the instances above",
-            outcome.violations.len()
+            outcome.violations_total
+        );
+    }
+    // The failure artifact carries everything needed to reproduce each
+    // violation offline: the instance seed, the exact sweep command, and
+    // the offending SyGuS-IF text. Written even when empty so CI can
+    // upload it unconditionally.
+    if let Some(path) = &failures_path {
+        let mut text = format!(
+            "# fuzz failure report — engine {}, count {}, seed {}, {} violation(s)\n",
+            config.engine.name(),
+            config.count,
+            config.seed,
+            outcome.violations_total,
+        );
+        if outcome.violations_total > outcome.violations.len() {
+            text.push_str(&format!(
+                "# (first {} of {} kept; re-run the command below for the rest)\n",
+                outcome.violations.len(),
+                outcome.violations_total
+            ));
+        }
+        text.push_str(&format!(
+            "# reproduce the sweep: reproduce fuzz --engine {} --count {} --seed {}\n\n",
+            config.engine.name(),
+            config.count,
+            config.seed,
+        ));
+        for violation in &outcome.violations {
+            text.push_str(&format!(
+                "# reproduce this instance alone: reproduce fuzz --engine {} --count 1 \
+                 --families {} --seed <base seed for instance_seed {}>\n{violation}\n",
+                config.engine.name(),
+                violation.family,
+                violation.seed,
+            ));
+        }
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("error: cannot write `{path}`: {e}");
+            std::process::exit(2);
+        }
+        eprintln!(
+            "wrote {} of {} violation(s) to {path}",
+            outcome.violations.len(),
+            outcome.violations_total
         );
     }
     if let Some(path) = &json_path {
@@ -502,7 +596,44 @@ fn run_fuzz(args: &[String]) -> ! {
             outcome.report.suite
         );
     }
-    std::process::exit(if outcome.violations.is_empty() { 0 } else { 1 });
+    // The throughput gate: a committed baseline report turns instances/sec
+    // into a blocking metric, same as the per-entry perf gate.
+    let mut throughput_regressed = false;
+    if let Some(path) = &baseline_path {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot read `{path}`: {e}");
+            std::process::exit(2);
+        });
+        let baseline = Report::from_json(&text).unwrap_or_else(|e| {
+            eprintln!("error: `{path}` is not a valid report: {e}");
+            std::process::exit(2);
+        });
+        let compare_config = CompareConfig {
+            throughput_drop_pct: drop_pct.unwrap_or(CompareConfig::default().throughput_drop_pct),
+            ..CompareConfig::default()
+        };
+        let regressions = runner::compare_throughput(&baseline, &outcome.report, &compare_config);
+        if regressions.is_empty() {
+            println!(
+                "throughput gate vs `{path}`: ok (drop threshold {}%)",
+                compare_config.throughput_drop_pct
+            );
+        } else {
+            println!(
+                "{} throughput regression(s) against `{path}`:",
+                regressions.len()
+            );
+            for regression in &regressions {
+                println!("  {regression}");
+            }
+            throughput_regressed = true;
+        }
+    }
+    std::process::exit(if outcome.violations_total == 0 && !throughput_regressed {
+        0
+    } else {
+        1
+    });
 }
 
 fn run_serve(args: &[String]) -> ! {

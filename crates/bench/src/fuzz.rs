@@ -2,25 +2,36 @@
 //! workload production and the differential fuzzing sweep.
 //!
 //! `run_gen` materializes a deterministic generated corpus on disk;
-//! `run_fuzz` streams generated problems straight through the solving
-//! engines and aggregates the outcome 1BRC-style — a single pass, one
-//! small accumulator per (family, tool) pair, nothing per-instance
-//! retained — into the same schema-versioned [`Report`] the rest of the
-//! harness speaks. Every instance is also pushed through the three
-//! soundness oracles of [`gen::oracle`] plus the print→parse round-trip
-//! gate; any violation fails the sweep loudly with the reproducing seed
-//! and the offending `.sl` text.
+//! `run_fuzz` runs a sharded, constant-memory fuzz campaign: the draw
+//! index space `0..count` is split into [`FuzzConfig::shards`] contiguous
+//! ranges, each worker thread claims shards round-robin, **constructs its
+//! instances locally** from per-instance seeds
+//! ([`GenConfig::instance_at`] — no generator thread, no corpus on disk,
+//! no queue of pending problems), solves them one at a time, and folds
+//! every result into a per-shard single-pass accumulator (per-(family,
+//! tool) counts, verdict tallies, latency histograms, peak arena size)
+//! that is merged once, in shard order, at the end. At no point does more
+//! than one instance per worker exist in memory, so the campaign's
+//! footprint is flat from count 10³ to 10⁶⁺ — the 1BRC discipline,
+//! end to end.
+//!
+//! The merged aggregate lands in the same schema-versioned [`Report`] the
+//! rest of the harness speaks, now carrying a first-class
+//! [`runner::Throughput`] block (instances/sec per family and total) that
+//! `reproduce compare` gates on. Every instance is also pushed through
+//! the three soundness oracles of [`gen::oracle`] plus the print→parse
+//! round-trip gate; any violation fails the sweep loudly with the
+//! reproducing seed and the offending `.sl` text.
 
 use gen::{
-    check_instance, roundtrip_violation, Claim, EngineClaim, Family, GenConfig, GeneratedInstance,
-    ProblemStream, Violation,
+    check_instance, roundtrip_violation, Claim, EngineClaim, Family, GenConfig, ProblemStream,
+    ShardStream, Violation,
 };
-use portfolio::{
-    solve_nay, solve_nope, Cancel, EngineOutcome, NopeEngine, Portfolio, SolveVerdict,
-};
-use runner::{run_jobs, Entry, Job, JobStatus, PoolConfig, Report};
+use portfolio::{solve_nay, solve_nope, Cancel, NopeEngine, Portfolio, SolveVerdict};
+use runner::{DeadlineTimer, Entry, JobStatus, Report, Throughput};
 use std::collections::BTreeMap;
 use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// Which engines a fuzz sweep drives.
@@ -36,6 +47,11 @@ pub enum FuzzEngine {
     Nay,
     /// Only the approximate engine.
     Nope,
+    /// No engine at all: generation plus the print→parse round-trip gate.
+    /// The cheapest sweep that still validates the workload — used to
+    /// calibrate raw generator throughput and by the constant-memory
+    /// regression test.
+    Check,
 }
 
 impl FuzzEngine {
@@ -46,6 +62,7 @@ impl FuzzEngine {
             FuzzEngine::Race => "race",
             FuzzEngine::Nay => "nay",
             FuzzEngine::Nope => "nope",
+            FuzzEngine::Check => "check",
         }
     }
 
@@ -56,6 +73,7 @@ impl FuzzEngine {
             "race" => Some(FuzzEngine::Race),
             "nay" => Some(FuzzEngine::Nay),
             "nope" => Some(FuzzEngine::Nope),
+            "check" => Some(FuzzEngine::Check),
             _ => None,
         }
     }
@@ -64,13 +82,13 @@ impl FuzzEngine {
 /// Configuration of a `gen` or `fuzz` run.
 #[derive(Clone, Debug)]
 pub struct FuzzConfig {
-    /// How many (deduplicated) instances to generate.
+    /// How many instances to generate (draw indices `0..count`).
     pub count: usize,
     /// The base seed; fixes the whole workload byte-for-byte.
     pub seed: u64,
     /// Which engines to drive (`fuzz` only).
     pub engine: FuzzEngine,
-    /// Worker threads for the engine pool (`fuzz` with `both`/solo).
+    /// Worker threads attacking the campaign (`fuzz` only).
     pub jobs: usize,
     /// Per-engine wall-clock budget.
     pub timeout: Duration,
@@ -80,6 +98,12 @@ pub struct FuzzConfig {
     /// Whether the portfolio's static presolve stage runs in front of
     /// each race (`fuzz` with `race` only; default: enabled).
     pub presolve: bool,
+    /// How many contiguous index-space shards to split `0..count` into;
+    /// `0` picks one shard per worker. Sharding never changes *what* is
+    /// computed (instance `i` is a pure function of `(seed, i)`), only how
+    /// the work is distributed — the merged aggregate is byte-identical
+    /// to a serial run for any (shards, jobs) split.
+    pub shards: usize,
 }
 
 /// The default per-engine budget of a fuzz sweep. Deliberately much
@@ -100,6 +124,7 @@ impl Default for FuzzConfig {
             timeout: DEFAULT_FUZZ_TIMEOUT,
             families: None,
             presolve: true,
+            shards: 0,
         }
     }
 }
@@ -128,8 +153,68 @@ pub fn run_gen(dir: &Path, config: &FuzzConfig) -> Result<BTreeMap<&'static str,
     Ok(counts)
 }
 
+/// A log₂-bucketed latency histogram over microseconds: bucket `b` holds
+/// durations in `[2^(b−1), 2^b)` µs. 48 buckets span sub-microsecond to
+/// ~8.9 years, the merge is a plain `u64` add per bucket (commutative and
+/// exact, unlike merging f64 sums), and quantiles come back as the upper
+/// bucket edge — within 2× of the true value, plenty for a p50/p99 trend
+/// line across nightly campaign artifacts.
+#[derive(Clone, Debug)]
+struct LatencyHist {
+    buckets: [u64; 48],
+    count: u64,
+}
+
+impl Default for LatencyHist {
+    fn default() -> Self {
+        LatencyHist {
+            buckets: [0; 48],
+            count: 0,
+        }
+    }
+}
+
+impl LatencyHist {
+    fn record_millis(&mut self, millis: f64) {
+        let micros = (millis * 1000.0).max(0.0) as u64;
+        let bucket = if micros == 0 {
+            0
+        } else {
+            (64 - micros.leading_zeros() as usize).min(47)
+        };
+        self.buckets[bucket] += 1;
+        self.count += 1;
+    }
+
+    fn merge(&mut self, other: &LatencyHist) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+    }
+
+    /// The upper edge (in milliseconds) of the bucket holding the
+    /// `q`-quantile sample; `0.0` on an empty histogram.
+    fn quantile_millis(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (bucket, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return (1u64 << bucket) as f64 / 1000.0;
+            }
+        }
+        (1u64 << 47) as f64 / 1000.0
+    }
+}
+
 /// The 1BRC-style accumulator: one per (family, tool), folded as results
-/// stream out of the pool.
+/// stream off the workers, merged across shards at the end. Every field
+/// merges commutatively (sums, maxes, per-bucket adds), so the merged
+/// aggregate is independent of how the index space was sharded.
 #[derive(Clone, Debug, Default)]
 struct FamilyAgg {
     instances: u64,
@@ -139,6 +224,7 @@ struct FamilyAgg {
     millis: f64,
     tainted: bool,
     peak_arena: usize,
+    hist: LatencyHist,
 }
 
 impl FamilyAgg {
@@ -158,6 +244,24 @@ impl FamilyAgg {
         self.millis += millis;
         self.tainted |= tainted;
         self.peak_arena = self.peak_arena.max(arena_terms);
+        self.hist.record_millis(millis);
+    }
+
+    /// Folds another accumulator (one shard's worth) into this one.
+    fn merge(&mut self, other: &FamilyAgg) {
+        self.instances += other.instances;
+        for (verdict, n) in &other.verdicts {
+            *self.verdicts.entry(verdict.clone()).or_insert(0) += n;
+        }
+        self.worst_status = match (self.worst_status, other.worst_status) {
+            (Some(a), Some(b)) => Some(a.worst(b)),
+            (a, b) => a.or(b),
+        };
+        self.iterations += other.iterations;
+        self.millis += other.millis;
+        self.tainted |= other.tainted;
+        self.peak_arena = self.peak_arena.max(other.peak_arena);
+        self.hist.merge(&other.hist);
     }
 
     /// The verdict-distribution string, e.g.
@@ -212,25 +316,52 @@ pub struct FuzzRow {
     pub millis: f64,
     /// Largest per-instance term-arena size seen for this (family, tool).
     pub peak_arena: usize,
+    /// Median per-instance latency (bucketed; see the histogram docs).
+    pub p50_millis: f64,
+    /// 99th-percentile per-instance latency (bucketed).
+    pub p99_millis: f64,
 }
+
+/// Memory high-water marks of a sweep, tracked live by the workers. The
+/// constant-memory claim in numbers: `peak_live_instances` is bounded by
+/// the worker count, never by `--count`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FuzzMemStats {
+    /// Most generated instances alive simultaneously across all workers.
+    pub peak_live_instances: usize,
+}
+
+/// Cap on the violations retained in [`FuzzOutcome::violations`]. A
+/// campaign with a systematically broken oracle would otherwise
+/// accumulate a million full `.sl` reproductions in memory —
+/// `violations_total` keeps the true count while the list keeps the first
+/// few dozen reproducible reports, which is what a human (or the nightly
+/// failure artifact) actually reads.
+pub const MAX_KEPT_VIOLATIONS: usize = 64;
 
 /// What a fuzz sweep produced: the aggregate report, the human-readable
 /// rows, and every oracle violation found.
 #[derive(Clone, Debug)]
 pub struct FuzzOutcome {
-    /// Per-(family, tool) aggregate report (suite `fuzz-<engine>`).
+    /// Per-(family, tool) aggregate report (suite `fuzz-<engine>`),
+    /// carrying the sweep's [`Throughput`] block.
     pub report: Report,
     /// The table rows, in report order.
     pub rows: Vec<FuzzRow>,
-    /// All violations; an empty list is a clean sweep.
+    /// The first [`MAX_KEPT_VIOLATIONS`] violations, in draw-index order;
+    /// an empty list is a clean sweep ([`FuzzOutcome::violations_total`]
+    /// holds the uncapped count).
     pub violations: Vec<Violation>,
-    /// Total instances generated and attacked (may fall short of the
-    /// requested count when a restricted family's distinct-instance space
-    /// is exhausted).
+    /// Total violations found, including any beyond the retention cap.
+    pub violations_total: usize,
+    /// Total instances generated and attacked (always the requested
+    /// count: the sharded sweep draws `0..count` with no deduplication).
     pub instances: usize,
     /// Wall-clock milliseconds of the whole sweep (generation, solving
     /// and oracle checks).
     pub wall_millis: f64,
+    /// Memory high-water marks observed during the sweep.
+    pub mem: FuzzMemStats,
 }
 
 fn claim_of(verdict: SolveVerdict) -> Claim {
@@ -241,119 +372,173 @@ fn claim_of(verdict: SolveVerdict) -> Claim {
     }
 }
 
-/// Runs the differential fuzzing sweep. See the module docs; this is the
-/// engine behind `reproduce fuzz`.
-pub fn run_fuzz(config: &FuzzConfig) -> FuzzOutcome {
-    let sweep_started = Instant::now();
-    let mut aggs: BTreeMap<(&'static str, String), FamilyAgg> = BTreeMap::new();
-    let mut violations: Vec<Violation> = Vec::new();
-    let mut stream = ProblemStream::new(config.gen_config());
-    let mut remaining = config.count;
+/// One shard's single-pass result: everything a worker accumulates while
+/// walking its index range, and nothing per-instance. Merging shard
+/// results in shard order reproduces the serial sweep exactly.
+#[derive(Default)]
+struct ShardResult {
+    aggs: BTreeMap<(&'static str, String), FamilyAgg>,
+    violations: Vec<Violation>,
+    violations_total: usize,
+    attacked: usize,
+    family_counts: BTreeMap<&'static str, u64>,
+}
 
-    // Stream in pool-sized batches: per batch the pool runs (instance ×
-    // engine) jobs, the results fold into the accumulators, and the batch
-    // is dropped — memory stays bounded by the batch size, not the sweep.
-    let batch_size = (config.jobs.max(1) * 8).max(16);
-    let mut attacked = 0usize;
-    while remaining > 0 {
-        let batch: Vec<GeneratedInstance> =
-            stream.by_ref().take(remaining.min(batch_size)).collect();
-        if batch.is_empty() {
-            break; // the configured families' instance space is exhausted
+impl ShardResult {
+    fn push_violation(&mut self, violation: Violation) {
+        self.violations_total += 1;
+        if self.violations.len() < MAX_KEPT_VIOLATIONS {
+            self.violations.push(violation);
         }
-        remaining -= batch.len();
-        attacked += batch.len();
+    }
+}
+
+/// Live gauge of how many generated instances exist at once — the "queue"
+/// high-water mark of the constant-memory claim (there is no queue; the
+/// gauge proves it stays at ≤ 1 instance per worker).
+#[derive(Default)]
+struct MemGauge {
+    live: AtomicUsize,
+    peak: AtomicUsize,
+}
+
+impl MemGauge {
+    fn enter(&self) {
+        let live = self.live.fetch_add(1, Ordering::SeqCst) + 1;
+        self.peak.fetch_max(live, Ordering::SeqCst);
+    }
+
+    fn exit(&self) {
+        self.live.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Attacks every instance of one shard, streaming: construct from the
+/// per-instance seed, round-trip-gate, solve, judge, fold, drop.
+fn run_shard(
+    config: &FuzzConfig,
+    gen_config: &GenConfig,
+    start: u64,
+    end: u64,
+    timer: &DeadlineTimer,
+    mem: &MemGauge,
+    observer: &(impl Fn(u64, &str, &str) + Sync),
+) -> ShardResult {
+    let mut shard = ShardResult::default();
+    // Engine state is per shard: the race portfolio is a small config
+    // struct, and solo engines take a reusable cancel token armed per
+    // instance by the shared deadline timer.
+    let portfolio = Portfolio::new()
+        .with_timeout(config.timeout)
+        .with_presolve(config.presolve);
+    for instance in ShardStream::new(gen_config.clone(), start, end) {
+        mem.enter();
+        let family = instance.family.name();
+        shard.attacked += 1;
+        *shard.family_counts.entry(family).or_insert(0) += 1;
 
         // Round-trip gate: generated text must parse back to identical
         // content before we spend engine time on it.
-        for instance in &batch {
-            if let Some(violation) = roundtrip_violation(instance) {
-                violations.push(violation);
-            }
+        if let Some(violation) = roundtrip_violation(&instance) {
+            shard.push_violation(violation);
         }
 
         match config.engine {
+            FuzzEngine::Check => {
+                observer(instance.index, "check", instance.expected.name());
+                shard
+                    .aggs
+                    .entry((family, "check".into()))
+                    .or_default()
+                    .fold(JobStatus::Ok, instance.expected.name(), 0, 0.0, false, 0);
+            }
             FuzzEngine::Race => {
-                // The portfolio brings its own two-worker pool per race.
-                let portfolio = Portfolio::new()
-                    .with_timeout(config.timeout)
-                    .with_presolve(config.presolve);
-                for instance in &batch {
-                    let race = portfolio.race(&instance.problem);
-                    let mut claims = vec![
-                        EngineClaim::new(
-                            "race/nay",
-                            if race.nay.status == JobStatus::Ok {
-                                claim_of(race.nay.verdict)
-                            } else {
-                                Claim::Unknown
-                            },
-                            (race.nay.verdict == SolveVerdict::Realizable)
-                                .then(|| race.solution.clone())
-                                .flatten(),
-                        ),
-                        EngineClaim::new(
-                            "race/nope",
-                            if race.nope.status == JobStatus::Ok {
-                                claim_of(race.nope.verdict)
-                            } else {
-                                Claim::Unknown
-                            },
-                            None,
-                        ),
-                    ];
-                    if let Some(stage) = &race.presolve {
-                        // The presolve's claim goes through the same
-                        // by-construction oracle as the engines': a
-                        // statically-settled verdict that contradicts the
-                        // generator's ground truth is a violation.
-                        claims.push(EngineClaim::new(
-                            "race/presolve",
-                            claim_of(stage.verdict),
-                            (stage.verdict == SolveVerdict::Realizable)
-                                .then(|| race.solution.clone())
-                                .flatten(),
-                        ));
-                    }
-                    violations.extend(check_instance(instance, &claims));
-                    let family = instance.family.name();
-                    let race_status = race.nay.status.worst(race.nope.status);
-                    aggs.entry((family, "race".into())).or_default().fold(
-                        race_status,
-                        race.verdict.name(),
-                        race.nay.iterations + race.nope.iterations,
-                        race.wall_millis,
-                        race.nay.tainted || race.nope.tainted,
-                        race.nay.arena_terms.max(race.nope.arena_terms),
+                let race = portfolio.race(&instance.problem);
+                let mut claims = vec![
+                    EngineClaim::new(
+                        "race/nay",
+                        if race.nay.status == JobStatus::Ok {
+                            claim_of(race.nay.verdict)
+                        } else {
+                            Claim::Unknown
+                        },
+                        (race.nay.verdict == SolveVerdict::Realizable)
+                            .then(|| race.solution.clone())
+                            .flatten(),
+                    ),
+                    EngineClaim::new(
+                        "race/nope",
+                        if race.nope.status == JobStatus::Ok {
+                            claim_of(race.nope.verdict)
+                        } else {
+                            Claim::Unknown
+                        },
+                        None,
+                    ),
+                ];
+                if let Some(stage) = &race.presolve {
+                    // The presolve's claim goes through the same
+                    // by-construction oracle as the engines': a
+                    // statically-settled verdict that contradicts the
+                    // generator's ground truth is a violation.
+                    claims.push(EngineClaim::new(
+                        "race/presolve",
+                        claim_of(stage.verdict),
+                        (stage.verdict == SolveVerdict::Realizable)
+                            .then(|| race.solution.clone())
+                            .flatten(),
+                    ));
+                }
+                for violation in check_instance(&instance, &claims) {
+                    shard.push_violation(violation);
+                }
+                let race_status = race.nay.status.worst(race.nope.status);
+                observer(instance.index, "race", race.verdict.name());
+                shard.aggs.entry((family, "race".into())).or_default().fold(
+                    race_status,
+                    race.verdict.name(),
+                    race.nay.iterations + race.nope.iterations,
+                    race.wall_millis,
+                    race.nay.tainted || race.nope.tainted,
+                    race.nay.arena_terms.max(race.nope.arena_terms),
+                );
+                for side in [&race.nay, &race.nope] {
+                    observer(
+                        instance.index,
+                        &format!("race/{}", side.engine),
+                        side.verdict.name(),
                     );
-                    for side in [&race.nay, &race.nope] {
-                        aggs.entry((family, format!("race/{}", side.engine)))
-                            .or_default()
-                            .fold(
-                                side.status,
-                                side.verdict.name(),
-                                side.iterations,
-                                side.millis,
-                                side.tainted,
-                                side.arena_terms,
-                            );
-                    }
-                    if let Some(stage) = &race.presolve {
-                        // The `race/presolve` aggregate's verdict
-                        // distribution is the per-family `presolved`
-                        // count: its definitive buckets are exactly the
-                        // instances the analyzer settled statically.
-                        aggs.entry((family, "race/presolve".into()))
-                            .or_default()
-                            .fold(
-                                JobStatus::Ok,
-                                stage.verdict.name(),
-                                0,
-                                stage.millis,
-                                false,
-                                0,
-                            );
-                    }
+                    shard
+                        .aggs
+                        .entry((family, format!("race/{}", side.engine)))
+                        .or_default()
+                        .fold(
+                            side.status,
+                            side.verdict.name(),
+                            side.iterations,
+                            side.millis,
+                            side.tainted,
+                            side.arena_terms,
+                        );
+                }
+                if let Some(stage) = &race.presolve {
+                    // The `race/presolve` aggregate's verdict
+                    // distribution is the per-family `presolved`
+                    // count: its definitive buckets are exactly the
+                    // instances the analyzer settled statically.
+                    observer(instance.index, "race/presolve", stage.verdict.name());
+                    shard
+                        .aggs
+                        .entry((family, "race/presolve".into()))
+                        .or_default()
+                        .fold(
+                            JobStatus::Ok,
+                            stage.verdict.name(),
+                            0,
+                            stage.millis,
+                            false,
+                            0,
+                        );
                 }
             }
             FuzzEngine::Both | FuzzEngine::Nay | FuzzEngine::Nope => {
@@ -362,70 +547,158 @@ pub fn run_fuzz(config: &FuzzConfig) -> FuzzOutcome {
                     FuzzEngine::Nay => &["nay"],
                     _ => &["nope"],
                 };
-                // One cancel token per batch: a job that exceeds the
-                // budget is abandoned (not killed) by the pool, so the
-                // token is tripped once the batch returns and the
-                // abandoned engine exits at its next iteration poll
-                // instead of burning CPU under the rest of the sweep.
-                let cancel = Cancel::new();
-                let pairs: Vec<(&GeneratedInstance, &str)> = batch
-                    .iter()
-                    .flat_map(|i| tools.iter().map(move |&t| (i, t)))
-                    .collect();
-                let jobs: Vec<Job<EngineOutcome>> = pairs
-                    .iter()
-                    .map(|(instance, tool)| {
-                        let problem = instance.problem.clone();
-                        let tool = *tool;
-                        let cancel = cancel.clone();
-                        Job::new(format!("{}::{tool}", instance.name()), move || match tool {
-                            "nay" => solve_nay(&problem, &cancel, &nay::Nay::default()),
-                            _ => solve_nope(&problem, &cancel, &NopeEngine::default()),
-                        })
-                    })
-                    .collect();
-                let pool = PoolConfig {
-                    jobs: config.jobs.max(1),
-                    timeout: Some(config.timeout),
-                };
-                let results = run_jobs(jobs, &pool);
-                cancel.cancel();
-
-                // Fold results and assemble per-instance claims (results
-                // come back in input order: `tools.len()` consecutive
-                // results per instance).
-                for (instance, chunk) in batch.iter().zip(results.chunks(tools.len())) {
-                    let mut claims = Vec::new();
-                    for (tool, result) in tools.iter().zip(chunk) {
-                        let millis = result.elapsed.as_secs_f64() * 1000.0;
-                        let (claim, verdict_name, iterations, arena_terms, witness) =
-                            match &result.output {
-                                Some(outcome) if result.status == JobStatus::Ok => (
-                                    claim_of(outcome.verdict),
-                                    outcome.verdict.name(),
-                                    outcome.iterations,
-                                    outcome.arena_terms,
-                                    outcome.solution.clone(),
-                                ),
-                                // Timed-out/crashed jobs claim nothing and
-                                // land in a bucket named after their status.
-                                _ => (Claim::Unknown, result.status.as_str(), 0, 0, None),
-                            };
-                        claims.push(EngineClaim::new(*tool, claim, witness));
-                        aggs.entry((instance.family.name(), tool.to_string()))
-                            .or_default()
-                            .fold(
-                                result.status,
-                                verdict_name,
-                                iterations,
-                                millis,
-                                result.tainted,
-                                arena_terms,
-                            );
-                    }
-                    violations.extend(check_instance(instance, &claims));
+                let mut claims = Vec::new();
+                for &tool in tools {
+                    // Purely cooperative timeout: the shared timer trips a
+                    // fresh token at the deadline and the engine exits at
+                    // its next iteration poll — unlike the batch pool of
+                    // old, no thread is ever abandoned, so no measurement
+                    // is ever tainted and CPU is never burned past the
+                    // budget.
+                    let cancel = Cancel::new();
+                    let guard = timer.register(&cancel, config.timeout);
+                    let solve_started = Instant::now();
+                    let outcome =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match tool {
+                            "nay" => solve_nay(&instance.problem, &cancel, &nay::Nay::default()),
+                            _ => solve_nope(&instance.problem, &cancel, &NopeEngine::default()),
+                        }));
+                    let millis = solve_started.elapsed().as_secs_f64() * 1000.0;
+                    drop(guard);
+                    let (status, claim, verdict_name, iterations, arena_terms, witness) =
+                        match &outcome {
+                            Ok(outcome) if outcome.verdict != SolveVerdict::Cancelled => (
+                                JobStatus::Ok,
+                                claim_of(outcome.verdict),
+                                outcome.verdict.name(),
+                                outcome.iterations,
+                                outcome.arena_terms,
+                                outcome.solution.clone(),
+                            ),
+                            // A cancelled verdict means the deadline tripped
+                            // the token mid-search: a timeout, which claims
+                            // nothing and lands in its own verdict bucket.
+                            Ok(_) => (JobStatus::TimedOut, Claim::Unknown, "timed_out", 0, 0, None),
+                            Err(_) => (JobStatus::Crashed, Claim::Unknown, "crashed", 0, 0, None),
+                        };
+                    claims.push(EngineClaim::new(tool, claim, witness));
+                    observer(instance.index, tool, verdict_name);
+                    shard
+                        .aggs
+                        .entry((family, tool.to_string()))
+                        .or_default()
+                        .fold(status, verdict_name, iterations, millis, false, arena_terms);
+                }
+                for violation in check_instance(&instance, &claims) {
+                    shard.push_violation(violation);
                 }
             }
+        }
+        mem.exit();
+    }
+    shard
+}
+
+/// Runs the differential fuzzing sweep. See the module docs; this is the
+/// engine behind `reproduce fuzz`.
+pub fn run_fuzz(config: &FuzzConfig) -> FuzzOutcome {
+    run_fuzz_observed(config, |_, _, _| {})
+}
+
+/// [`run_fuzz`] with a per-result hook: `observer(draw_index, tool,
+/// verdict)` fires for every (instance, tool) result, from worker
+/// threads. Test instrumentation (the determinism-under-sharding proptest
+/// compares per-instance verdict sets across shardings); not part of the
+/// stable API.
+#[doc(hidden)]
+pub fn run_fuzz_observed(
+    config: &FuzzConfig,
+    observer: impl Fn(u64, &str, &str) + Sync,
+) -> FuzzOutcome {
+    let sweep_started = Instant::now();
+    let gen_config = config.gen_config();
+    let workers = config.jobs.max(1);
+    let shards = match config.shards {
+        0 => workers,
+        n => n,
+    };
+    let chunk = (config.count as u64).div_ceil(shards as u64).max(1);
+    let bounds = |shard: usize| {
+        let start = (shard as u64 * chunk).min(config.count as u64);
+        let end = ((shard as u64 + 1) * chunk).min(config.count as u64);
+        (start, end)
+    };
+
+    let timer = DeadlineTimer::new();
+    let mem = MemGauge::default();
+    // One slot per shard, filled by whichever worker claims the shard
+    // (worker w takes shards w, w+W, w+2W, …) and merged *in shard order*
+    // afterwards, so the merged result is independent of the claim
+    // schedule — including f64 time sums, which are order-sensitive.
+    let mut slots: Vec<Option<ShardResult>> = Vec::with_capacity(shards);
+    slots.resize_with(shards, || None);
+    if workers == 1 {
+        for (shard, slot) in slots.iter_mut().enumerate() {
+            let (start, end) = bounds(shard);
+            *slot = Some(run_shard(
+                config,
+                &gen_config,
+                start,
+                end,
+                &timer,
+                &mem,
+                &observer,
+            ));
+        }
+    } else {
+        let observer = &observer;
+        let (timer, mem, gen_config) = (&timer, &mem, &gen_config);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|worker| {
+                    scope.spawn(move || {
+                        let mut mine: Vec<(usize, ShardResult)> = Vec::new();
+                        let mut shard = worker;
+                        while shard < shards {
+                            let (start, end) = bounds(shard);
+                            mine.push((
+                                shard,
+                                run_shard(config, gen_config, start, end, timer, mem, observer),
+                            ));
+                            shard += workers;
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (shard, result) in handle.join().expect("fuzz worker panicked") {
+                    slots[shard] = Some(result);
+                }
+            }
+        });
+    }
+
+    // Merge once, in shard order.
+    let mut aggs: BTreeMap<(&'static str, String), FamilyAgg> = BTreeMap::new();
+    let mut violations: Vec<Violation> = Vec::new();
+    let mut violations_total = 0usize;
+    let mut attacked = 0usize;
+    let mut family_counts: BTreeMap<String, u64> = BTreeMap::new();
+    for slot in slots {
+        let shard = slot.expect("every shard ran");
+        for (key, agg) in &shard.aggs {
+            aggs.entry(key.clone()).or_default().merge(agg);
+        }
+        violations_total += shard.violations_total;
+        for violation in shard.violations {
+            if violations.len() < MAX_KEPT_VIOLATIONS {
+                violations.push(violation);
+            }
+        }
+        attacked += shard.attacked;
+        for (family, n) in &shard.family_counts {
+            *family_counts.entry((*family).to_string()).or_insert(0) += n;
         }
     }
 
@@ -445,15 +718,24 @@ pub fn run_fuzz(config: &FuzzConfig) -> FuzzOutcome {
             verdicts: agg.verdict_distribution(),
             millis: agg.millis,
             peak_arena: agg.peak_arena,
+            p50_millis: agg.hist.quantile_millis(0.50),
+            p99_millis: agg.hist.quantile_millis(0.99),
         })
         .collect();
-    let report = Report::new(format!("fuzz-{}", config.engine.name()), entries);
+    let wall_millis = sweep_started.elapsed().as_secs_f64() * 1000.0;
+    let throughput = Throughput::from_counts(wall_millis, workers, shards, &family_counts);
+    let report =
+        Report::new(format!("fuzz-{}", config.engine.name()), entries).with_throughput(throughput);
     FuzzOutcome {
         report,
         rows,
         violations,
+        violations_total,
         instances: attacked,
-        wall_millis: sweep_started.elapsed().as_secs_f64() * 1000.0,
+        wall_millis,
+        mem: FuzzMemStats {
+            peak_live_instances: mem.peak.load(Ordering::SeqCst),
+        },
     }
 }
 
@@ -630,14 +912,21 @@ pub fn render_fuzz(outcome: &FuzzOutcome, config: &FuzzConfig) -> String {
     );
     let _ = writeln!(
         out,
-        "{:<16} {:<10} {:>6} {:>12} {:>11}  verdicts",
-        "family", "tool", "n", "millis", "peak-arena"
+        "{:<16} {:<10} {:>6} {:>12} {:>9} {:>9} {:>11}  verdicts",
+        "family", "tool", "n", "millis", "p50-ms", "p99-ms", "peak-arena"
     );
     for row in &outcome.rows {
         let _ = writeln!(
             out,
-            "{:<16} {:<10} {:>6} {:>12.1} {:>11}  {}",
-            row.family, row.tool, row.instances, row.millis, row.peak_arena, row.verdicts
+            "{:<16} {:<10} {:>6} {:>12.1} {:>9.3} {:>9.3} {:>11}  {}",
+            row.family,
+            row.tool,
+            row.instances,
+            row.millis,
+            row.p50_millis,
+            row.p99_millis,
+            row.peak_arena,
+            row.verdicts
         );
     }
     let mut family_peaks: BTreeMap<&str, usize> = BTreeMap::new();
@@ -654,7 +943,7 @@ pub fn render_fuzz(outcome: &FuzzOutcome, config: &FuzzConfig) -> String {
         out,
         "{} instance(s), {} oracle violation(s); wall-clock {:.1} ms; peak term-arena: {}",
         outcome.instances,
-        outcome.violations.len(),
+        outcome.violations_total,
         outcome.wall_millis,
         if peaks.is_empty() {
             "-".to_string()
@@ -662,6 +951,27 @@ pub fn render_fuzz(outcome: &FuzzOutcome, config: &FuzzConfig) -> String {
             peaks
         }
     );
+    if let Some(throughput) = &outcome.report.throughput {
+        let per_family = throughput
+            .per_family
+            .iter()
+            .map(|(family, rate)| format!("{family}={rate:.0}/s"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        let _ = writeln!(
+            out,
+            "throughput: {:.0} instances/sec total ({} worker(s), {} shard(s), peak {} live instance(s)); {}",
+            throughput.total_per_sec,
+            throughput.workers,
+            throughput.shards,
+            outcome.mem.peak_live_instances,
+            if per_family.is_empty() {
+                "-".to_string()
+            } else {
+                per_family
+            }
+        );
+    }
     out
 }
 
@@ -678,6 +988,7 @@ mod tests {
             timeout: Duration::from_secs(120),
             families: None,
             presolve: true,
+            shards: 0,
         }
     }
 
@@ -771,9 +1082,121 @@ mod tests {
             FuzzEngine::Race,
             FuzzEngine::Nay,
             FuzzEngine::Nope,
+            FuzzEngine::Check,
         ] {
             assert_eq!(FuzzEngine::parse(engine.name()), Some(engine));
         }
         assert_eq!(FuzzEngine::parse("cvc5"), None);
+    }
+
+    #[test]
+    fn sharded_runs_merge_to_the_serial_aggregate() {
+        // The whole point of the sharded design: (shards, workers) is an
+        // execution detail, not a semantic one. Canonicalized reports
+        // (timings and throughput zeroed/dropped) must match exactly.
+        let serial = run_fuzz(&quick_config(FuzzEngine::Nope));
+        for (shards, jobs) in [(3, 1), (5, 2), (12, 4), (1, 3)] {
+            let config = FuzzConfig {
+                shards,
+                jobs,
+                ..quick_config(FuzzEngine::Nope)
+            };
+            let sharded = run_fuzz(&config);
+            assert_eq!(
+                sharded.report.canonicalized().to_json(),
+                serial.report.canonicalized().to_json(),
+                "shards={shards} jobs={jobs} diverged from serial"
+            );
+            assert_eq!(sharded.instances, serial.instances);
+            assert_eq!(sharded.violations_total, serial.violations_total);
+        }
+    }
+
+    #[test]
+    fn check_engine_skips_solving_and_reports_ground_truth() {
+        let outcome = run_fuzz(&quick_config(FuzzEngine::Check));
+        assert!(outcome.violations.is_empty(), "{:#?}", outcome.violations);
+        assert_eq!(outcome.instances, 12);
+        for entry in &outcome.report.entries {
+            assert_eq!(entry.tool, "check");
+        }
+        for row in &outcome.rows {
+            assert!(
+                row.verdicts.contains("realizable") || row.verdicts.contains("unrealizable"),
+                "check rows bucket by expectation: {}",
+                row.verdicts
+            );
+        }
+    }
+
+    #[test]
+    fn peak_live_instances_is_bounded_by_workers() {
+        let config = FuzzConfig {
+            jobs: 2,
+            shards: 4,
+            ..quick_config(FuzzEngine::Check)
+        };
+        let outcome = run_fuzz(&config);
+        assert!(outcome.mem.peak_live_instances >= 1);
+        assert!(
+            outcome.mem.peak_live_instances <= 2,
+            "peak {} live instances with 2 workers: streaming is broken",
+            outcome.mem.peak_live_instances
+        );
+    }
+
+    #[test]
+    fn fuzz_reports_carry_throughput() {
+        let config = FuzzConfig {
+            jobs: 2,
+            shards: 3,
+            ..quick_config(FuzzEngine::Check)
+        };
+        let outcome = run_fuzz(&config);
+        let throughput = outcome.report.throughput.as_ref().expect("throughput set");
+        assert_eq!(throughput.workers, 2);
+        assert_eq!(throughput.shards, 3);
+        assert_eq!(throughput.instances, 12);
+        assert!(throughput.total_per_sec > 0.0);
+        assert_eq!(throughput.per_family.len(), Family::ALL.len());
+        let rendered = render_fuzz(&outcome, &config);
+        assert!(rendered.contains("instances/sec"));
+    }
+
+    #[test]
+    fn observer_sees_every_instance_exactly_once_per_tool() {
+        use std::sync::Mutex;
+        let seen: Mutex<Vec<(u64, String)>> = Mutex::new(Vec::new());
+        let config = FuzzConfig {
+            jobs: 3,
+            shards: 5,
+            ..quick_config(FuzzEngine::Both)
+        };
+        run_fuzz_observed(&config, |index, tool, _verdict| {
+            seen.lock().unwrap().push((index, tool.to_string()));
+        });
+        let mut seen = seen.into_inner().unwrap();
+        seen.sort();
+        let expected: Vec<(u64, String)> = (0..12)
+            .flat_map(|i| [(i, "nay".to_string()), (i, "nope".to_string())])
+            .collect();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn latency_hist_quantiles_and_merge() {
+        let mut a = LatencyHist::default();
+        for _ in 0..99 {
+            a.record_millis(1.0); // ~bucket of 1024 µs
+        }
+        let mut b = LatencyHist::default();
+        b.record_millis(1000.0); // ~bucket of 2^20 µs
+        a.merge(&b);
+        assert_eq!(a.count, 100);
+        // p50 lands in the 1 ms bucket (upper edge ≤ 2.048 ms), p99+ in
+        // the outlier's bucket.
+        assert!(a.quantile_millis(0.50) <= 2.048 + 1e-9);
+        assert!(a.quantile_millis(1.0) >= 1000.0);
+        assert_eq!(LatencyHist::default().quantile_millis(0.5), 0.0);
     }
 }

@@ -7,7 +7,7 @@
 //! are spelled out per family; they are what the fuzzing oracle gates on,
 //! so they must be airtight.
 
-use crate::families::{Expectation, Family, Scale};
+use crate::families::{Expectation, Family, FamilySpec, Scale, SignSkew};
 use crate::rng::GenRng;
 use logic::{Formula, LinearExpr, Var};
 use sygus::{GrammarBuilder, Problem, Sort, Spec, Symbol, Term, TermArena};
@@ -34,6 +34,13 @@ pub fn build(family: Family, rng: &mut GenRng, scale: &Scale) -> Built {
         Family::GuardedConst => build_guarded_const(rng, scale),
         Family::PbePoints => build_pbe_points(rng, scale),
         Family::MaxGap => build_max_gap(rng, scale),
+        spec_driven => build_from_spec(
+            spec_driven
+                .spec()
+                .expect("non-hand-written families carry a FamilySpec"),
+            rng,
+            scale,
+        ),
     }
 }
 
@@ -444,6 +451,145 @@ fn build_max_gap(rng: &mut GenRng, scale: &Scale) -> Built {
     });
     Built {
         problem: Problem::new("max_gap", grammar, spec),
+        expected: if realizable {
+            Expectation::Realizable
+        } else {
+            Expectation::Unrealizable
+        },
+        witness,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// build_from_spec — the data-driven congruence-anchor interpreter
+// ---------------------------------------------------------------------------
+
+/// Builds one instance of a [`FamilySpec`]-driven family.
+///
+/// Grammar: `Start ::= c₁ | … | c_k | Start + Start [| x]
+/// [| ite(B, Start, Start)]`, `B ::= Start < Start [| and | not]`, where
+/// every `cᵢ` is a non-zero multiple of a per-instance **even** modulus
+/// `g ≥ 2` whose sign follows `spec.sign`.
+///
+/// Verdict argument (the congruence anchor): at `x = 0` every `Int`-sorted
+/// term evaluates to a multiple of `g` — leaves are `0` (the variable) or
+/// `cᵢ ≡ 0 (mod g)`, `+` preserves the congruence, and `ite` only selects
+/// between two terms that both satisfy it. The spec always contains the
+/// anchor conjunct `x = 0 ⇒ f = t`, so:
+///
+/// * **unrealizable**: `t ≢ 0 (mod g)` — no term can hit `t` at the
+///   anchor, regardless of the extra points;
+/// * **realizable**: `t` is a sum of `m ≤ max_summands` pool constants and
+///   every extra point demands the same value, so the constant sum term is
+///   a witness.
+///
+/// `g` is kept even (and unrealizable targets are biased toward odd `t`)
+/// so the analyzer's parity domain can settle a healthy share of these
+/// statically — the `presolve-diff --require-presolved` CI gate needs at
+/// least one settled instance per family.
+fn build_from_spec(spec: &FamilySpec, rng: &mut GenRng, scale: &Scale) -> Built {
+    let magnitude = scale.max_magnitude.max(2);
+    let g = 2 * rng.range_i64(1, (magnitude / 2).max(1));
+
+    // Distinct non-zero pool constants, all multiples of g.
+    let k = rng.range_i64(spec.pool_min as i64, spec.pool_max as i64) as usize;
+    let mut pool: Vec<i64> = Vec::with_capacity(k);
+    while pool.len() < k {
+        let m = rng.range_i64(1, spec.multiplier_cap);
+        let sign = match spec.sign {
+            SignSkew::Positive => 1,
+            SignSkew::Negative => -1,
+            SignSkew::Mixed => {
+                if rng.chance(50) {
+                    1
+                } else {
+                    -1
+                }
+            }
+        };
+        let c = sign * g * m;
+        if !pool.contains(&c) {
+            pool.push(c);
+        }
+    }
+    pool.sort_unstable();
+
+    let mut builder = GrammarBuilder::new("Start").nonterminal("Start", Sort::Int);
+    for &c in &pool {
+        builder = builder.production("Start", Symbol::Num(c), &[]);
+    }
+    builder = builder.production("Start", Symbol::Plus, &["Start", "Start"]);
+    if spec.var_leaf {
+        builder = builder.production("Start", Symbol::Var("x".to_string()), &[]);
+    }
+    if spec.ite {
+        builder = builder
+            .nonterminal("B", Sort::Bool)
+            .production("Start", Symbol::IfThenElse, &["B", "Start", "Start"])
+            .production("B", Symbol::LessThan, &["Start", "Start"]);
+        let nesting = rng.range_i64(1, scale.max_nesting.max(1) as i64) as usize;
+        if nesting >= 2 {
+            builder = builder
+                .production("B", Symbol::And, &["B", "B"])
+                .production("B", Symbol::Not, &["B"]);
+        }
+    }
+    let grammar = builder.build().expect("spec-driven grammar is well-formed");
+
+    let realizable = rng.chance(spec.realizable_percent);
+    let (anchor_value, witness) = if realizable {
+        // t = a reachable sum of pool constants; the sum term itself is the
+        // witness (a constant function, so it meets every spec point).
+        let m = rng.range_i64(1, spec.max_summands);
+        let mut arena = TermArena::new();
+        let first = *rng.choose(&pool);
+        let mut total = first;
+        let mut term = arena.num(first);
+        for _ in 1..m {
+            let c = *rng.choose(&pool);
+            total += c;
+            let leaf = arena.num(c);
+            term = arena.plus2(leaf, term);
+        }
+        (total, Some(arena.extract(term)))
+    } else {
+        // t = g·q + r with r ∈ 1..g: off the congruence class, so the
+        // anchor alone refutes. Bias r odd (g is even, so t is then odd)
+        // to keep the parity presolve lane productive.
+        let q = rng.range_i64(-2, 2);
+        let r = if g > 2 && !rng.chance(70) {
+            rng.range_i64(1, g - 1)
+        } else {
+            let odd_candidates: Vec<i64> = (1..g).step_by(2).collect();
+            *rng.choose(&odd_candidates)
+        };
+        (g * q + r, None)
+    };
+
+    // The anchor point plus up to `extra_points_max` distinct non-zero
+    // points. Realizable extras must agree with the constant witness;
+    // unrealizable extras are pure noise (the anchor already refutes).
+    let mut points: Vec<(i64, i64)> = vec![(0, anchor_value)];
+    let extras = if spec.extra_points_max > 0 {
+        rng.range_i64(0, spec.extra_points_max as i64) as usize
+    } else {
+        0
+    };
+    while points.len() < 1 + extras {
+        let a = rng.range_i64(-20, 20);
+        if a != 0 && points.iter().all(|&(p, _)| p != a) {
+            let v = if realizable {
+                anchor_value
+            } else {
+                rng.range_i64(-magnitude, magnitude)
+            };
+            points.push((a, v));
+        }
+    }
+    points.sort_unstable();
+
+    Built {
+        problem: Problem::new(spec.name, grammar, pointwise_spec(&points)),
         expected: if realizable {
             Expectation::Realizable
         } else {

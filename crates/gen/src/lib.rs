@@ -14,9 +14,11 @@
 //! * [`builder`] — per-family construction with airtight by-construction
 //!   verdicts and witness terms for the realizable class,
 //! * [`stream`] — the seeded, fingerprint-deduplicated instance stream
-//!   ([`ProblemStream`]) and corpus materialization ([`write_corpus`]);
-//!   instance `i` depends only on `(base_seed, i)`, so output is
-//!   byte-identical for a fixed seed,
+//!   ([`ProblemStream`]), the pure sharded accessor
+//!   ([`GenConfig::instance_at`] / [`ShardStream`]) behind
+//!   constant-memory fuzz campaigns, and corpus materialization
+//!   ([`write_corpus`]); instance `i` depends only on `(base_seed, i)`,
+//!   so output is byte-identical for a fixed seed,
 //! * [`oracle`] — the differential / expectation / witness soundness
 //!   oracles ([`check_instance`]) and the print→parse round-trip gate
 //!   ([`roundtrip_violation`]) that a fuzz sweep enforces per instance.
@@ -35,7 +37,7 @@ pub mod rng;
 pub mod stream;
 
 pub use builder::{build, Built};
-pub use families::{Expectation, Family, Scale};
+pub use families::{Expectation, Family, FamilySpec, Scale, SignSkew, FAMILY_SPECS};
 pub use oracle::{check_instance, roundtrip_violation, Claim, EngineClaim, Violation};
 pub use rng::{instance_seed, GenRng};
-pub use stream::{write_corpus, GenConfig, GeneratedInstance, ProblemStream};
+pub use stream::{write_corpus, GenConfig, GeneratedInstance, ProblemStream, ShardStream};

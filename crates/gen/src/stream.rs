@@ -46,6 +46,88 @@ impl GenConfig {
         self.families = families;
         self
     }
+
+    /// The family drawn at one draw index (round-robin over
+    /// [`GenConfig::families`]).
+    pub fn family_at(&self, draw_index: u64) -> Family {
+        self.families[(draw_index % self.families.len() as u64) as usize]
+    }
+
+    /// Builds the instance at one draw index — a **pure function** of
+    /// `(config, draw_index)`, with no stream state whatsoever: instance
+    /// `i` is the same bytes no matter which shard or worker constructs
+    /// it, in what order, or how many times. This is the property the
+    /// sharded fuzz driver leans on (1BRC-style): the index space
+    /// `0..count` can be split into arbitrary ranges, each rebuilt locally
+    /// from seeds, with no generator thread and no corpus ever
+    /// materialized.
+    ///
+    /// Unlike [`ProblemStream`], there is **no deduplication** — the
+    /// instance is named by its draw index and repeated content across
+    /// indices is allowed (dedup requires global memory, which is exactly
+    /// what a constant-memory million-instance sweep cannot afford).
+    pub fn instance_at(&self, draw_index: u64) -> GeneratedInstance {
+        let family = self.family_at(draw_index);
+        let seed = instance_seed(self.seed, draw_index);
+        let mut rng = GenRng::from_seed(seed);
+        let built = build(family, &mut rng, &self.scale);
+        GeneratedInstance {
+            family,
+            index: draw_index,
+            seed,
+            expected: built.expected,
+            witness: built.witness,
+            problem: built
+                .problem
+                .with_name(GeneratedInstance::name_for(family, draw_index)),
+        }
+    }
+}
+
+/// A dedup-free iterator over [`GenConfig::instance_at`] for the draw
+/// indices `start..end` — one shard of a fuzz campaign's index space. The
+/// stream holds no per-instance state: memory is `O(1)` in the shard
+/// length, and two shards covering the same range yield identical
+/// instances.
+#[derive(Clone, Debug)]
+pub struct ShardStream {
+    config: GenConfig,
+    next: u64,
+    end: u64,
+}
+
+impl ShardStream {
+    /// The shard covering draw indices `start..end` (empty when
+    /// `start >= end`).
+    pub fn new(config: GenConfig, start: u64, end: u64) -> ShardStream {
+        assert!(
+            !config.families.is_empty(),
+            "at least one family is required"
+        );
+        ShardStream {
+            config,
+            next: start,
+            end,
+        }
+    }
+}
+
+impl Iterator for ShardStream {
+    type Item = GeneratedInstance;
+
+    fn next(&mut self) -> Option<GeneratedInstance> {
+        if self.next >= self.end {
+            return None;
+        }
+        let instance = self.config.instance_at(self.next);
+        self.next += 1;
+        Some(instance)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = (self.end - self.next) as usize;
+        (remaining, Some(remaining))
+    }
 }
 
 /// One emitted instance: the problem plus everything needed to reproduce,
@@ -303,6 +385,46 @@ mod tests {
         let config = GenConfig::new(1).with_families(vec![Family::ConstSum]);
         for instance in ProblemStream::new(config).take(10) {
             assert_eq!(instance.family, Family::ConstSum);
+        }
+    }
+
+    #[test]
+    fn instance_at_is_pure_and_shards_tile_the_index_space() {
+        let config = GenConfig::new(99);
+        // Purity: rebuilding the same index twice gives the same bytes.
+        for index in [0u64, 1, 7, 31, 1000, 123_456] {
+            let a = config.instance_at(index);
+            let b = config.instance_at(index);
+            assert_eq!(a.problem.fingerprint(), b.problem.fingerprint());
+            assert_eq!(a.name(), b.name());
+            assert_eq!(a.expected, b.expected);
+        }
+        // Tiling: three shards over 0..30 reproduce the single full shard,
+        // instance for instance, regardless of the split.
+        let serial: Vec<(String, u64)> = ShardStream::new(config.clone(), 0, 30)
+            .map(|i| (i.name(), i.problem.fingerprint()))
+            .collect();
+        let mut tiled: Vec<(String, u64)> = Vec::new();
+        for (start, end) in [(0, 11), (11, 19), (19, 30)] {
+            tiled.extend(
+                ShardStream::new(config.clone(), start, end)
+                    .map(|i| (i.name(), i.problem.fingerprint())),
+            );
+        }
+        assert_eq!(serial, tiled);
+        assert_eq!(serial.len(), 30);
+    }
+
+    #[test]
+    fn instance_at_covers_every_family_round_robin() {
+        let config = GenConfig::new(5);
+        for (offset, family) in Family::ALL.iter().enumerate() {
+            assert_eq!(config.family_at(offset as u64), *family);
+            assert_eq!(
+                config.family_at(offset as u64 + Family::ALL.len() as u64),
+                *family
+            );
+            assert_eq!(config.instance_at(offset as u64).family, *family);
         }
     }
 

@@ -95,6 +95,14 @@ impl Json {
         }
     }
 
+    /// The ordered key/value pairs, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
     /// Serializes with two-space indentation and a trailing newline.
     pub fn to_string_pretty(&self) -> String {
         let mut out = String::new();

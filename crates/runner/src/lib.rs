@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod cancel;
+pub mod deadline;
 pub mod json;
 pub mod pool;
 pub mod report;
@@ -29,10 +30,12 @@ pub mod timing;
 pub mod warm;
 
 pub use cancel::Cancel;
+pub use deadline::{DeadlineGuard, DeadlineTimer};
 pub use json::Json;
 pub use pool::{run_jobs, Job, JobResult, JobStatus, PoolConfig};
 pub use report::{
-    compare, Aggregates, CompareConfig, Entry, Regression, RegressionKind, Report, SCHEMA_VERSION,
+    compare, compare_throughput, Aggregates, CompareConfig, Entry, Regression, RegressionKind,
+    Report, Throughput, MIN_SCHEMA_VERSION, SCHEMA_VERSION,
 };
 pub use timing::measure;
 pub use warm::{Ticket, WarmPool};

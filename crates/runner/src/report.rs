@@ -16,7 +16,121 @@ use crate::pool::JobStatus;
 use std::fmt;
 
 /// Version of the JSON layout; bump on any breaking change to the schema.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// Version history:
+/// * **1** — entries + aggregates (+ additive `tainted`/`family`/
+///   per-family rollups).
+/// * **2** — adds the optional top-level `throughput` object
+///   ([`Throughput`]): sweep-level instances/sec, per family and total,
+///   with elapsed wall-clock and worker/shard counts.
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// Oldest schema version [`Report::from_json`] still reads. Version 2 is a
+/// strict superset of version 1 (`throughput` is optional), so committed
+/// v1 baselines keep parsing; they simply carry no throughput to gate on.
+pub const MIN_SCHEMA_VERSION: u64 = 1;
+
+/// Sweep-level throughput: how fast a fuzz campaign pushed instances
+/// through the engines. A first-class, schema-versioned part of the report
+/// (version 2+) so CI can gate on throughput regressions exactly like it
+/// gates on per-benchmark slowdowns.
+///
+/// Rates are derived from one wall-clock measurement of the whole sweep
+/// (`instances / elapsed`), not from summing per-job times — with W
+/// workers the two differ by roughly a factor of W.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Throughput {
+    /// Wall-clock duration of the whole sweep, in milliseconds.
+    pub elapsed_millis: f64,
+    /// Worker threads that executed the sweep.
+    pub workers: usize,
+    /// Index-space shards the sweep was split into.
+    pub shards: usize,
+    /// Total instances pushed through the sweep.
+    pub instances: u64,
+    /// Total instances per wall-clock second.
+    pub total_per_sec: f64,
+    /// Instances per wall-clock second, per family (family name →
+    /// rate). Family rates share the sweep's wall clock, so they sum to
+    /// `total_per_sec`.
+    pub per_family: std::collections::BTreeMap<String, f64>,
+}
+
+impl Throughput {
+    /// Computes the throughput block from a sweep's wall clock and
+    /// per-family instance counts (rates are instances per *second*; a
+    /// zero elapsed time yields zero rates rather than infinities).
+    pub fn from_counts(
+        elapsed_millis: f64,
+        workers: usize,
+        shards: usize,
+        family_instances: &std::collections::BTreeMap<String, u64>,
+    ) -> Throughput {
+        let secs = elapsed_millis / 1000.0;
+        let rate = |n: u64| if secs > 0.0 { n as f64 / secs } else { 0.0 };
+        let instances: u64 = family_instances.values().sum();
+        Throughput {
+            elapsed_millis,
+            workers,
+            shards,
+            instances,
+            total_per_sec: rate(instances),
+            per_family: family_instances
+                .iter()
+                .map(|(family, &n)| (family.clone(), rate(n)))
+                .collect(),
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("elapsed_millis".into(), Json::Num(self.elapsed_millis)),
+            ("workers".into(), Json::Num(self.workers as f64)),
+            ("shards".into(), Json::Num(self.shards as f64)),
+            ("instances".into(), Json::Num(self.instances as f64)),
+            ("instances_per_sec".into(), Json::Num(self.total_per_sec)),
+            (
+                "families".into(),
+                Json::Obj(
+                    self.per_family
+                        .iter()
+                        .map(|(name, rate)| (name.clone(), Json::Num(*rate)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Result<Throughput, String> {
+        let num = |key: &str| {
+            value
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("throughput is missing the `{key}` number"))
+        };
+        let per_family = match value.get("families") {
+            None => std::collections::BTreeMap::new(),
+            Some(families) => families
+                .as_object()
+                .ok_or("throughput `families` is not an object")?
+                .iter()
+                .map(|(name, rate)| {
+                    rate.as_f64()
+                        .map(|r| (name.clone(), r))
+                        .ok_or_else(|| format!("throughput rate for `{name}` is not a number"))
+                })
+                .collect::<Result<_, _>>()?,
+        };
+        Ok(Throughput {
+            elapsed_millis: num("elapsed_millis")?,
+            workers: num("workers")? as usize,
+            shards: num("shards")? as usize,
+            instances: num("instances")? as u64,
+            total_per_sec: num("instances_per_sec")?,
+            per_family,
+        })
+    }
+}
 
 /// One (benchmark, tool) measurement.
 #[derive(Clone, Debug, PartialEq)]
@@ -152,6 +266,10 @@ pub struct Report {
     pub suite: String,
     /// Per-(benchmark, tool) measurements, sorted by `(benchmark, tool)`.
     pub entries: Vec<Entry>,
+    /// Sweep-level throughput, present for sweeps that measure it (the
+    /// fuzz driver does; the fixed benchmark suites do not). Schema v2;
+    /// absent from v1 reports.
+    pub throughput: Option<Throughput>,
 }
 
 impl Report {
@@ -162,7 +280,14 @@ impl Report {
             schema_version: SCHEMA_VERSION,
             suite: suite.into(),
             entries,
+            throughput: None,
         }
+    }
+
+    /// Attaches a sweep-level throughput measurement.
+    pub fn with_throughput(mut self, throughput: Throughput) -> Report {
+        self.throughput = Some(throughput);
+        self
     }
 
     /// Recomputes the suite aggregates.
@@ -225,12 +350,16 @@ impl Report {
 
     /// The report with every wall-clock field zeroed: what is left is
     /// exactly the machine- and scheduling-independent content, so two runs
-    /// with identical verdicts canonicalize to byte-identical JSON.
+    /// with identical verdicts canonicalize to byte-identical JSON. The
+    /// throughput block is dropped wholesale — every field in it is a
+    /// wall-clock derivative (and worker/shard counts are scheduling
+    /// choices, not content).
     pub fn canonicalized(&self) -> Report {
         let mut report = self.clone();
         for entry in &mut report.entries {
             entry.millis = 0.0;
         }
+        report.throughput = None;
         report
     }
 
@@ -269,6 +398,11 @@ impl Report {
                 ),
             ));
         }
+        // Sweep-level throughput (schema v2): only serialized when
+        // measured, so throughput-less reports keep their v1-style layout.
+        if let Some(throughput) = &self.throughput {
+            fields.push(("throughput".into(), throughput.to_json()));
+        }
         fields.push((
             "benchmarks".into(),
             Json::Arr(self.entries.iter().map(Entry::to_json).collect()),
@@ -284,9 +418,10 @@ impl Report {
             .get("schema_version")
             .and_then(Json::as_u64)
             .ok_or("report is missing `schema_version`")?;
-        if version != SCHEMA_VERSION {
+        if !(MIN_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&version) {
             return Err(format!(
-                "unsupported schema version {version} (this binary reads version {SCHEMA_VERSION})"
+                "unsupported schema version {version} (this binary reads versions \
+                 {MIN_SCHEMA_VERSION}..={SCHEMA_VERSION})"
             ));
         }
         let suite = root
@@ -301,7 +436,13 @@ impl Report {
             .iter()
             .map(Entry::from_json)
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(Report::new(suite, entries))
+        let throughput = root
+            .get("throughput")
+            .map(Throughput::from_json)
+            .transpose()?;
+        let mut report = Report::new(suite, entries);
+        report.throughput = throughput;
+        Ok(report)
     }
 }
 
@@ -314,6 +455,12 @@ pub struct CompareConfig {
     /// Entries whose new time is below this floor are never flagged as
     /// slowdowns (shields sub-millisecond benchmarks from scheduler noise).
     pub min_millis: f64,
+    /// Sweep throughput (total or per-family) is a regression when the new
+    /// rate drops below the old rate by more than this percentage. The
+    /// default is deliberately generous: CI runners are noisy 1–2-CPU
+    /// machines, and the verdict/oracle gates catch correctness regardless
+    /// — this gate only has to catch "the sweep got several times slower".
+    pub throughput_drop_pct: f64,
 }
 
 impl Default for CompareConfig {
@@ -321,6 +468,7 @@ impl Default for CompareConfig {
         CompareConfig {
             threshold_pct: 25.0,
             min_millis: 50.0,
+            throughput_drop_pct: 50.0,
         }
     }
 }
@@ -336,6 +484,9 @@ pub enum RegressionKind {
     Slowdown,
     /// A (benchmark, tool) pair from the old report is gone.
     Missing,
+    /// Sweep-level instances/sec (total or per-family) dropped below the
+    /// configured fraction of the baseline rate.
+    ThroughputDrop,
 }
 
 /// One regression found by [`compare`].
@@ -422,6 +573,42 @@ pub fn compare(old: &Report, new: &Report, config: &CompareConfig) -> Vec<Regres
                     old_entry.millis, new_entry.millis, config.threshold_pct
                 ),
             ));
+        }
+    }
+    regressions.extend(compare_throughput(old, new, config));
+    regressions
+}
+
+/// The throughput slice of the gate: diffs the two reports' [`Throughput`]
+/// blocks (total rate plus every family both sides measured) and flags
+/// drops beyond [`CompareConfig::throughput_drop_pct`]. Silently passes
+/// when either report carries no throughput — a v1 baseline cannot gate a
+/// v2 sweep — and never flags a rate the baseline measured at zero.
+pub fn compare_throughput(old: &Report, new: &Report, config: &CompareConfig) -> Vec<Regression> {
+    let (Some(old_tp), Some(new_tp)) = (&old.throughput, &new.throughput) else {
+        return Vec::new();
+    };
+    let mut regressions = Vec::new();
+    let mut check = |scope: &str, old_rate: f64, new_rate: f64| {
+        let floor = old_rate * (1.0 - config.throughput_drop_pct / 100.0);
+        if old_rate > 0.0 && new_rate < floor {
+            regressions.push(Regression {
+                benchmark: scope.to_string(),
+                tool: "throughput".into(),
+                kind: RegressionKind::ThroughputDrop,
+                detail: format!(
+                    "throughput dropped {:.1}/s -> {:.1}/s (>{:.0}% below baseline)",
+                    old_rate, new_rate, config.throughput_drop_pct
+                ),
+            });
+        }
+    };
+    check("sweep/total", old_tp.total_per_sec, new_tp.total_per_sec);
+    for (family, &old_rate) in &old_tp.per_family {
+        // Families only one side measured are additive differences, same
+        // as the family-scoped Missing gate above.
+        if let Some(&new_rate) = new_tp.per_family.get(family) {
+            check(&format!("sweep/{family}"), old_rate, new_rate);
         }
     }
     regressions
@@ -634,6 +821,7 @@ mod tests {
         let config = CompareConfig {
             threshold_pct: 25.0,
             min_millis: 0.0,
+            ..CompareConfig::default()
         };
         assert_eq!(compare(&old, &new, &config).len(), 1);
     }
@@ -784,8 +972,112 @@ mod tests {
     #[test]
     fn wrong_schema_version_is_rejected() {
         let mut text = sample().to_json();
-        text = text.replace("\"schema_version\": 1", "\"schema_version\": 99");
+        text = text.replace("\"schema_version\": 2", "\"schema_version\": 99");
         let err = Report::from_json(&text).unwrap_err();
         assert!(err.contains("schema version"), "{err}");
+    }
+
+    #[test]
+    fn v1_reports_still_parse() {
+        // The committed BENCH_quick.json baseline is schema v1; bumping to
+        // v2 must not orphan it. A v1 report is exactly a v2 report with no
+        // `throughput` key.
+        let mut text = sample().to_json();
+        text = text.replace("\"schema_version\": 2", "\"schema_version\": 1");
+        let parsed = Report::from_json(&text).expect("v1 parses");
+        assert!(parsed.throughput.is_none());
+        assert_eq!(parsed.entries.len(), sample().entries.len());
+    }
+
+    fn sample_throughput(total: f64) -> Throughput {
+        let counts: std::collections::BTreeMap<String, u64> = [
+            ("plus_mod".to_string(), 600),
+            ("const_sum".to_string(), 400),
+        ]
+        .into_iter()
+        .collect();
+        let mut tp = Throughput::from_counts(2000.0, 4, 8, &counts);
+        // from_counts derives 500/s from the counts above; rescale to the
+        // requested total, keeping family proportions.
+        let scale = total / tp.total_per_sec;
+        tp.total_per_sec = total;
+        for rate in tp.per_family.values_mut() {
+            *rate *= scale;
+        }
+        tp
+    }
+
+    #[test]
+    fn throughput_round_trips_and_canonicalization_drops_it() {
+        let report = Report::new("fuzz", vec![entry("a", "nope", 1.0)])
+            .with_throughput(sample_throughput(500.0));
+        let text = report.to_json();
+        assert!(text.contains("\"instances_per_sec\""));
+        let parsed = Report::from_json(&text).expect("parse back");
+        assert_eq!(parsed, report);
+        assert_eq!(parsed.to_json(), text);
+        assert!(parsed.canonicalized().throughput.is_none());
+        assert!(
+            !parsed.canonicalized().to_json().contains("throughput"),
+            "canonical JSON carries no wall-clock derivatives"
+        );
+    }
+
+    #[test]
+    fn throughput_from_counts_is_consistent() {
+        let counts: std::collections::BTreeMap<String, u64> =
+            [("a".to_string(), 750), ("b".to_string(), 250)]
+                .into_iter()
+                .collect();
+        let tp = Throughput::from_counts(500.0, 2, 4, &counts);
+        assert_eq!(tp.instances, 1000);
+        assert!((tp.total_per_sec - 2000.0).abs() < 1e-9);
+        assert!((tp.per_family["a"] - 1500.0).abs() < 1e-9);
+        let family_sum: f64 = tp.per_family.values().sum();
+        assert!((family_sum - tp.total_per_sec).abs() < 1e-9);
+        // Degenerate wall clock: zero rates, not infinities.
+        let zero = Throughput::from_counts(0.0, 2, 4, &counts);
+        assert_eq!(zero.total_per_sec, 0.0);
+    }
+
+    #[test]
+    fn throughput_drops_gate_and_gains_do_not() {
+        let base = Report::new("fuzz", vec![entry("a", "nope", 1.0)]);
+        let old = base.clone().with_throughput(sample_throughput(1000.0));
+        // 60% drop with a 50% threshold: total and both families flag.
+        let slow = base.clone().with_throughput(sample_throughput(400.0));
+        let regressions = compare(&old, &slow, &CompareConfig::default());
+        assert_eq!(regressions.len(), 3, "{regressions:?}");
+        assert!(regressions
+            .iter()
+            .all(|r| r.kind == RegressionKind::ThroughputDrop));
+        assert!(regressions.iter().any(|r| r.benchmark == "sweep/total"));
+        assert!(regressions.iter().any(|r| r.benchmark == "sweep/plus_mod"));
+        // 40% drop stays under the 50% threshold.
+        let ok = base.clone().with_throughput(sample_throughput(600.0));
+        assert!(compare(&old, &ok, &CompareConfig::default()).is_empty());
+        // A speedup is never a regression.
+        let fast = base.clone().with_throughput(sample_throughput(4000.0));
+        assert!(compare(&old, &fast, &CompareConfig::default()).is_empty());
+        // Tighter threshold flags the 40% drop.
+        let tight = CompareConfig {
+            throughput_drop_pct: 30.0,
+            ..CompareConfig::default()
+        };
+        assert_eq!(compare(&old, &ok, &tight).len(), 3);
+    }
+
+    #[test]
+    fn throughput_gate_needs_both_sides_and_skips_one_sided_families() {
+        let base = Report::new("fuzz", vec![entry("a", "nope", 1.0)]);
+        let with_tp = base.clone().with_throughput(sample_throughput(1000.0));
+        // v1 baseline (no throughput) never gates a v2 sweep, either way.
+        assert!(compare(&with_tp, &base, &CompareConfig::default()).is_empty());
+        assert!(compare(&base, &with_tp, &CompareConfig::default()).is_empty());
+        // A family only the baseline measured is additive, not a drop.
+        let mut fewer = sample_throughput(1000.0);
+        fewer.per_family.remove("const_sum");
+        let new = base.clone().with_throughput(fewer);
+        assert!(compare(&with_tp, &new, &CompareConfig::default()).is_empty());
     }
 }
