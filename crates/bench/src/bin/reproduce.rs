@@ -35,6 +35,9 @@
 //!   --timeout-ms MS          per-engine wall-clock budget (default: 600000)
 //!   --json PATH              write the runner-schema JSON report to PATH
 //!   --no-presolve            disable the race's static presolve stage
+//!   --trace                  print a span waterfall per solve (parse,
+//!                            presolve, per-engine race spans, loser
+//!                            cancellation; race engine only)
 //!
 //! analyze OPTIONS:
 //!   --json PATH              write the runner-schema JSON report to PATH
@@ -89,6 +92,8 @@
 //!                       (default: 64)
 //!   --deadline-ms MS    default per-request deadline (default: 600000)
 //!   --no-presolve       disable the static presolve stage
+//!   --metrics-addr A    also serve Prometheus text metrics over plain
+//!                       HTTP at A (HOST:PORT; port 0 picks a free port)
 //!
 //! bench-serve OPTIONS:
 //!   --addr HOST:PORT    replay against an external daemon; by default an
@@ -216,6 +221,7 @@ fn run_solve(args: &[String]) -> ! {
     let mut timeout: Option<Duration> = None;
     let mut json_path: Option<String> = None;
     let mut presolve = true;
+    let mut trace = false;
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -230,6 +236,7 @@ fn run_solve(args: &[String]) -> ! {
             "--timeout-ms" => timeout = Some(Duration::from_millis(parse_value(arg, iter.next()))),
             "--json" => json_path = Some(parse_value::<String>(arg, iter.next())),
             "--no-presolve" => presolve = false,
+            "--trace" => trace = true,
             flag if flag.starts_with("--") => {
                 usage_error(&format!("unknown solve option `{flag}`"))
             }
@@ -250,7 +257,10 @@ fn run_solve(args: &[String]) -> ! {
         std::process::exit(2);
     });
 
-    let (rows, report, totals) = bench::run_solve(&files, engine, timeout, presolve)
+    if trace && engine != bench::Engine::Race {
+        usage_error("`--trace` renders race-phase waterfalls; it needs `--engine race`");
+    }
+    let (rows, report, totals) = bench::run_solve(&files, engine, timeout, presolve, trace)
         .unwrap_or_else(|e| {
             eprintln!("error: {e}");
             std::process::exit(1);
@@ -658,6 +668,9 @@ fn run_serve(args: &[String]) -> ! {
                 config.default_deadline = Duration::from_millis(parse_value(arg, iter.next()))
             }
             "--no-presolve" => config.presolve = false,
+            "--metrics-addr" => {
+                config.metrics_addr = Some(parse_value::<String>(arg, iter.next()));
+            }
             other => usage_error(&format!("unknown serve option `{other}`")),
         }
     }
@@ -672,6 +685,9 @@ fn run_serve(args: &[String]) -> ! {
         config.cache_capacity,
         if config.presolve { "on" } else { "off" }
     );
+    if let Some(scrape) = server.metrics_endpoint() {
+        println!("metrics scrape endpoint on http://{scrape}/metrics");
+    }
     match server.run() {
         Err(e) => {
             eprintln!("error: accept loop failed: {e}");

@@ -153,63 +153,12 @@ pub fn run_gen(dir: &Path, config: &FuzzConfig) -> Result<BTreeMap<&'static str,
     Ok(counts)
 }
 
-/// A log₂-bucketed latency histogram over microseconds: bucket `b` holds
-/// durations in `[2^(b−1), 2^b)` µs. 48 buckets span sub-microsecond to
-/// ~8.9 years, the merge is a plain `u64` add per bucket (commutative and
-/// exact, unlike merging f64 sums), and quantiles come back as the upper
-/// bucket edge — within 2× of the true value, plenty for a p50/p99 trend
-/// line across nightly campaign artifacts.
-#[derive(Clone, Debug)]
-struct LatencyHist {
-    buckets: [u64; 48],
-    count: u64,
-}
-
-impl Default for LatencyHist {
-    fn default() -> Self {
-        LatencyHist {
-            buckets: [0; 48],
-            count: 0,
-        }
-    }
-}
-
-impl LatencyHist {
-    fn record_millis(&mut self, millis: f64) {
-        let micros = (millis * 1000.0).max(0.0) as u64;
-        let bucket = if micros == 0 {
-            0
-        } else {
-            (64 - micros.leading_zeros() as usize).min(47)
-        };
-        self.buckets[bucket] += 1;
-        self.count += 1;
-    }
-
-    fn merge(&mut self, other: &LatencyHist) {
-        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
-            *mine += theirs;
-        }
-        self.count += other.count;
-    }
-
-    /// The upper edge (in milliseconds) of the bucket holding the
-    /// `q`-quantile sample; `0.0` on an empty histogram.
-    fn quantile_millis(&self, q: f64) -> f64 {
-        if self.count == 0 {
-            return 0.0;
-        }
-        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
-        let mut seen = 0u64;
-        for (bucket, &n) in self.buckets.iter().enumerate() {
-            seen += n;
-            if seen >= target {
-                return (1u64 << bucket) as f64 / 1000.0;
-            }
-        }
-        (1u64 << 47) as f64 / 1000.0
-    }
-}
+// The campaign's latency histogram is the workspace-wide
+// [`obs::LatencyHist`]: log₂ µs buckets whose merge is a plain `u64` add
+// per bucket (commutative and exact, unlike merging f64 sums), with
+// quantiles reported as upper bucket edges — within 2× of the true value,
+// plenty for a p50/p99 trend line across nightly campaign artifacts.
+use obs::LatencyHist;
 
 /// The 1BRC-style accumulator: one per (family, tool), folded as results
 /// stream off the workers, merged across shards at the end. Every field
@@ -1192,11 +1141,47 @@ mod tests {
         let mut b = LatencyHist::default();
         b.record_millis(1000.0); // ~bucket of 2^20 µs
         a.merge(&b);
-        assert_eq!(a.count, 100);
+        assert_eq!(a.count(), 100);
         // p50 lands in the 1 ms bucket (upper edge ≤ 2.048 ms), p99+ in
         // the outlier's bucket.
         assert!(a.quantile_millis(0.50) <= 2.048 + 1e-9);
         assert!(a.quantile_millis(1.0) >= 1000.0);
         assert_eq!(LatencyHist::default().quantile_millis(0.5), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod golden {
+    use super::*;
+
+    /// Pins the exact bytes of a canonical fuzz report. The check engine
+    /// folds fully deterministic values (zero iterations, zero millis),
+    /// so this catches any drift in report serialization or in the shared
+    /// [`obs::LatencyHist`] math that backs the campaign percentiles —
+    /// nightly trend lines depend on both staying put.
+    #[test]
+    fn check_engine_report_json_is_byte_identical_to_the_golden() {
+        let config = FuzzConfig {
+            count: 10,
+            seed: 11,
+            engine: FuzzEngine::Check,
+            jobs: 1,
+            timeout: Duration::from_secs(120),
+            families: None,
+            presolve: true,
+            shards: 0,
+        };
+        let outcome = run_fuzz(&config);
+        let golden = include_str!("../golden/fuzz_check_report.json");
+        assert_eq!(
+            outcome.report.canonicalized().to_json(),
+            golden,
+            "canonical fuzz JSON drifted from golden/fuzz_check_report.json"
+        );
+        // Zero-millis folds land in the lowest histogram bucket, whose
+        // upper edge is 1 µs: the percentile columns are pinned too.
+        for row in &outcome.rows {
+            assert_eq!((row.p50_millis, row.p99_millis), (0.001, 0.001), "{row:?}");
+        }
     }
 }

@@ -15,8 +15,9 @@
 //! race verdicts are all definitive), which the CI `serve` job asserts.
 
 use crate::solve::{collect_sl_files, problem_name, Engine, Manifest};
+use obs::LatencyHist;
 use runner::{Entry, JobStatus, Report};
-use server::{Client, Endpoint, Request, ResponseStatus};
+use server::{Client, Endpoint, Request, ResponseStatus, StatsSnapshot};
 use std::fmt::Write as _;
 use std::path::Path;
 use std::time::{Duration, Instant};
@@ -126,8 +127,13 @@ pub struct LoadOutcome {
     /// Expectation violations (empty on a clean run).
     pub mismatches: Vec<String>,
     /// The runner-schema report: one entry per request plus one summary
-    /// entry per pass.
+    /// entry per pass (and a daemon-stats entry when available).
     pub report: Report,
+    /// The daemon's own counters after the last pass — evictions,
+    /// collision misses, sheds, and queue-wait percentiles that no
+    /// client-side observation can see. `None` if the final stats
+    /// request failed.
+    pub daemon_stats: Option<StatsSnapshot>,
 }
 
 /// Builds the corpus part of the workload: every `.sl` file under `dir`,
@@ -224,11 +230,18 @@ pub fn run_load(
     }
 
     let mismatches = check_expectations(&observations);
-    let report = build_report(&observations, &passes, &mismatches);
+    // The daemon sees what clients cannot: cache evictions and collision
+    // misses, admission sheds, and engine queue-wait percentiles.
+    let daemon_stats = Client::connect_retry(endpoint, Duration::from_secs(5))
+        .ok()
+        .and_then(|mut client| client.stats().ok())
+        .and_then(|response| response.stats);
+    let report = build_report(&observations, &passes, &mismatches, daemon_stats.as_ref());
     Ok(LoadOutcome {
         passes,
         mismatches,
         report,
+        daemon_stats,
     })
 }
 
@@ -291,17 +304,16 @@ fn run_client(
     Ok(observations)
 }
 
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let rank = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
-    sorted[rank.min(sorted.len() - 1)]
-}
-
 fn summarize(pass: usize, observations: &[Observation], wall: Duration) -> PassSummary {
-    let mut latencies: Vec<f64> = observations.iter().map(|o| o.latency_ms).collect();
-    latencies.sort_by(|a, b| a.total_cmp(b));
+    // Percentiles come from the workspace-wide log₂ histogram (upper
+    // bucket edges, like every other latency report here); the slowest
+    // request stays exact.
+    let mut hist = LatencyHist::default();
+    let mut max_ms = 0.0f64;
+    for observation in observations {
+        hist.record_millis(observation.latency_ms);
+        max_ms = max_ms.max(observation.latency_ms);
+    }
     let wall_millis = wall.as_secs_f64() * 1000.0;
     PassSummary {
         pass,
@@ -317,10 +329,10 @@ fn summarize(pass: usize, observations: &[Observation], wall: Duration) -> PassS
             .count(),
         wall_millis,
         throughput: observations.len() as f64 / (wall.as_secs_f64()).max(1e-9),
-        p50_ms: percentile(&latencies, 50.0),
-        p90_ms: percentile(&latencies, 90.0),
-        p99_ms: percentile(&latencies, 99.0),
-        max_ms: latencies.last().copied().unwrap_or(0.0),
+        p50_ms: hist.quantile_millis(0.50),
+        p90_ms: hist.quantile_millis(0.90),
+        p99_ms: hist.quantile_millis(0.99),
+        max_ms,
     }
 }
 
@@ -371,6 +383,7 @@ fn build_report(
     observations: &[Observation],
     passes: &[PassSummary],
     mismatches: &[String],
+    daemon_stats: Option<&StatsSnapshot>,
 ) -> Report {
     let mut entries: Vec<Entry> = observations
         .iter()
@@ -425,6 +438,30 @@ fn build_report(
             family: String::new(),
         });
     }
+    // Daemon-side counters ride along as one more summary row, keeping
+    // `--json` output under the unchanged runner schema.
+    if let Some(stats) = daemon_stats {
+        entries.push(Entry {
+            benchmark: "daemon".into(),
+            tool: "serve/stats".into(),
+            status: JobStatus::Ok,
+            verdict: format!(
+                "evictions={} collisions={} shed={} deadline_trips={} \
+                 queue-p50={:.2}ms queue-p99={:.2}ms",
+                stats.cache_evictions,
+                stats.cache_collisions,
+                stats.shed,
+                stats.deadline_trips,
+                stats.queue_wait_p50_ms,
+                stats.queue_wait_p99_ms
+            ),
+            proved: false,
+            iterations: stats.requests,
+            millis: 0.0,
+            tainted: false,
+            family: String::new(),
+        });
+    }
     Report::new("bench-serve", entries)
 }
 
@@ -467,6 +504,21 @@ pub fn render_load(outcome: &LoadOutcome, config: &LoadConfig) -> String {
             p.max_ms
         );
     }
+    if let Some(stats) = &outcome.daemon_stats {
+        let _ = writeln!(
+            out,
+            "daemon: hits={} misses={} evictions={} collisions={} shed={} \
+             deadline_trips={} queue-wait p50={:.2}ms p99={:.2}ms",
+            stats.cache_hits,
+            stats.cache_misses,
+            stats.cache_evictions,
+            stats.cache_collisions,
+            stats.shed,
+            stats.deadline_trips,
+            stats.queue_wait_p50_ms,
+            stats.queue_wait_p99_ms
+        );
+    }
     if outcome.mismatches.is_empty() {
         let _ = writeln!(out, "verdicts: all match expectations");
     } else {
@@ -480,12 +532,32 @@ mod tests {
     use super::*;
 
     #[test]
-    fn percentiles_pick_sane_ranks() {
-        let sorted = [1.0, 2.0, 3.0, 4.0, 5.0];
-        assert_eq!(percentile(&sorted, 50.0), 3.0);
-        assert_eq!(percentile(&sorted, 99.0), 5.0);
-        assert_eq!(percentile(&sorted, 0.0), 1.0);
-        assert_eq!(percentile(&[], 50.0), 0.0);
+    fn summaries_bucket_percentiles_but_keep_the_max_exact() {
+        let observe = |latency_ms: f64| Observation {
+            name: "g".into(),
+            family: "f".into(),
+            expected: Expected::Unchecked,
+            pass: 1,
+            latency_ms,
+            cached: false,
+            verdict: "unknown".into(),
+            outcome: "ok".into(),
+        };
+        let observations: Vec<_> = std::iter::repeat_with(|| observe(1.0))
+            .take(98)
+            .chain([observe(1000.5), observe(1000.5)])
+            .collect();
+        let summary = summarize(1, &observations, Duration::from_millis(1));
+        assert_eq!(summary.requests, 100);
+        // 1 ms = 1000 µs lands in the bucket with upper edge 1024 µs; the
+        // outlier only shows up at p99 and beyond. The max is the raw
+        // sample, not an upper bucket edge.
+        assert_eq!(summary.p50_ms, 1.024);
+        assert_eq!(summary.p90_ms, 1.024);
+        assert!(summary.p99_ms >= 1000.0);
+        assert_eq!(summary.max_ms, 1000.5);
+        let empty = summarize(1, &[], Duration::from_millis(1));
+        assert_eq!((empty.p50_ms, empty.max_ms), (0.0, 0.0));
     }
 
     #[test]

@@ -117,6 +117,9 @@ pub struct SolveRow {
     pub loser_cancel_millis: Option<f64>,
     /// Peak term-arena size of the run (the larger side for `race`).
     pub arena_terms: usize,
+    /// The solve's span tree, when tracing was requested (race engine
+    /// only: solo engines have no phase structure worth a waterfall).
+    pub trace: Option<obs::Trace>,
 }
 
 /// Run-level totals of a solve sweep, printed in the summary line.
@@ -147,6 +150,10 @@ pub struct SolveTotals {
 /// verdict-preserving (see [`Portfolio::with_presolve`]) so the `race`
 /// entries the MANIFEST gates on are unaffected.
 ///
+/// With `trace` set, each race row additionally carries an [`obs::Trace`]
+/// span tree (parse, presolve, per-engine race spans, loser cancellation)
+/// that `reproduce solve --trace` renders as a waterfall.
+///
 /// # Errors
 /// Returns the first file that fails to load or parse.
 pub fn run_solve(
@@ -154,13 +161,16 @@ pub fn run_solve(
     engine: Engine,
     timeout: Option<Duration>,
     presolve: bool,
+    trace: bool,
 ) -> Result<(Vec<SolveRow>, Report, SolveTotals), String> {
     let sweep_started = Instant::now();
     let timeout = timeout.unwrap_or(DEFAULT_SOLVE_TIMEOUT);
     let mut entries: Vec<Entry> = Vec::new();
     let mut rows: Vec<SolveRow> = Vec::new();
     for path in files {
+        let parse_started = Instant::now();
         let problem = load_problem(path)?;
+        let parse_millis = parse_started.elapsed().as_secs_f64() * 1000.0;
         let name = problem_name(path);
         match engine {
             Engine::Race => {
@@ -213,6 +223,8 @@ pub fn run_solve(
                     });
                 }
                 rows.push(SolveRow {
+                    trace: trace
+                        .then(|| report.trace_with(obs::fresh_trace_id(), parse_millis, None)),
                     name,
                     verdict: report.verdict.name().into(),
                     winner: report.winner,
@@ -261,6 +273,7 @@ pub fn run_solve(
                     millis,
                     loser_cancel_millis: None,
                     arena_terms,
+                    trace: None,
                 });
             }
         }
@@ -305,6 +318,12 @@ pub fn render_solve(rows: &[SolveRow], engine: Engine, totals: &SolveTotals) -> 
         totals.wall_millis,
         totals.peak_arena_terms
     );
+    for row in rows {
+        if let Some(trace) = &row.trace {
+            let _ = writeln!(out, "\n## {}", row.name);
+            out.push_str(&trace.render_waterfall());
+        }
+    }
     out
 }
 

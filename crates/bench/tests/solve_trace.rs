@@ -1,0 +1,88 @@
+//! Snapshot tests for `solve --trace` span trees over real corpus
+//! instances. Wall-clock values vary run to run, so the snapshot pins the
+//! [`obs::Trace::structure`] — span order, nesting, and phase names — which
+//! must stay put for the waterfall (and anything parsing it) to be
+//! trustworthy.
+
+use std::path::PathBuf;
+
+fn corpus_file(name: &str) -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../corpus")).join(name)
+}
+
+/// The full-race shape on a corpus instance, presolve stage disabled so
+/// both engines always run: a race span nesting queue + run under each
+/// engine. The loser's cancel span is winner-dependent, so it is filtered
+/// before comparing.
+#[test]
+fn corpus_race_trace_structure_is_stable() {
+    let files = [corpus_file("gen_const_sum_00001.sl")];
+    let (rows, _, _) = bench::run_solve(&files, bench::Engine::Race, None, false, true)
+        .expect("the corpus instance solves");
+    let trace = rows[0].trace.as_ref().expect("tracing was requested");
+    assert!(
+        trace.trace_id.starts_with("t-"),
+        "trace ids are prefixed: {}",
+        trace.trace_id
+    );
+    let structure: Vec<(usize, String)> = trace
+        .structure()
+        .into_iter()
+        .filter(|(_, phase)| phase != "cancel")
+        .collect();
+    let expected: Vec<(usize, String)> = [
+        (0, "solve"),
+        (1, "parse"),
+        (1, "race"),
+        (2, "nay"),
+        (3, "queue"),
+        (3, "run"),
+        (2, "nope"),
+        (3, "queue"),
+        (3, "run"),
+    ]
+    .into_iter()
+    .map(|(depth, phase)| (depth, phase.to_string()))
+    .collect();
+    assert_eq!(structure, expected);
+}
+
+/// With the presolve stage on, a statically-settled instance never reaches
+/// the race: its trace is the minimal parse + presolve shape.
+#[test]
+fn presolve_settled_corpus_trace_skips_the_race() {
+    // const_large: a constants-only grammar, settled by the analyzer.
+    let files = [corpus_file("const_large.sl")];
+    let (rows, _, _) = bench::run_solve(&files, bench::Engine::Race, None, true, true)
+        .expect("the corpus instance solves");
+    let trace = rows[0].trace.as_ref().expect("tracing was requested");
+    if rows[0].winner == Some("presolve") {
+        assert_eq!(
+            trace.structure(),
+            vec![
+                (0, "solve".to_string()),
+                (1, "parse".to_string()),
+                (1, "presolve".to_string()),
+            ]
+        );
+    } else {
+        // Should the analyzer ever abstain here, the race shape applies;
+        // the root spans must still lead parse-first.
+        let structure = trace.structure();
+        assert_eq!(structure[0], (0, "solve".to_string()));
+        assert_eq!(structure[1], (1, "parse".to_string()));
+    }
+    // The waterfall renders every span on its own line under the header.
+    let rendered = trace.render_waterfall();
+    assert!(rendered.starts_with(&format!("trace {} (", trace.trace_id)));
+    assert_eq!(rendered.lines().count(), 1 + trace.spans.len());
+}
+
+/// Untraced runs must not pay for tracing: no span tree on the row.
+#[test]
+fn untraced_solves_carry_no_trace() {
+    let files = [corpus_file("gen_const_sum_00001.sl")];
+    let (rows, _, _) = bench::run_solve(&files, bench::Engine::Race, None, true, false)
+        .expect("the corpus instance solves");
+    assert!(rows[0].trace.is_none());
+}

@@ -1,0 +1,156 @@
+//! The shared log₂ latency histogram.
+//!
+//! This is the single percentile implementation for the whole workspace:
+//! `bench::fuzz` folds per-(family, tool) latencies into it, `bench-serve`
+//! summarizes load-run latencies with it, and the atomic
+//! [`Histogram`](crate::Histogram) metric snapshots into it for quantile
+//! queries and Prometheus exposition.
+
+/// A log₂-bucketed latency histogram over microseconds: bucket `b` holds
+/// durations in `[2^(b−1), 2^b)` µs. 48 buckets span sub-microsecond to
+/// ~8.9 years, the merge is a plain `u64` add per bucket (commutative and
+/// exact, unlike merging f64 sums), and quantiles come back as the upper
+/// bucket edge — within 2× of the true value, plenty for a p50/p99 trend
+/// line across nightly campaign artifacts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LatencyHist {
+    buckets: [u64; BUCKETS],
+    count: u64,
+}
+
+/// Number of log₂ buckets in a [`LatencyHist`].
+pub const BUCKETS: usize = 48;
+
+impl Default for LatencyHist {
+    fn default() -> Self {
+        LatencyHist {
+            buckets: [0; BUCKETS],
+            count: 0,
+        }
+    }
+}
+
+/// The bucket index for a duration in microseconds.
+#[must_use]
+pub fn bucket_of_micros(micros: u64) -> usize {
+    if micros == 0 {
+        0
+    } else {
+        (64 - micros.leading_zeros() as usize).min(BUCKETS - 1)
+    }
+}
+
+impl LatencyHist {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample given in milliseconds.
+    pub fn record_millis(&mut self, millis: f64) {
+        let micros = (millis * 1000.0).max(0.0) as u64;
+        self.record_micros(micros);
+    }
+
+    /// Records one sample given in microseconds.
+    pub fn record_micros(&mut self, micros: u64) {
+        self.buckets[bucket_of_micros(micros)] += 1;
+        self.count += 1;
+    }
+
+    /// Adds `n` samples directly to `bucket` (used when reconstructing a
+    /// snapshot from an atomic [`Histogram`](crate::Histogram)).
+    pub(crate) fn add_bucket(&mut self, bucket: usize, n: u64) {
+        self.buckets[bucket] += n;
+        self.count += n;
+    }
+
+    /// Folds another histogram into this one (exact, commutative).
+    pub fn merge(&mut self, other: &LatencyHist) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+    }
+
+    /// Total number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The raw per-bucket counts.
+    #[must_use]
+    pub fn buckets(&self) -> &[u64; BUCKETS] {
+        &self.buckets
+    }
+
+    /// The upper edge (in milliseconds) of the bucket holding the
+    /// `q`-quantile sample; `0.0` on an empty histogram.
+    #[must_use]
+    pub fn quantile_millis(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (bucket, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return (1u64 << bucket) as f64 / 1000.0;
+            }
+        }
+        (1u64 << (BUCKETS - 1)) as f64 / 1000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_and_merge() {
+        let mut a = LatencyHist::default();
+        for millis in [0.1, 0.2, 0.4, 0.8, 1.6] {
+            a.record_millis(millis);
+        }
+        assert_eq!(a.count(), 5);
+        // p50 of five log-spaced samples lands in the middle bucket; the
+        // reported value is that bucket's upper edge, so it is >= the
+        // true median and within 2x of it.
+        let p50 = a.quantile_millis(0.50);
+        assert!((0.4..=0.8 * 2.0).contains(&p50), "p50 = {p50}");
+        let p99 = a.quantile_millis(0.99);
+        assert!((1.6..=1.6 * 2.0).contains(&p99), "p99 = {p99}");
+
+        let mut b = LatencyHist::default();
+        b.record_millis(10.0);
+        b.merge(&a);
+        assert_eq!(b.count(), 6);
+        assert!(b.quantile_millis(1.0) >= 10.0);
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_zero() {
+        assert_eq!(LatencyHist::default().quantile_millis(0.99), 0.0);
+    }
+
+    #[test]
+    fn zero_and_huge_samples_clamp_to_edge_buckets() {
+        let mut h = LatencyHist::default();
+        h.record_micros(0);
+        h.record_micros(u64::MAX);
+        assert_eq!(h.buckets()[0], 1);
+        assert_eq!(h.buckets()[BUCKETS - 1], 1);
+    }
+
+    #[test]
+    fn bucket_edges_are_powers_of_two() {
+        assert_eq!(bucket_of_micros(1), 1);
+        assert_eq!(bucket_of_micros(2), 2);
+        assert_eq!(bucket_of_micros(3), 2);
+        assert_eq!(bucket_of_micros(4), 3);
+        assert_eq!(bucket_of_micros(1024), 11);
+    }
+}

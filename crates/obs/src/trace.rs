@@ -1,0 +1,257 @@
+//! Solve traces: a per-request span tree with monotonic relative offsets.
+//!
+//! A [`Trace`] is a flat, depth-annotated list of [`Span`]s in start
+//! order — enough to render a waterfall and to snapshot-test *structure*
+//! (which phases appeared, nested how) without pinning wall-clock values.
+//! Offsets are microseconds relative to the trace's own start, so traces
+//! are self-contained and comparable across hosts.
+//!
+//! The phase catalogue is closed and stable (see [`phase`]): tests and
+//! docs enumerate it, and renderers can rely on it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// The stable span-phase catalogue. Every span's `phase` is one of these
+/// strings; adding a phase is an additive, documented change.
+pub mod phase {
+    /// Root span: the whole solve request.
+    pub const SOLVE: &str = "solve";
+    /// SyGuS-IF text → `Problem` parse.
+    pub const PARSE: &str = "parse";
+    /// Verdict-cache lookup (daemon only); detail says `hit` or `miss`.
+    pub const CACHE: &str = "cache";
+    /// Static presolve stage.
+    pub const PRESOLVE: &str = "presolve";
+    /// The engine race, parent of the per-engine spans.
+    pub const RACE: &str = "race";
+    /// The exact engine's lane.
+    pub const NAY: &str = "nay";
+    /// The approximate engine's lane.
+    pub const NOPE: &str = "nope";
+    /// Warm-pool queue wait before an engine job starts.
+    pub const QUEUE: &str = "queue";
+    /// Engine execution proper.
+    pub const RUN: &str = "run";
+    /// Loser-cancellation drain after the winner settles.
+    pub const CANCEL: &str = "cancel";
+
+    /// Every phase above, in catalogue order.
+    pub const ALL: &[&str] = &[
+        SOLVE, PARSE, CACHE, PRESOLVE, RACE, NAY, NOPE, QUEUE, RUN, CANCEL,
+    ];
+}
+
+/// One node of the span tree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// Which phase this span covers — one of the [`phase`] constants.
+    pub phase: String,
+    /// Nesting depth: 0 for the root, parent depth + 1 below.
+    pub depth: usize,
+    /// Start offset in microseconds relative to the trace start.
+    pub start_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+    /// Free-form annotation (engine name, verdict, `hit`/`miss`, ...).
+    pub detail: String,
+}
+
+/// A complete per-request span tree in start order.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Trace {
+    /// The request's trace id (also stamped on the protocol response).
+    pub trace_id: String,
+    /// Spans in start order; nesting is encoded by [`Span::depth`].
+    pub spans: Vec<Span>,
+}
+
+impl Trace {
+    /// An empty trace carrying `trace_id`.
+    #[must_use]
+    pub fn new(trace_id: impl Into<String>) -> Self {
+        Trace {
+            trace_id: trace_id.into(),
+            spans: Vec::new(),
+        }
+    }
+
+    /// Appends a span.
+    pub fn push(
+        &mut self,
+        phase: &str,
+        depth: usize,
+        start_us: u64,
+        dur_us: u64,
+        detail: impl Into<String>,
+    ) {
+        self.spans.push(Span {
+            phase: phase.to_string(),
+            depth,
+            start_us,
+            dur_us,
+            detail: detail.into(),
+        });
+    }
+
+    /// End offset of the latest-ending span — the trace's total extent.
+    #[must_use]
+    pub fn total_us(&self) -> u64 {
+        self.spans
+            .iter()
+            .map(|s| s.start_us.saturating_add(s.dur_us))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The snapshot-testable shape: `(depth, phase)` pairs in span order,
+    /// with every wall-clock value stripped.
+    #[must_use]
+    pub fn structure(&self) -> Vec<(usize, String)> {
+        self.spans
+            .iter()
+            .map(|s| (s.depth, s.phase.clone()))
+            .collect()
+    }
+
+    /// Renders a fixed-width waterfall: one line per span with an
+    /// indented phase label, a bar positioned by relative offset, and the
+    /// duration in milliseconds.
+    #[must_use]
+    pub fn render_waterfall(&self) -> String {
+        use std::fmt::Write as _;
+        const WIDTH: usize = 40;
+        let total = self.total_us().max(1);
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "trace {} ({:.3} ms total)",
+            self.trace_id,
+            self.total_us() as f64 / 1000.0
+        );
+        for span in &self.spans {
+            let label = format!("{}{}", "  ".repeat(span.depth), span.phase);
+            // Map [start, start+dur] onto WIDTH columns; always draw at
+            // least one cell so instantaneous spans stay visible.
+            let from = (span.start_us as u128 * WIDTH as u128 / total as u128) as usize;
+            let to = ((span.start_us.saturating_add(span.dur_us)) as u128 * WIDTH as u128
+                / total as u128) as usize;
+            let from = from.min(WIDTH - 1);
+            let to = to.clamp(from + 1, WIDTH);
+            let bar: String = (0..WIDTH)
+                .map(|col| if col >= from && col < to { '#' } else { '.' })
+                .collect();
+            let _ = writeln!(
+                out,
+                "  {label:<18} |{bar}| {:>9.3} ms{}{}",
+                span.dur_us as f64 / 1000.0,
+                if span.detail.is_empty() { "" } else { "  " },
+                span.detail
+            );
+        }
+        out
+    }
+}
+
+/// A fresh process-unique trace id: a per-process random-ish base (hashed
+/// from the process start time) plus a sequence number, e.g.
+/// `t-9f86d081-00000007`. Uniqueness is per-process and monotone, which
+/// is all log correlation needs; no global coordination is attempted.
+#[must_use]
+pub fn fresh_trace_id() -> String {
+    static BASE: OnceLock<u64> = OnceLock::new();
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let base = *BASE.get_or_init(|| {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0)
+            ^ (std::process::id() as u64) << 32;
+        // One round of splitmix64 so nearby start times don't share
+        // prefixes.
+        let mut z = nanos.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    });
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    format!("t-{:08x}-{seq:08x}", base as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        let mut t = Trace::new("t-test-0");
+        t.push(phase::SOLVE, 0, 0, 1000, "");
+        t.push(phase::PARSE, 1, 0, 100, "");
+        t.push(phase::RACE, 1, 100, 900, "");
+        t.push(phase::NAY, 2, 100, 400, "winner");
+        t.push(phase::QUEUE, 3, 100, 50, "");
+        t.push(phase::RUN, 3, 150, 350, "");
+        t
+    }
+
+    #[test]
+    fn structure_strips_wall_clock() {
+        let t = sample();
+        assert_eq!(
+            t.structure(),
+            vec![
+                (0, "solve".to_string()),
+                (1, "parse".to_string()),
+                (1, "race".to_string()),
+                (2, "nay".to_string()),
+                (3, "queue".to_string()),
+                (3, "run".to_string()),
+            ]
+        );
+        assert_eq!(t.total_us(), 1000);
+    }
+
+    #[test]
+    fn waterfall_renders_every_span_once() {
+        let t = sample();
+        let text = t.render_waterfall();
+        assert!(text.starts_with("trace t-test-0"));
+        for span in &t.spans {
+            assert!(
+                text.contains(&span.phase),
+                "waterfall must mention {}",
+                span.phase
+            );
+        }
+        assert!(text.contains("winner"));
+        // 6 spans + header line.
+        assert_eq!(text.lines().count(), 7);
+    }
+
+    #[test]
+    fn waterfall_survives_zero_duration_traces() {
+        let mut t = Trace::new("t-zero");
+        t.push(phase::SOLVE, 0, 0, 0, "");
+        let text = t.render_waterfall();
+        assert!(text.contains("solve"));
+    }
+
+    #[test]
+    fn trace_ids_are_unique_and_well_formed() {
+        let a = fresh_trace_id();
+        let b = fresh_trace_id();
+        assert_ne!(a, b);
+        for id in [&a, &b] {
+            assert!(id.starts_with("t-"), "{id}");
+            assert_eq!(id.len(), "t-00000000-00000000".len(), "{id}");
+        }
+    }
+
+    #[test]
+    fn phase_catalogue_is_closed_and_unique() {
+        let mut seen = std::collections::BTreeSet::new();
+        for p in phase::ALL {
+            assert!(seen.insert(*p), "{p} duplicated");
+        }
+        assert_eq!(phase::ALL.len(), 10);
+    }
+}

@@ -62,6 +62,9 @@ pub struct EngineReport {
     /// (timed-out) job thread, making `millis` untrustworthy (see
     /// [`runner::JobResult::tainted`]).
     pub tainted: bool,
+    /// Milliseconds the engine job waited in a [`WarmPool`] queue before a
+    /// worker picked it up; 0 on the scoped-pool path (no queue).
+    pub queue_millis: f64,
 }
 
 impl EngineReport {
@@ -108,6 +111,101 @@ pub struct RaceReport {
     /// What the static presolve concluded before any engine was
     /// dispatched; `None` when the presolve stage was disabled.
     pub presolve: Option<PresolveSummary>,
+}
+
+impl RaceReport {
+    /// Builds the solve trace for this race: a span tree under one root
+    /// `solve` span, with the phases laid out sequentially — parse, then
+    /// the optional cache lookup (daemon path), then the optional
+    /// presolve, then (unless the presolve settled the problem) the
+    /// engine race with per-engine `queue`/`run` sub-spans and a `cancel`
+    /// tail when a loser was cancelled.
+    ///
+    /// Offsets are microseconds relative to the solve start, rebuilt from
+    /// the report's own phase durations, so the *structure* is a pure
+    /// function of what happened (snapshot-testable) while the values
+    /// carry the measured wall clock. The `queue` sub-span is emitted even
+    /// at zero duration so the span shape does not depend on pool load.
+    pub fn trace_with(
+        &self,
+        trace_id: impl Into<String>,
+        parse_millis: f64,
+        cache_lookup_millis: Option<f64>,
+    ) -> obs::Trace {
+        let us = |millis: f64| (millis * 1000.0).max(0.0) as u64;
+        let mut trace = obs::Trace::new(trace_id);
+        // Span 0 is the root; its duration is patched to the full extent
+        // once every child is placed.
+        trace.push(obs::trace::phase::SOLVE, 0, 0, 0, "");
+        let mut cursor = 0u64;
+        trace.push(obs::trace::phase::PARSE, 1, cursor, us(parse_millis), "");
+        cursor += us(parse_millis);
+        if let Some(cache_millis) = cache_lookup_millis {
+            trace.push(
+                obs::trace::phase::CACHE,
+                1,
+                cursor,
+                us(cache_millis),
+                "miss",
+            );
+            cursor += us(cache_millis);
+        }
+        if let Some(presolve) = &self.presolve {
+            trace.push(
+                obs::trace::phase::PRESOLVE,
+                1,
+                cursor,
+                us(presolve.millis),
+                format!("{} ({})", presolve.verdict.name(), presolve.reason),
+            );
+            cursor += us(presolve.millis);
+        }
+        if self.winner != Some("presolve") {
+            let race_start = cursor;
+            let race_end = race_start + us(self.wall_millis);
+            trace.push(
+                obs::trace::phase::RACE,
+                1,
+                race_start,
+                us(self.wall_millis),
+                self.winner.map_or(String::new(), |w| format!("winner {w}")),
+            );
+            for (phase, engine) in [
+                (obs::trace::phase::NAY, &self.nay),
+                (obs::trace::phase::NOPE, &self.nope),
+            ] {
+                let queue_us = us(engine.queue_millis);
+                let run_us = us(engine.millis);
+                trace.push(
+                    phase,
+                    2,
+                    race_start,
+                    queue_us + run_us,
+                    engine.verdict.name().to_string(),
+                );
+                trace.push(obs::trace::phase::QUEUE, 3, race_start, queue_us, "");
+                trace.push(obs::trace::phase::RUN, 3, race_start + queue_us, run_us, "");
+            }
+            if let Some(cancel_millis) = self.loser_cancel_millis {
+                let cancel_us = us(cancel_millis);
+                let loser = match self.winner {
+                    Some("nay") => "nope",
+                    Some("nope") => "nay",
+                    _ => "",
+                };
+                trace.push(
+                    obs::trace::phase::CANCEL,
+                    2,
+                    race_end.saturating_sub(cancel_us),
+                    cancel_us,
+                    loser,
+                );
+            }
+        }
+        let total = trace.total_us();
+        trace.spans[0].dur_us = total;
+        trace
+    }
 }
 
 /// The portfolio configuration: one `nay` and one `nope` engine plus an
@@ -373,6 +471,9 @@ fn engine_report(result: JobResult<crate::EngineOutcome>) -> (EngineReport, Opti
             arena_terms,
             millis,
             tainted: result.tainted,
+            queue_millis: result
+                .queue_wait
+                .map_or(0.0, |wait| wait.as_secs_f64() * 1000.0),
         },
         solution,
     )
@@ -426,6 +527,7 @@ fn skipped_report(engine: &'static str) -> EngineReport {
         arena_terms: 0,
         millis: 0.0,
         tainted: false,
+        queue_millis: 0.0,
     }
 }
 
@@ -563,6 +665,64 @@ mod tests {
         assert_eq!(report.winner, None);
         assert_eq!(report.nay.verdict, SolveVerdict::Cancelled);
         assert_eq!(report.nope.verdict, SolveVerdict::Cancelled);
+    }
+
+    #[test]
+    fn presolve_settled_trace_has_the_minimal_structure() {
+        let report = Portfolio::new().race(&section2_lia());
+        assert_eq!(report.winner, Some("presolve"));
+        let trace = report.trace_with("t-test", 0.3, None);
+        assert_eq!(trace.trace_id, "t-test");
+        assert_eq!(
+            trace.structure(),
+            vec![
+                (0, "solve".to_string()),
+                (1, "parse".to_string()),
+                (1, "presolve".to_string()),
+            ]
+        );
+        // The root spans the whole request.
+        assert_eq!(trace.spans[0].dur_us, trace.total_us());
+    }
+
+    #[test]
+    fn engine_race_trace_nests_queue_and_run_under_each_engine() {
+        let report = Portfolio::new().with_presolve(false).race(&section2_lia());
+        let trace = report.trace_with("t-race", 0.1, Some(0.05));
+        // The cancel span's presence depends on which engine won, so the
+        // snapshot filters it; everything else is fixed.
+        let structure: Vec<(usize, String)> = trace
+            .structure()
+            .into_iter()
+            .filter(|(_, phase)| phase != "cancel")
+            .collect();
+        assert_eq!(
+            structure,
+            vec![
+                (0, "solve".to_string()),
+                (1, "parse".to_string()),
+                (1, "cache".to_string()),
+                (1, "race".to_string()),
+                (2, "nay".to_string()),
+                (3, "queue".to_string()),
+                (3, "run".to_string()),
+                (2, "nope".to_string()),
+                (3, "queue".to_string()),
+                (3, "run".to_string()),
+            ]
+        );
+        // Offsets are monotone per depth-1 lane: parse ends before the
+        // race starts.
+        let parse = &trace.spans[1];
+        let race = trace
+            .spans
+            .iter()
+            .find(|s| s.phase == "race")
+            .expect("race span");
+        assert!(parse.start_us + parse.dur_us <= race.start_us);
+        // The waterfall renders one line per span plus the header.
+        let waterfall = trace.render_waterfall();
+        assert_eq!(waterfall.lines().count(), trace.spans.len() + 1);
     }
 
     #[test]

@@ -54,6 +54,8 @@ struct TimerState {
 pub struct DeadlineTimer {
     state: Arc<(Mutex<TimerState>, Condvar)>,
     handle: Option<std::thread::JoinHandle<()>>,
+    /// Incremented every time the monitor trips a token at its deadline.
+    trips: obs::Counter,
 }
 
 /// Proof of a live registration. Dropping the guard retires the
@@ -74,7 +76,9 @@ impl DeadlineTimer {
     /// Spawns the monitor thread.
     pub fn new() -> DeadlineTimer {
         let state: Arc<(Mutex<TimerState>, Condvar)> = Arc::default();
+        let trips = obs::Counter::new();
         let thread_state = Arc::clone(&state);
+        let thread_trips = trips.clone();
         let handle = std::thread::Builder::new()
             .name("deadline-timer".into())
             .spawn(move || {
@@ -91,6 +95,7 @@ impl DeadlineTimer {
                         }
                         if r.due <= now {
                             r.cancel.cancel();
+                            thread_trips.inc();
                             return false;
                         }
                         true
@@ -110,7 +115,14 @@ impl DeadlineTimer {
         DeadlineTimer {
             state,
             handle: Some(handle),
+            trips,
         }
+    }
+
+    /// Counter of deadline trips (tokens cancelled because their budget
+    /// expired), suitable for registration in an [`obs::Registry`].
+    pub fn trip_counter(&self) -> obs::Counter {
+        self.trips.clone()
     }
 
     /// Arms `cancel` to trip `timeout` from now. Keep the returned guard
@@ -163,6 +175,7 @@ mod tests {
     fn expired_deadlines_trip_the_token() {
         let timer = DeadlineTimer::new();
         let cancel = Cancel::new();
+        assert_eq!(timer.trip_counter().get(), 0);
         let _guard = timer.register(&cancel, Duration::from_millis(10));
         let start = Instant::now();
         while !cancel.is_cancelled() {
@@ -172,6 +185,11 @@ mod tests {
             );
             std::thread::sleep(Duration::from_millis(1));
         }
+        assert_eq!(
+            timer.trip_counter().get(),
+            1,
+            "each fired deadline counts exactly once"
+        );
     }
 
     #[test]
@@ -182,6 +200,11 @@ mod tests {
         drop(guard); // the job "finished" immediately
         std::thread::sleep(Duration::from_millis(60));
         assert!(!cancel.is_cancelled());
+        assert_eq!(
+            timer.trip_counter().get(),
+            0,
+            "retired registrations must not count as trips"
+        );
     }
 
     #[test]

@@ -147,6 +147,10 @@ pub struct JobResult<T> {
     /// started — after the abandonment are inflated and should not gate
     /// slowdown comparisons.
     pub tainted: bool,
+    /// Time the job spent queued before a worker picked it up. `Some` only
+    /// on the [`WarmPool`](crate::WarmPool) path — the batch pool admits
+    /// jobs straight onto workers, so there is no queue to wait in.
+    pub queue_wait: Option<Duration>,
 }
 
 /// Runs every job and returns the results in submission order.
@@ -232,6 +236,7 @@ fn execute<T: Send + 'static>(
             output: None,
             elapsed: started.elapsed(),
             tainted: abandoned.load(Ordering::Acquire),
+            queue_wait: None,
         };
     }
 
@@ -248,6 +253,7 @@ fn execute<T: Send + 'static>(
             output: Some(output),
             elapsed,
             tainted: abandoned.load(Ordering::Acquire),
+            queue_wait: None,
         },
         Ok((Err(_panic), elapsed)) => JobResult {
             id,
@@ -255,6 +261,7 @@ fn execute<T: Send + 'static>(
             output: None,
             elapsed,
             tainted: abandoned.load(Ordering::Acquire),
+            queue_wait: None,
         },
         Err(RecvTimeoutError::Timeout) => {
             abandoned.store(true, Ordering::Release);
@@ -264,6 +271,7 @@ fn execute<T: Send + 'static>(
                 output: None,
                 elapsed: timeout.expect("timeout error implies a budget"),
                 tainted: true,
+                queue_wait: None,
             }
         }
         Err(RecvTimeoutError::Disconnected) => JobResult {
@@ -272,6 +280,7 @@ fn execute<T: Send + 'static>(
             output: None,
             elapsed: started.elapsed(),
             tainted: abandoned.load(Ordering::Acquire),
+            queue_wait: None,
         },
     }
 }

@@ -48,6 +48,13 @@ struct Shared {
     state: Mutex<QueueState>,
     /// Signalled on every push and on shutdown.
     wake: Condvar,
+    /// Mirror of `queue.len() + running` as a lock-free metric handle.
+    in_flight_gauge: obs::Gauge,
+    /// Mirror of `queue.len()` as a lock-free metric handle.
+    queue_depth_gauge: obs::Gauge,
+    /// Distribution of time jobs spent queued before a worker picked
+    /// them up.
+    queue_wait_hist: obs::Histogram,
 }
 
 struct QueueState {
@@ -81,6 +88,9 @@ impl WarmPool {
                 shutdown: false,
             }),
             wake: Condvar::new(),
+            in_flight_gauge: obs::Gauge::new(),
+            queue_depth_gauge: obs::Gauge::new(),
+            queue_wait_hist: obs::Histogram::new(),
         });
         let handles = (0..workers)
             .map(|index| {
@@ -115,6 +125,25 @@ impl WarmPool {
         self.shared.state.lock().unwrap().queue.len()
     }
 
+    /// Lock-free gauge mirroring [`WarmPool::in_flight`], suitable for
+    /// registration in an [`obs::Registry`]. The gauge and the locked
+    /// count move together (both updated while holding the queue lock),
+    /// so a quiescent pool always reads 0 on both.
+    pub fn in_flight_gauge(&self) -> obs::Gauge {
+        self.shared.in_flight_gauge.clone()
+    }
+
+    /// Lock-free gauge mirroring [`WarmPool::queue_depth`].
+    pub fn queue_depth_gauge(&self) -> obs::Gauge {
+        self.shared.queue_depth_gauge.clone()
+    }
+
+    /// Histogram of queue-wait times (submission → worker pickup) across
+    /// every job this pool has run.
+    pub fn queue_wait_hist(&self) -> obs::Histogram {
+        self.shared.queue_wait_hist.clone()
+    }
+
     /// Enqueues a job and returns the ticket its result arrives on.
     ///
     /// The job runs on the next free worker, FIFO. Its wall-clock
@@ -124,12 +153,18 @@ impl WarmPool {
     pub fn submit<T: Send + 'static>(&self, job: Job<T>) -> Ticket<T> {
         let (id, run) = job.into_parts();
         let (tx, rx) = channel();
+        let enqueued = Instant::now();
+        let queue_wait_hist = self.shared.queue_wait_hist.clone();
         let body: QueuedJob = Box::new(move || {
+            // The body runs the moment a worker picks it up, so the gap
+            // since submission is exactly the queue wait.
+            let queue_wait = enqueued.elapsed();
+            queue_wait_hist.observe(queue_wait);
             let (outcome, elapsed) = measure(|| catch_unwind(AssertUnwindSafe(run)));
             Box::new(move || {
                 // The submitter may have dropped the ticket (e.g. a request
                 // whose deadline expired); the result is simply discarded.
-                let _ = tx.send((outcome.ok(), elapsed));
+                let _ = tx.send((outcome.ok(), elapsed, queue_wait));
             })
         });
         {
@@ -140,6 +175,8 @@ impl WarmPool {
                 drop(body);
             } else {
                 state.queue.push_back(body);
+                self.shared.in_flight_gauge.inc();
+                self.shared.queue_depth_gauge.inc();
             }
         }
         self.shared.wake.notify_one();
@@ -157,8 +194,12 @@ impl Drop for WarmPool {
             let mut state = self.shared.state.lock().unwrap();
             state.shutdown = true;
             // Queued-but-unstarted jobs are dropped; their tickets resolve
-            // as Crashed via channel disconnect.
+            // as Crashed via channel disconnect. The gauges must not keep
+            // counting them.
+            let dropped = state.queue.len() as i64;
             state.queue.clear();
+            self.shared.in_flight_gauge.add(-dropped);
+            self.shared.queue_depth_gauge.add(-dropped);
         }
         self.shared.wake.notify_all();
         for handle in self.workers.drain(..) {
@@ -174,6 +215,7 @@ fn worker_loop(shared: &Shared) {
             loop {
                 if let Some(body) = state.queue.pop_front() {
                     state.running += 1;
+                    shared.queue_depth_gauge.dec();
                     break body;
                 }
                 if state.shutdown {
@@ -185,7 +227,11 @@ fn worker_loop(shared: &Shared) {
         let publish = body();
         // Decrement before publishing: once a waiter observes the result,
         // the pool must already account the job as finished.
-        shared.state.lock().unwrap().running -= 1;
+        {
+            let mut state = shared.state.lock().unwrap();
+            state.running -= 1;
+            shared.in_flight_gauge.dec();
+        }
         publish();
     }
 }
@@ -193,7 +239,7 @@ fn worker_loop(shared: &Shared) {
 /// The submitter's handle to one queued job's eventual result.
 pub struct Ticket<T> {
     id: String,
-    rx: Receiver<(Option<T>, Duration)>,
+    rx: Receiver<(Option<T>, Duration, Duration)>,
     submitted: Instant,
 }
 
@@ -211,7 +257,7 @@ impl<T> Ticket<T> {
     pub fn wait(self) -> JobResult<T> {
         let id = self.id;
         match self.rx.recv() {
-            Ok((output, elapsed)) => resolve(id, output, elapsed),
+            Ok((output, elapsed, queue_wait)) => resolve(id, output, elapsed, queue_wait),
             Err(_) => crashed(id, self.submitted.elapsed()),
         }
     }
@@ -225,14 +271,19 @@ impl<T> Ticket<T> {
     /// and let the result be discarded.
     pub fn wait_for(self, budget: Duration) -> Result<JobResult<T>, Ticket<T>> {
         match self.rx.recv_timeout(budget) {
-            Ok((output, elapsed)) => Ok(resolve(self.id, output, elapsed)),
+            Ok((output, elapsed, queue_wait)) => Ok(resolve(self.id, output, elapsed, queue_wait)),
             Err(RecvTimeoutError::Timeout) => Err(self),
             Err(RecvTimeoutError::Disconnected) => Ok(crashed(self.id, self.submitted.elapsed())),
         }
     }
 }
 
-fn resolve<T>(id: String, output: Option<T>, elapsed: Duration) -> JobResult<T> {
+fn resolve<T>(
+    id: String,
+    output: Option<T>,
+    elapsed: Duration,
+    queue_wait: Duration,
+) -> JobResult<T> {
     let status = if output.is_some() {
         JobStatus::Ok
     } else {
@@ -244,6 +295,7 @@ fn resolve<T>(id: String, output: Option<T>, elapsed: Duration) -> JobResult<T> 
         output,
         elapsed,
         tainted: false,
+        queue_wait: Some(queue_wait),
     }
 }
 
@@ -254,6 +306,7 @@ fn crashed<T>(id: String, elapsed: Duration) -> JobResult<T> {
         output: None,
         elapsed,
         tainted: false,
+        queue_wait: None,
     }
 }
 
@@ -338,5 +391,71 @@ mod tests {
         assert_eq!(blocker.wait().status, JobStatus::Ok);
         assert_eq!(queued.wait().status, JobStatus::Ok);
         assert_eq!(pool.in_flight(), 0);
+    }
+
+    #[test]
+    fn gauges_track_the_locked_counts() {
+        let pool = WarmPool::new(1);
+        let in_flight = pool.in_flight_gauge();
+        let queue_depth = pool.queue_depth_gauge();
+        assert_eq!(in_flight.get(), 0);
+        assert_eq!(queue_depth.get(), 0);
+
+        let gate = Arc::new(Mutex::new(()));
+        let held = gate.lock().unwrap();
+        let blocker = {
+            let gate = Arc::clone(&gate);
+            pool.submit(Job::new("blocker", move || {
+                let _released = gate.lock().unwrap();
+            }))
+        };
+        while pool.queue_depth() > 0 {
+            std::thread::yield_now();
+        }
+        let queued = pool.submit(Job::new("queued", || ()));
+        // One job running, one queued: the gauges mirror the locked view.
+        assert_eq!(in_flight.get(), 2);
+        assert_eq!(queue_depth.get(), 1);
+
+        drop(held);
+        assert_eq!(blocker.wait().status, JobStatus::Ok);
+        assert_eq!(queued.wait().status, JobStatus::Ok);
+        // A resolved ticket implies the job was already accounted
+        // finished (decrement-before-publish), so both gauges read 0.
+        assert_eq!(in_flight.get(), 0);
+        assert_eq!(queue_depth.get(), 0);
+        assert_eq!(pool.queue_wait_hist().count(), 2);
+    }
+
+    #[test]
+    fn queue_wait_is_reported_on_results() {
+        let pool = WarmPool::new(1);
+        let result = pool.submit(Job::new("quick", || 1)).wait();
+        let wait = result
+            .queue_wait
+            .expect("warm-pool results carry queue_wait");
+        assert!(wait < Duration::from_secs(5));
+        // The queued job behind a blocker waits at least as long as the
+        // blocker holds the worker.
+        let gate = Arc::new(Mutex::new(()));
+        let held = gate.lock().unwrap();
+        let blocker = {
+            let gate = Arc::clone(&gate);
+            pool.submit(Job::new("blocker", move || {
+                let _released = gate.lock().unwrap();
+            }))
+        };
+        while pool.queue_depth() > 0 {
+            std::thread::yield_now();
+        }
+        let queued = pool.submit(Job::new("queued", || 2));
+        std::thread::sleep(Duration::from_millis(20));
+        drop(held);
+        let _ = blocker.wait();
+        let waited = queued.wait().queue_wait.expect("queued job has queue_wait");
+        assert!(
+            waited >= Duration::from_millis(10),
+            "queued job should have waited, got {waited:?}"
+        );
     }
 }

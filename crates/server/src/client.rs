@@ -172,6 +172,15 @@ impl Client {
         self.request(&Request::plain(crate::protocol::Op::Stats, "stats"))
     }
 
+    /// Fetches the server's metrics in Prometheus text exposition format
+    /// (the same payload the `--metrics-addr` scrape listener serves).
+    ///
+    /// # Errors
+    /// See [`Client::request`].
+    pub fn metrics(&mut self) -> Result<Response, ClientError> {
+        self.request(&Request::plain(crate::protocol::Op::Metrics, "metrics"))
+    }
+
     /// Asks the daemon to shut down (acknowledged before the accept loop
     /// exits).
     ///

@@ -36,5 +36,6 @@ pub use cache::{CacheStats, CachedVerdict, VerdictCache};
 pub use client::{Client, ClientError};
 pub use daemon::{Bind, Endpoint, Server, ServerConfig};
 pub use protocol::{
-    ErrorCode, Op, Request, Response, ResponseStatus, StatsSnapshot, PROTOCOL_VERSION,
+    trace_from_json, trace_to_json, ErrorCode, Op, Request, Response, ResponseStatus,
+    StatsSnapshot, PROTOCOL_VERSION,
 };

@@ -34,6 +34,9 @@ pub enum Op {
     Ping,
     /// Return the daemon's counters as a [`StatsSnapshot`].
     Stats,
+    /// Return the daemon's full metrics registry rendered in Prometheus
+    /// text exposition format (the same text the scrape listener serves).
+    Metrics,
     /// Stop accepting connections and shut the daemon down.
     Shutdown,
 }
@@ -45,6 +48,7 @@ impl Op {
             Op::Solve => "solve",
             Op::Ping => "ping",
             Op::Stats => "stats",
+            Op::Metrics => "metrics",
             Op::Shutdown => "shutdown",
         }
     }
@@ -55,6 +59,7 @@ impl Op {
             "solve" => Some(Op::Solve),
             "ping" => Some(Op::Ping),
             "stats" => Some(Op::Stats),
+            "metrics" => Some(Op::Metrics),
             "shutdown" => Some(Op::Shutdown),
             _ => None,
         }
@@ -166,6 +171,8 @@ pub struct Request {
     pub no_cache: bool,
     /// Disable the race's static presolve stage for this request.
     pub no_presolve: bool,
+    /// Return the solve's span tree in the response's `trace` field.
+    pub trace: bool,
 }
 
 impl Request {
@@ -178,6 +185,7 @@ impl Request {
             deadline_ms: None,
             no_cache: false,
             no_presolve: false,
+            trace: false,
         }
     }
 
@@ -190,6 +198,7 @@ impl Request {
             deadline_ms: None,
             no_cache: false,
             no_presolve: false,
+            trace: false,
         }
     }
 
@@ -202,6 +211,12 @@ impl Request {
     /// Bypasses the verdict cache.
     pub fn with_no_cache(mut self) -> Request {
         self.no_cache = true;
+        self
+    }
+
+    /// Requests the solve's span tree in the response.
+    pub fn with_trace(mut self) -> Request {
+        self.trace = true;
         self
     }
 
@@ -222,6 +237,9 @@ impl Request {
         }
         if self.no_presolve {
             fields.push(("no_presolve".into(), Json::Bool(true)));
+        }
+        if self.trace {
+            fields.push(("trace".into(), Json::Bool(true)));
         }
         Json::Obj(fields)
     }
@@ -262,6 +280,11 @@ impl Request {
             .map(|v| v.as_bool().ok_or("`no_presolve` is not a boolean"))
             .transpose()?
             .unwrap_or(false);
+        let trace = value
+            .get("trace")
+            .map(|v| v.as_bool().ok_or("`trace` is not a boolean"))
+            .transpose()?
+            .unwrap_or(false);
         if op == Op::Solve && problem.is_none() {
             return Err("solve requests need a `problem` field".into());
         }
@@ -272,12 +295,13 @@ impl Request {
             deadline_ms,
             no_cache,
             no_presolve,
+            trace,
         })
     }
 }
 
 /// The daemon's counters, as carried by a `stats` response.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct StatsSnapshot {
     /// Total requests decoded (all ops).
     pub requests: u64,
@@ -288,18 +312,31 @@ pub struct StatsSnapshot {
     /// Cache lookups whose fingerprint matched but whose canonical form
     /// did not — genuine 64-bit collisions, served as misses.
     pub cache_collisions: u64,
+    /// LRU evictions from the verdict cache since startup.
+    pub cache_evictions: u64,
+    /// Insertions into the verdict cache since startup.
+    pub cache_insertions: u64,
     /// Entries currently live in the cache.
     pub cache_entries: u64,
     /// Solve requests that hit their deadline.
     pub timeouts: u64,
+    /// Deadline-timer trips since startup (tokens cancelled at expiry).
+    pub deadline_trips: u64,
     /// Requests answered with an error response.
     pub errors: u64,
     /// Solve requests shed by admission control (`overloaded`).
     pub shed: u64,
     /// Engine jobs admitted but not yet finished, at snapshot time.
     pub in_flight: u64,
+    /// Engine jobs queued and not yet started, at snapshot time.
+    pub queue_depth: u64,
     /// Warm engine workers.
     pub workers: u64,
+    /// Median engine-job queue wait in milliseconds (log₂ bucket upper
+    /// edge) across every job since startup.
+    pub queue_wait_p50_ms: f64,
+    /// 99th-percentile engine-job queue wait in milliseconds.
+    pub queue_wait_p99_ms: f64,
 }
 
 impl StatsSnapshot {
@@ -312,12 +349,33 @@ impl StatsSnapshot {
                 "cache_collisions".into(),
                 Json::Num(self.cache_collisions as f64),
             ),
+            (
+                "cache_evictions".into(),
+                Json::Num(self.cache_evictions as f64),
+            ),
+            (
+                "cache_insertions".into(),
+                Json::Num(self.cache_insertions as f64),
+            ),
             ("cache_entries".into(), Json::Num(self.cache_entries as f64)),
             ("timeouts".into(), Json::Num(self.timeouts as f64)),
+            (
+                "deadline_trips".into(),
+                Json::Num(self.deadline_trips as f64),
+            ),
             ("errors".into(), Json::Num(self.errors as f64)),
             ("shed".into(), Json::Num(self.shed as f64)),
             ("in_flight".into(), Json::Num(self.in_flight as f64)),
+            ("queue_depth".into(), Json::Num(self.queue_depth as f64)),
             ("workers".into(), Json::Num(self.workers as f64)),
+            (
+                "queue_wait_p50_ms".into(),
+                Json::Num(self.queue_wait_p50_ms),
+            ),
+            (
+                "queue_wait_p99_ms".into(),
+                Json::Num(self.queue_wait_p99_ms),
+            ),
         ])
     }
 
@@ -328,19 +386,93 @@ impl StatsSnapshot {
                 .and_then(Json::as_u64)
                 .ok_or_else(|| format!("stats field `{key}` is missing or not an integer"))
         };
+        // Fields added after protocol v1's first release decode leniently
+        // (default 0) so a newer client can read an older daemon's stats.
+        let added = |key: &str| value.get(key).and_then(Json::as_u64).unwrap_or(0);
+        let added_f64 = |key: &str| value.get(key).and_then(Json::as_f64).unwrap_or(0.0);
         Ok(StatsSnapshot {
             requests: num("requests")?,
             cache_hits: num("cache_hits")?,
             cache_misses: num("cache_misses")?,
             cache_collisions: num("cache_collisions")?,
+            cache_evictions: added("cache_evictions"),
+            cache_insertions: added("cache_insertions"),
             cache_entries: num("cache_entries")?,
             timeouts: num("timeouts")?,
+            deadline_trips: added("deadline_trips"),
             errors: num("errors")?,
             shed: num("shed")?,
             in_flight: num("in_flight")?,
+            queue_depth: added("queue_depth"),
             workers: num("workers")?,
+            queue_wait_p50_ms: added_f64("queue_wait_p50_ms"),
+            queue_wait_p99_ms: added_f64("queue_wait_p99_ms"),
         })
     }
+}
+
+/// Serializes a solve trace for the wire: the trace id plus a flat span
+/// list (`phase`, `depth`, `start_us`, `dur_us`, optional `detail`).
+pub fn trace_to_json(trace: &obs::Trace) -> Json {
+    let spans = trace
+        .spans
+        .iter()
+        .map(|span| {
+            let mut fields = vec![
+                ("phase".into(), Json::Str(span.phase.clone())),
+                ("depth".into(), Json::Num(span.depth as f64)),
+                ("start_us".into(), Json::Num(span.start_us as f64)),
+                ("dur_us".into(), Json::Num(span.dur_us as f64)),
+            ];
+            if !span.detail.is_empty() {
+                fields.push(("detail".into(), Json::Str(span.detail.clone())));
+            }
+            Json::Obj(fields)
+        })
+        .collect();
+    Json::Obj(vec![
+        ("trace_id".into(), Json::Str(trace.trace_id.clone())),
+        ("spans".into(), Json::Arr(spans)),
+    ])
+}
+
+/// Inverse of [`trace_to_json`].
+///
+/// # Errors
+/// Returns a human-readable message on missing or ill-typed fields.
+pub fn trace_from_json(value: &Json) -> Result<obs::Trace, String> {
+    let trace_id = value
+        .get("trace_id")
+        .and_then(Json::as_str)
+        .ok_or("trace is missing the string field `trace_id`")?;
+    let spans = value
+        .get("spans")
+        .and_then(Json::as_array)
+        .ok_or("trace is missing the array field `spans`")?;
+    let mut trace = obs::Trace::new(trace_id);
+    for span in spans {
+        let phase = span
+            .get("phase")
+            .and_then(Json::as_str)
+            .ok_or("span is missing the string field `phase`")?;
+        let num = |key: &str| {
+            span.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("span field `{key}` is missing or not an integer"))
+        };
+        let detail = span
+            .get("detail")
+            .and_then(Json::as_str)
+            .unwrap_or_default();
+        trace.push(
+            phase,
+            num("depth")? as usize,
+            num("start_us")?,
+            num("dur_us")?,
+            detail,
+        );
+    }
+    Ok(trace)
 }
 
 /// One response frame's decoded content.
@@ -369,6 +501,14 @@ pub struct Response {
     pub error: Option<String>,
     /// Daemon counters, present on `stats` responses.
     pub stats: Option<StatsSnapshot>,
+    /// The request's trace id; stamped on every daemon response so any
+    /// answer can be correlated with server-side logs and traces.
+    pub trace_id: Option<String>,
+    /// The solve's span tree, present when the request set `trace: true`.
+    pub trace: Option<obs::Trace>,
+    /// The Prometheus-format metrics text, present on `metrics`
+    /// responses.
+    pub metrics: Option<String>,
 }
 
 impl Response {
@@ -385,6 +525,9 @@ impl Response {
             error_code: None,
             error: None,
             stats: None,
+            trace_id: None,
+            trace: None,
+            metrics: None,
         }
     }
 
@@ -429,6 +572,15 @@ impl Response {
         }
         if let Some(stats) = self.stats {
             fields.push(("stats".into(), stats.to_json()));
+        }
+        if let Some(trace_id) = &self.trace_id {
+            fields.push(("trace_id".into(), Json::Str(trace_id.clone())));
+        }
+        if let Some(trace) = &self.trace {
+            fields.push(("trace".into(), trace_to_json(trace)));
+        }
+        if let Some(metrics) = &self.metrics {
+            fields.push(("metrics".into(), Json::Str(metrics.clone())));
         }
         Json::Obj(fields)
     }
@@ -482,6 +634,9 @@ impl Response {
                 .get("stats")
                 .map(StatsSnapshot::from_json)
                 .transpose()?,
+            trace_id: opt_str("trace_id")?,
+            trace: value.get("trace").map(trace_from_json).transpose()?,
+            metrics: opt_str("metrics")?,
         })
     }
 }
@@ -607,8 +762,10 @@ mod tests {
         let requests = [
             Request::solve("r-1", "(set-logic LIA)").with_deadline_ms(250),
             Request::solve("r-2", "(set-logic LIA)").with_no_cache(),
+            Request::solve("r-3", "(set-logic LIA)").with_trace(),
             Request::plain(Op::Ping, "p-1"),
             Request::plain(Op::Stats, "s-1"),
+            Request::plain(Op::Metrics, "m-1"),
             Request::plain(Op::Shutdown, ""),
         ];
         for request in requests {
@@ -631,11 +788,29 @@ mod tests {
         stats.stats = Some(StatsSnapshot {
             requests: 10,
             cache_hits: 4,
+            cache_evictions: 2,
+            deadline_trips: 1,
+            queue_depth: 3,
+            queue_wait_p50_ms: 0.5,
+            queue_wait_p99_ms: 4.0,
             ..StatsSnapshot::default()
         });
+        let mut traced = Response::ok("t-1");
+        traced.trace_id = Some("t-00000000-00000001".into());
+        traced.trace = Some({
+            let mut t = obs::Trace::new("t-00000000-00000001");
+            t.push(obs::trace::phase::SOLVE, 0, 0, 1200, "");
+            t.push(obs::trace::phase::PARSE, 1, 0, 200, "");
+            t.push(obs::trace::phase::PRESOLVE, 1, 200, 1000, "unrealizable");
+            t
+        });
+        let mut metrics = Response::ok("m-1");
+        metrics.metrics = Some("# TYPE solver_requests_total counter\n".into());
         let responses = [
             verdict,
             stats,
+            traced,
+            metrics,
             Response::error("r-2", ErrorCode::Overloaded, "72 jobs in flight"),
         ];
         for response in responses {
@@ -656,7 +831,7 @@ mod tests {
 
     #[test]
     fn names_round_trip() {
-        for op in [Op::Solve, Op::Ping, Op::Stats, Op::Shutdown] {
+        for op in [Op::Solve, Op::Ping, Op::Stats, Op::Metrics, Op::Shutdown] {
             assert_eq!(Op::parse(op.as_str()), Some(op));
         }
         for code in [

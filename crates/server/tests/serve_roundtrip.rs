@@ -42,6 +42,15 @@ const REALIZABLE: &str = "\
 (check-synth)
 ";
 
+/// The current value of an unlabelled metric in a Prometheus exposition.
+fn metric_value(body: &str, name: &str) -> Option<f64> {
+    body.lines()
+        .filter(|line| !line.starts_with('#'))
+        .find(|line| line.split_whitespace().next() == Some(name))
+        .and_then(|line| line.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+}
+
 fn start(config: ServerConfig) -> (Endpoint, std::thread::JoinHandle<StatsSnapshot>) {
     let server = Server::bind(config).expect("binding a loopback listener");
     let endpoint = server.endpoint();
@@ -215,6 +224,9 @@ fn a_tiny_deadline_on_a_slow_instance_returns_timeout_not_a_hang() {
     let stats = shut_down(&endpoint, handle);
     assert_eq!(stats.timeouts, 1);
     assert_eq!(stats.cache_entries, 1, "only the fresh verdict is cached");
+    // Exactly one registration genuinely expired: the timed-out solve.
+    // The follow-up solve finished early and retired its guard.
+    assert_eq!(stats.deadline_trips, 1, "{stats:?}");
 }
 
 #[test]
@@ -252,9 +264,26 @@ fn a_concurrent_client_burst_never_deadlocks() {
         let verdicts = client.join().expect("burst client thread");
         assert_eq!(verdicts, vec!["unrealizable", "realizable"]);
     }
+    // The registry must agree with the drained pool: every gauge back to
+    // zero, every solve counted, queue waits recorded for each engine job.
+    let mut prober = Client::connect(&endpoint).unwrap();
+    let body = prober
+        .metrics()
+        .unwrap()
+        .metrics
+        .expect("metrics responses carry the exposition");
+    assert_eq!(metric_value(&body, "solver_pool_in_flight"), Some(0.0));
+    assert_eq!(metric_value(&body, "solver_pool_queue_depth"), Some(0.0));
+    assert_eq!(metric_value(&body, "solver_inflight_requests"), Some(0.0));
+    assert_eq!(metric_value(&body, "solver_pool_workers"), Some(2.0));
+    let requests = metric_value(&body, "solver_requests_total").unwrap();
+    assert!(requests >= 16.0, "16 solves dispatched, saw {requests}");
+    let waits = metric_value(&body, "solver_queue_wait_seconds_count").unwrap();
+    assert!(waits >= 2.0, "both engines queue per race, saw {waits}");
     let stats = shut_down(&endpoint, handle);
     assert_eq!(stats.errors, 0);
     assert_eq!(stats.in_flight, 0, "the pool drains completely");
+    assert_eq!(stats.queue_depth, 0);
     // Concurrent solves of the same problem may stampede past the first
     // insert (each then races and re-inserts harmlessly), so the exact
     // hit count is scheduling-dependent — but only 2 entries ever exist.
@@ -272,6 +301,109 @@ fn shutdown_rejects_new_work_while_draining() {
     assert_eq!(response.status, ResponseStatus::Error);
     assert_eq!(response.error_code, Some(ErrorCode::ShuttingDown));
     handle.join().expect("the accept loop exits");
+}
+
+#[test]
+fn traced_solves_return_span_trees_and_every_response_has_a_trace_id() {
+    let (endpoint, handle) = start(ServerConfig::default());
+    let mut client = Client::connect(&endpoint).unwrap();
+
+    let plain = client.solve("t-0", UNREALIZABLE).unwrap();
+    assert!(
+        plain.trace_id.is_some(),
+        "every response carries a trace id"
+    );
+    assert!(plain.trace.is_none(), "traces only appear when asked for");
+
+    let mut request = Request::solve("t-1", UNREALIZABLE)
+        .with_trace()
+        .with_no_cache();
+    request.no_presolve = true;
+    let traced = client.request(&request).unwrap();
+    assert_eq!(traced.status, ResponseStatus::Ok, "{traced:?}");
+    let trace = traced.trace.expect("trace: true returns the span tree");
+    assert_eq!(
+        Some(trace.trace_id.as_str()),
+        traced.trace_id.as_deref(),
+        "the span tree and the response carry the same id"
+    );
+    let structure = trace.structure();
+    assert_eq!(structure[0], (0, "solve".to_string()));
+    assert_eq!(structure[1], (1, "parse".to_string()));
+    assert!(
+        structure.iter().any(|(_, phase)| phase == "race"),
+        "a full race leaves a race span: {structure:?}"
+    );
+    assert!(
+        structure.contains(&(3, "queue".to_string()))
+            && structure.contains(&(3, "run".to_string())),
+        "engine spans nest queue and run: {structure:?}"
+    );
+
+    // A cache hit never reaches presolve or the race: its trace is the
+    // minimal parse + lookup shape.
+    client.solve("t-2", UNREALIZABLE).unwrap();
+    let hit = client
+        .request(&Request::solve("t-3", UNREALIZABLE).with_trace())
+        .unwrap();
+    assert!(hit.cached, "{hit:?}");
+    let hit_trace = hit.trace.expect("hits are traced too");
+    assert_eq!(
+        hit_trace.structure(),
+        vec![
+            (0, "solve".to_string()),
+            (1, "parse".to_string()),
+            (1, "cache".to_string()),
+        ]
+    );
+    shut_down(&endpoint, handle);
+}
+
+#[test]
+fn the_scrape_listener_serves_every_documented_family() {
+    let config = ServerConfig {
+        metrics_addr: Some("127.0.0.1:0".into()),
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(config).expect("binding with a scrape listener");
+    let endpoint = server.endpoint();
+    let scrape = server.metrics_endpoint().expect("the scrape socket bound");
+    let handle = std::thread::spawn(move || server.run().expect("accept loop"));
+
+    // Traffic first, so counters and histograms carry real values.
+    let mut client = Client::connect(&endpoint).unwrap();
+    client.solve("m-1", UNREALIZABLE).unwrap();
+    client.solve("m-2", UNREALIZABLE).unwrap();
+
+    let mut raw = TcpStream::connect(scrape).expect("connecting to the scrape port");
+    raw.write_all(b"GET /metrics HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let mut reply = String::new();
+    use std::io::Read as _;
+    raw.read_to_string(&mut reply).expect("one full response");
+    assert!(reply.starts_with("HTTP/1.1 200 OK\r\n"), "{reply}");
+    assert!(
+        reply.contains("Content-Type: text/plain; version=0.0.4"),
+        "{reply}"
+    );
+    let body = reply
+        .split_once("\r\n\r\n")
+        .expect("headers end with a blank line")
+        .1;
+    for name in obs::names::ALL {
+        assert!(
+            body.contains(&format!("# TYPE {name} ")),
+            "family {name} missing from the scrape:\n{body}"
+        );
+    }
+    assert_eq!(metric_value(body, "solver_requests_total"), Some(2.0));
+    assert_eq!(metric_value(body, "solver_cache_hits_total"), Some(1.0));
+    assert_eq!(metric_value(body, "solver_cache_misses_total"), Some(1.0));
+    assert_eq!(metric_value(body, "solver_cache_entries"), Some(1.0));
+    assert_eq!(metric_value(body, "solver_pool_workers"), Some(4.0));
+    let observed = metric_value(body, "solver_request_seconds_count").unwrap();
+    assert_eq!(observed, 2.0, "both solves land in the request histogram");
+    shut_down(&endpoint, handle);
 }
 
 #[cfg(unix)]
